@@ -1,0 +1,30 @@
+"""E10 — nullability ablation (Section 4.2).
+
+Compares the number of nullability node evaluations performed by the improved
+dependency-tracking fixed point against the naive re-traversal used by the
+original implementation, on identical workloads.  This isolates the Section
+4.2 improvement from the memoization and compaction changes (Figure 7 shows
+the combined effect)."""
+
+from repro.bench import format_table, nullability_ablation, tiny_python_workload
+from repro.core import DerivativeParser
+from repro.grammars import python_grammar
+
+
+def test_nullability_ablation(run_once):
+    rows = nullability_ablation()
+    print()
+    print(
+        format_table(
+            ["tokens", "improved nullable? visits", "naive nullable? visits"],
+            rows,
+            title="Nullability fixed point: improved vs naive visit counts",
+        )
+    )
+
+    for _tokens, improved_visits, naive_visits in rows:
+        assert improved_visits * 10 < naive_visits
+
+    grammar = python_grammar()
+    tokens = tiny_python_workload(12)
+    run_once(lambda: DerivativeParser(grammar).recognize(tokens))

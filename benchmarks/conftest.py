@@ -1,0 +1,24 @@
+"""Shared pytest-benchmark configuration for the reproduction's benchmarks.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation section: it prints the regenerated rows (so the "figure" is visible
+directly in the pytest output with ``-s`` or in the captured report) and feeds
+one representative configuration to ``pytest-benchmark`` for stable timing.
+
+The parsers under test are pure Python and the original 2011 baseline is
+deliberately slow (that slowness is one of the paper's findings), so
+benchmarks run a single measured round by default; wall-clock trends, not
+nanosecond precision, are what the figures need.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark's timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

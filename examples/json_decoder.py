@@ -1,0 +1,118 @@
+"""A small JSON decoder built from the library's pieces.
+
+This example wires together three parts of the reproduction:
+
+* the regular-expression derivative engine builds the lexical rules,
+* the derivative-based :class:`~repro.lexer.lexer.Lexer` tokenizes the text,
+* the JSON grammar is parsed with :class:`~repro.core.DerivativeParser`, and
+  the resulting ``(lhs, children)`` tree is folded into Python objects.
+
+Run with::
+
+    python examples/json_decoder.py
+"""
+
+import json
+
+from repro.core import DerivativeParser
+from repro.grammars import json_grammar
+from repro.lexer import Lexer
+from repro.regex import alt, char, char_range, chars, literal, optional, plus, seq, star
+
+
+def build_json_lexer() -> Lexer:
+    digit = char_range("0", "9")
+    number = seq(
+        optional(char("-")),
+        plus(digit),
+        optional(seq(char("."), plus(digit))),
+        optional(seq(chars("eE"), optional(chars("+-")), plus(digit))),
+    )
+    string_body = star(alt(chars('"\\', negated=True), seq(char("\\"), chars('"\\/bfnrtu'))))
+    string = seq(char('"'), string_body, char('"'))
+    whitespace = plus(chars(" \t\r\n"))
+    rules = [
+        ("STRING", string),
+        ("NUMBER", number),
+        ("true", literal("true")),
+        ("false", literal("false")),
+        ("null", literal("null")),
+        ("{", literal("{")),
+        ("}", literal("}")),
+        ("[", literal("[")),
+        ("]", literal("]")),
+        (",", literal(",")),
+        (":", literal(":")),
+        ("WS", whitespace),
+    ]
+    return Lexer(rules, skip=["WS"])
+
+
+def to_python(tree):
+    """Fold a JSON parse tree into Python values."""
+    label, children = tree
+    if label == "value":
+        child = children[0]
+        if isinstance(child, tuple):
+            return to_python(child)
+        return _leaf(child)
+    if label == "object":
+        members = {}
+        if len(children) == 3:
+            _collect_members(children[1], members)
+        return members
+    if label == "array":
+        elements = []
+        if len(children) == 3:
+            _collect_elements(children[1], elements)
+        return elements
+    raise ValueError("unexpected node {!r}".format(label))
+
+
+def _leaf(token_text):
+    if token_text == "true":
+        return True
+    if token_text == "false":
+        return False
+    if token_text == "null":
+        return None
+    if token_text.startswith('"'):
+        return token_text[1:-1]
+    return float(token_text) if any(ch in token_text for ch in ".eE") else int(token_text)
+
+
+def _collect_members(tree, out):
+    label, children = tree
+    pair = children[0]
+    _, pair_children = pair
+    key = _leaf(pair_children[0])
+    out[key] = to_python(pair_children[2])
+    if len(children) == 3:
+        _collect_members(children[2], out)
+
+
+def _collect_elements(tree, out):
+    label, children = tree
+    out.append(to_python(children[0]))
+    if len(children) == 3:
+        _collect_elements(children[2], out)
+
+
+def main() -> None:
+    text = '{"name": "derp", "year": 2016, "cubic": true, "factors": [951, 64.6, 25.2], "notes": null}'
+    lexer = build_json_lexer()
+    tokens = lexer.tokens(text)
+    print("tokens:", [str(tok) for tok in tokens][:12], "...")
+
+    parser = DerivativeParser(json_grammar())
+    tree = parser.parse(tokens)
+    decoded = to_python(tree)
+    print("decoded:", decoded)
+
+    # Cross-check against the standard library's decoder.
+    assert decoded == json.loads(text)
+    print("matches json.loads:", True)
+
+
+if __name__ == "__main__":
+    main()

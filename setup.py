@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+PEP 660 editable-wheel machinery (it falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

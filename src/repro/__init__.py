@@ -1,0 +1,83 @@
+"""repro — a reproduction of *On the Complexity and Performance of Parsing with
+Derivatives* (Adams, Hollenbeck & Might, PLDI 2016).
+
+The package provides:
+
+* :mod:`repro.core` — the improved parsing-with-derivatives parser (the
+  paper's contribution): cubic worst case, accelerated nullability fixed
+  points, inline compaction and single-entry memoization.
+* :mod:`repro.baseline` — the original 2011 algorithm, for comparison.
+* :mod:`repro.cfg` — a context-free-grammar substrate (productions, analyses,
+  BNF front end, conversion to parsing expressions).
+* :mod:`repro.earley` and :mod:`repro.glr` — the Earley and GLR baseline
+  parsers used by the paper's evaluation.
+* :mod:`repro.regex` and :mod:`repro.lexer` — Brzozowski regular-expression
+  derivatives and a derivative-based lexer.
+* :mod:`repro.grammars`, :mod:`repro.workloads`, :mod:`repro.bench`,
+  :mod:`repro.analysis` — evaluation grammars, workload generators, the
+  benchmark harness and complexity-analysis tools.
+
+Quickstart::
+
+    from repro import DerivativeParser, Ref, token, epsilon
+
+    expr = Ref("expr")
+    expr.set((expr + token("+") + expr) | token("x"))
+    parser = DerivativeParser(expr)
+    assert parser.recognize(list("x+x+x"))
+"""
+
+from .core import (
+    EMPTY,
+    Alt,
+    Cat,
+    CompactionConfig,
+    DerivativeParser,
+    Empty,
+    Epsilon,
+    GrammarError,
+    Language,
+    Metrics,
+    ParseError,
+    Reduce,
+    Ref,
+    ReproError,
+    Token,
+    any_token,
+    count_trees,
+    epsilon,
+    first_tree,
+    iter_trees,
+    parse,
+    recognize,
+    token,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DerivativeParser",
+    "parse",
+    "recognize",
+    "CompactionConfig",
+    "Metrics",
+    "Language",
+    "Empty",
+    "Epsilon",
+    "Token",
+    "Alt",
+    "Cat",
+    "Reduce",
+    "Ref",
+    "EMPTY",
+    "epsilon",
+    "token",
+    "any_token",
+    "iter_trees",
+    "count_trees",
+    "first_tree",
+    "ReproError",
+    "GrammarError",
+    "ParseError",
+]

@@ -1,0 +1,15 @@
+"""Complexity-analysis helpers (growth exponents, cubic-bound audits)."""
+
+from .complexity import (
+    GrowthSummary,
+    growth_exponent,
+    summarize_series,
+    within_cubic_bound,
+)
+
+__all__ = [
+    "growth_exponent",
+    "within_cubic_bound",
+    "GrowthSummary",
+    "summarize_series",
+]

@@ -1,0 +1,99 @@
+"""Empirical complexity analysis: growth exponents and bound checks.
+
+Section 3 of the paper proves the number of grammar nodes constructed during
+parsing — and therefore the total running time — is O(G·n³), while Section 4.1
+observes that behaviour on real inputs is close to linear.  These helpers turn
+measured series (input size → node count or time) into the quantities those
+claims are about:
+
+* :func:`growth_exponent` fits ``value ≈ c · n^k`` by least squares on the
+  log-log series and returns ``k``,
+* :func:`within_cubic_bound` checks a node-count series against the explicit
+  ``G·(n+1)²·(n+2)`` bound used by the Theorem 8 audit,
+* :func:`summarize_series` packages both for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["growth_exponent", "within_cubic_bound", "GrowthSummary", "summarize_series"]
+
+
+def growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of ``log(value)`` against ``log(size)``.
+
+    An exponent near 1 indicates linear growth, near 3 cubic growth.  Points
+    with non-positive coordinates are skipped (they carry no information about
+    polynomial growth).
+    """
+    points: List[Tuple[float, float]] = [
+        (math.log(size), math.log(value))
+        for size, value in zip(sizes, values)
+        if size > 0 and value > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive points to fit a growth exponent")
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, y in points)
+    if denominator == 0:
+        raise ValueError("all sizes are equal; growth exponent is undefined")
+    return numerator / denominator
+
+
+def within_cubic_bound(
+    grammar_size: int,
+    sizes: Sequence[int],
+    node_counts: Sequence[int],
+    slack: float = 1.0,
+) -> bool:
+    """True when every measured node count respects ``slack · G·(n+1)²·(n+2)``.
+
+    Theorem 8 bounds the number of *distinct node names* — equivalently, the
+    number of distinct memoized derivative results.  An implementation's raw
+    node-construction counter additionally includes a bounded number of
+    bookkeeping nodes per derivative (discarded placeholders, the ``δ``
+    null-parse factor and its concatenation), so callers comparing that
+    counter against the bound should pass a small constant ``slack`` factor;
+    the audit of the bound proper (distinct names) lives in
+    :class:`repro.core.naming.NamingScheme`.
+    """
+    for size, count in zip(sizes, node_counts):
+        bound = slack * grammar_size * (size + 1) * (size + 1) * (size + 2)
+        if count > bound:
+            return False
+    return True
+
+
+@dataclass
+class GrowthSummary:
+    """A fitted growth exponent plus the data it was fitted from."""
+
+    sizes: Tuple[int, ...]
+    values: Tuple[float, ...]
+    exponent: float
+
+    @property
+    def looks_linear(self) -> bool:
+        """Exponent ≤ 1.35 — the paper's "linear in practice" observation."""
+        return self.exponent <= 1.35
+
+    @property
+    def looks_subcubic(self) -> bool:
+        """Exponent ≤ 3.2 (small slack over the proven cubic bound)."""
+        return self.exponent <= 3.2
+
+    def __str__(self) -> str:
+        pairs = ", ".join(
+            "{}→{:.0f}".format(size, value) for size, value in zip(self.sizes, self.values)
+        )
+        return "growth exponent {:.2f} over [{}]".format(self.exponent, pairs)
+
+
+def summarize_series(sizes: Sequence[int], values: Sequence[float]) -> GrowthSummary:
+    """Fit and package a growth exponent for a measured series."""
+    return GrowthSummary(tuple(sizes), tuple(values), growth_exponent(sizes, values))

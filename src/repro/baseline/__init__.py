@@ -1,0 +1,5 @@
+"""Baseline: the original 2011 parsing-with-derivatives implementation."""
+
+from .original import NaiveNullability, OriginalParser
+
+__all__ = ["OriginalParser", "NaiveNullability"]

@@ -1,0 +1,331 @@
+"""The original 2011 parsing-with-derivatives algorithm (Might et al.).
+
+This module reproduces, as faithfully as practical in Python, the algorithm
+whose performance problems the PLDI 2016 paper diagnoses (Section 2.6 and
+Section 4).  It differs from :class:`repro.core.parse.DerivativeParser` in
+exactly the three ways the paper's improvements address:
+
+1. **Naive nullability fixed point** (Section 4.2's "before" state): every
+   ``nullable?`` query re-traverses all nodes reachable from the queried node,
+   re-evaluating each one, and repeats the traversal until no value changes —
+   quadratic in the number of nodes, and nothing is remembered between
+   queries.
+2. **Compaction as a separate pass** (Section 4.3.3's "before" state): instead
+   of compacting nodes as they are constructed, a full rewrite pass using the
+   original 2011 rule set runs over the derived grammar after each token
+   (and can be disabled entirely, matching the "without compaction"
+   configuration whose two-seconds-for-31-lines behaviour the paper quotes).
+3. **Nested hash-table memoization** (Section 4.4's "before" state): the
+   ``derive`` memo is a global dictionary of per-node dictionaries keyed by
+   token.
+
+The grammar representation (``repro.core.languages`` nodes) and the parse
+forest machinery are shared with the improved implementation so that the
+comparison isolates the algorithmic differences, exactly as the paper's
+evaluation does by writing both parsers in Racket.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.compaction import CompactionConfig, Compactor, optimize_initial_grammar
+from ..core.errors import GrammarError, ParseError
+from ..core.forest import (
+    FOREST_EMPTY,
+    ForestAmb,
+    ForestLeaf,
+    ForestMap,
+    ForestNode,
+    ForestPair,
+    ForestRef,
+    first_tree,
+    iter_trees,
+)
+from ..core.languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+    graph_size,
+    reachable_nodes,
+    token_value,
+)
+from ..core.metrics import Metrics
+from ..core.parse import DEFAULT_RECURSION_LIMIT, validate_grammar
+
+__all__ = ["OriginalParser", "NaiveNullability"]
+
+
+class NaiveNullability:
+    """The quadratic, re-traversing nullability computation of Might et al. (2011).
+
+    Each call recomputes nullability for every node reachable from ``root``:
+    all nodes start as "not nullable", every node is re-evaluated in turn, and
+    the whole sweep repeats whenever any node's value changed.  Nothing is
+    cached between calls — this is precisely the behaviour the improved
+    implementation's Figure 7 measurement is compared against.
+    """
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    def nullable(self, root: Language) -> bool:
+        nodes = reachable_nodes(root)
+        values: Dict[int, bool] = {id(node): False for node in nodes}
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                self.metrics.nullable_calls += 1
+                new_value = self._evaluate(node, values)
+                if new_value and not values[id(node)]:
+                    values[id(node)] = True
+                    changed = True
+        return values[id(root)]
+
+    def _evaluate(self, node: Language, values: Dict[int, bool]) -> bool:
+        if isinstance(node, Epsilon):
+            return True
+        if isinstance(node, (Empty, Token)):
+            return False
+        if isinstance(node, Alt):
+            return self._value(node.left, values) or self._value(node.right, values)
+        if isinstance(node, Cat):
+            return self._value(node.left, values) and self._value(node.right, values)
+        if isinstance(node, (Reduce, Delta)):
+            return self._value(node.lang, values)
+        if isinstance(node, Ref):
+            return self._value(node.target, values)
+        raise GrammarError("cannot compute nullability of {!r}".format(node))
+
+    @staticmethod
+    def _value(child: Optional[Language], values: Dict[int, bool]) -> bool:
+        if child is None:
+            raise GrammarError("nullability of an incomplete node")
+        return values.get(id(child), False)
+
+
+class OriginalParser:
+    """Parsing with derivatives as implemented by Might, Darais & Spiewak (2011)."""
+
+    def __init__(
+        self,
+        grammar: Union[Language, Any],
+        compaction: bool = True,
+        metrics: Optional[Metrics] = None,
+        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
+    ) -> None:
+        if hasattr(grammar, "to_language"):
+            grammar = grammar.to_language()
+        if not isinstance(grammar, Language):
+            raise GrammarError(
+                "expected a Language node or an object with to_language(); got {!r}".format(
+                    type(grammar)
+                )
+            )
+        validate_grammar(grammar)
+        if recursion_limit and sys.getrecursionlimit() < recursion_limit:
+            sys.setrecursionlimit(recursion_limit)
+
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.compaction_enabled = compaction
+        self.nullability = NaiveNullability(self.metrics)
+        # The compactor is configured with exactly the 2011 rule set and is
+        # used only by the between-token compaction pass, never inline.
+        self._pass_compactor = Compactor(CompactionConfig.original_2011(), self.metrics)
+        self.root = grammar
+        # Nested hash tables: node -> {token -> derivative}.
+        self._memo: Dict[Language, Dict[Any, Language]] = {}
+        self._null_parse_memo: Dict[int, ForestNode] = {}
+
+    # ------------------------------------------------------------------ API
+    def reset(self) -> None:
+        """Clear the memoization tables (done before each benchmarked parse)."""
+        self._memo = {}
+        self._null_parse_memo = {}
+
+    def grammar_size(self) -> int:
+        """Number of nodes in the initial grammar."""
+        return graph_size(self.root)
+
+    def recognize(self, tokens: Iterable[Any]) -> bool:
+        """True when the token sequence is in the grammar's language."""
+        language = self._derive_sequence(tokens)
+        if language is EMPTY or isinstance(language, Empty):
+            return False
+        return self.nullability.nullable(language)
+
+    def parse_forest(self, tokens: Sequence[Any]) -> ForestNode:
+        """Parse and return a shared forest with ambiguity nodes."""
+        language = self._derive_sequence(tokens)
+        if (
+            language is EMPTY
+            or isinstance(language, Empty)
+            or not self.nullability.nullable(language)
+        ):
+            raise ParseError("parse failed", position=len(tokens), tokens=tokens)
+        self._null_parse_memo = {}
+        return self._parse_null(language)
+
+    def parse(self, tokens: Sequence[Any]) -> Any:
+        """Parse and return one tree."""
+        forest = self.parse_forest(tokens)
+        try:
+            return first_tree(forest)
+        except ValueError:
+            raise ParseError("no finite parse tree", position=len(tokens)) from None
+
+    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
+        """Parse and return up to ``limit`` trees."""
+        return list(iter_trees(self.parse_forest(tokens), limit=limit))
+
+    def derive_all(self, tokens: Iterable[Any]) -> Language:
+        """Derive the grammar by every token (exposed for the benchmarks)."""
+        return self._derive_sequence(tokens)
+
+    # --------------------------------------------------------------- driving
+    def _derive_sequence(self, tokens: Iterable[Any]) -> Language:
+        language = self.root
+        for tok in tokens:
+            language = self.derive(language, tok)
+            self.metrics.tokens_consumed += 1
+            if self.compaction_enabled:
+                language = self._compaction_pass(language)
+            if language is EMPTY or isinstance(language, Empty):
+                return EMPTY
+        return language
+
+    def _compaction_pass(self, language: Language) -> Language:
+        """The separate between-token compaction traversal of the 2011 parser."""
+        return optimize_initial_grammar(language, self._pass_compactor, max_passes=1)
+
+    # ------------------------------------------------------------ derivative
+    def derive(self, node: Language, token: Any) -> Language:
+        """Memoized derivative with laziness-by-placeholder, no inline compaction."""
+        self.metrics.derive_calls += 1
+        inner = self._memo.get(node)
+        if inner is not None and token in inner:
+            self.metrics.derive_cache_hits += 1
+            return inner[token]
+        self.metrics.derive_uncached += 1
+
+        if isinstance(node, (Empty, Epsilon, Delta)):
+            return self._memoize(node, token, EMPTY)
+
+        if isinstance(node, Token):
+            if node.matches(token):
+                result: Language = Epsilon((token_value(token),))
+                self.metrics.nodes_created += 1
+            else:
+                result = EMPTY
+            return self._memoize(node, token, result)
+
+        if isinstance(node, Alt):
+            placeholder = Alt(None, None)
+            self.metrics.nodes_created += 1
+            self._memoize(node, token, placeholder)
+            placeholder.left = self.derive(node.left, token)
+            placeholder.right = self.derive(node.right, token)
+            return placeholder
+
+        if isinstance(node, Cat):
+            if not self.nullability.nullable(node.left):
+                placeholder = Cat(None, node.right)
+                self.metrics.nodes_created += 1
+                self._memoize(node, token, placeholder)
+                placeholder.left = self.derive(node.left, token)
+                return placeholder
+            placeholder = Alt(None, None)
+            self.metrics.nodes_created += 1
+            self._memoize(node, token, placeholder)
+            left_cat = Cat(None, node.right)
+            self.metrics.nodes_created += 1
+            left_cat.left = self.derive(node.left, token)
+            delta_cat = Cat(Delta(node.left), None)
+            self.metrics.nodes_created += 2
+            delta_cat.right = self.derive(node.right, token)
+            placeholder.left = left_cat
+            placeholder.right = delta_cat
+            return placeholder
+
+        if isinstance(node, Reduce):
+            placeholder = Reduce(None, node.fn)
+            self.metrics.nodes_created += 1
+            self._memoize(node, token, placeholder)
+            placeholder.lang = self.derive(node.lang, token)
+            return placeholder
+
+        if isinstance(node, Ref):
+            if node.target is None:
+                raise GrammarError("unresolved non-terminal <{}>".format(node.ref_name))
+            placeholder = Ref(node.ref_name, None)
+            self.metrics.nodes_created += 1
+            self._memoize(node, token, placeholder)
+            placeholder.target = self.derive(node.target, token)
+            return placeholder
+
+        raise GrammarError("cannot derive unknown node type: {!r}".format(node))
+
+    def _memoize(self, node: Language, token: Any, result: Language) -> Language:
+        inner = self._memo.get(node)
+        if inner is None:
+            inner = {}
+            self._memo[node] = inner
+        inner[token] = result
+        return result
+
+    def memo_entry_distribution(self) -> Dict[int, int]:
+        """entries-per-node histogram of the nested memo tables (Figure 10)."""
+        distribution: Dict[int, int] = {}
+        for inner in self._memo.values():
+            if not inner:
+                continue
+            size = len(inner)
+            distribution[size] = distribution.get(size, 0) + 1
+        return distribution
+
+    # ------------------------------------------------------------ parse-null
+    def _parse_null(self, node: Language) -> ForestNode:
+        cached = self._null_parse_memo.get(id(node))
+        if cached is not None:
+            return cached
+        self.metrics.parse_null_calls += 1
+
+        if isinstance(node, (Empty, Token)):
+            result: ForestNode = FOREST_EMPTY
+            self._null_parse_memo[id(node)] = result
+            return result
+        if isinstance(node, Epsilon):
+            result = ForestLeaf(node.trees)
+            self._null_parse_memo[id(node)] = result
+            return result
+        if not self.nullability.nullable(node):
+            result = FOREST_EMPTY
+            self._null_parse_memo[id(node)] = result
+            return result
+
+        placeholder = ForestRef()
+        self._null_parse_memo[id(node)] = placeholder
+        if isinstance(node, Alt):
+            result = ForestAmb([self._parse_null(node.left), self._parse_null(node.right)])
+        elif isinstance(node, Cat):
+            result = ForestPair(self._parse_null(node.left), self._parse_null(node.right))
+        elif isinstance(node, Reduce):
+            result = ForestMap(node.fn, self._parse_null(node.lang))
+        elif isinstance(node, Delta):
+            result = self._parse_null(node.lang)
+        elif isinstance(node, Ref):
+            result = self._parse_null(node.target)
+        else:  # pragma: no cover - defensive
+            raise GrammarError("cannot parse-null {!r}".format(node))
+        placeholder.target = result
+        self._null_parse_memo[id(node)] = result
+        return result

@@ -1,0 +1,49 @@
+"""Benchmark harness: timing helpers and per-figure runners."""
+
+from .harness import (
+    Measurement,
+    Series,
+    format_table,
+    geometric_mean,
+    speedup,
+    time_call,
+)
+from .workbench import (
+    DEFAULT_SIZES,
+    ORIGINAL_SIZES,
+    compaction_ablation,
+    complexity_node_counts,
+    fig06_parser_comparison,
+    fig07_nullable_calls,
+    fig10_memo_entries,
+    fig11_uncached_derive,
+    fig12_single_entry_speedup,
+    naming_audit_rows,
+    nullability_ablation,
+    python_workload,
+    speedup_summary_table,
+    tiny_python_workload,
+)
+
+__all__ = [
+    "time_call",
+    "Measurement",
+    "Series",
+    "format_table",
+    "geometric_mean",
+    "speedup",
+    "python_workload",
+    "tiny_python_workload",
+    "fig06_parser_comparison",
+    "fig07_nullable_calls",
+    "fig10_memo_entries",
+    "fig11_uncached_derive",
+    "fig12_single_entry_speedup",
+    "speedup_summary_table",
+    "compaction_ablation",
+    "nullability_ablation",
+    "complexity_node_counts",
+    "naming_audit_rows",
+    "DEFAULT_SIZES",
+    "ORIGINAL_SIZES",
+]

@@ -1,0 +1,119 @@
+"""Timing and reporting helpers shared by the benchmark suite.
+
+The paper's evaluation normalizes everything to *seconds per token parsed*
+(Figure 6) and reports relative factors (951× vs the original implementation,
+64.6× vs parser-tools, 25.2× slower than Bison, 2.04× from single-entry
+memoization).  This module provides the small amount of machinery needed to
+produce those numbers reproducibly:
+
+* :func:`time_call` — median-of-N wall-clock timing of a callable,
+* :class:`Measurement` / :class:`Series` — one parser's seconds-per-token
+  across input sizes,
+* :func:`format_table` — fixed-width tables printed by every benchmark so the
+  regenerated "figure" appears directly in the pytest output,
+* :func:`geometric_mean` — the averaging used for the headline factors.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "time_call",
+    "Measurement",
+    "Series",
+    "format_table",
+    "geometric_mean",
+    "speedup",
+]
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    samples: List[float] = []
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@dataclass
+class Measurement:
+    """One (parser, input size) timing."""
+
+    label: str
+    tokens: int
+    seconds: float
+
+    @property
+    def seconds_per_token(self) -> float:
+        return self.seconds / self.tokens if self.tokens else float("nan")
+
+
+@dataclass
+class Series:
+    """All measurements for one parser across input sizes."""
+
+    label: str
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def add(self, tokens: int, seconds: float) -> None:
+        self.measurements.append(Measurement(self.label, tokens, seconds))
+
+    def seconds_per_token(self) -> List[float]:
+        return [m.seconds_per_token for m in self.measurements]
+
+    def mean_seconds_per_token(self) -> float:
+        values = self.seconds_per_token()
+        return sum(values) / len(values) if values else float("nan")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for headline speedup factors)."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        return float("nan")
+    return baseline / improved
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table (the benchmarks print these)."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return "{:.3e}".format(cell)
+        return "{:.4f}".format(cell)
+    return str(cell)

@@ -1,0 +1,34 @@
+"""Context-free grammar substrate: productions, analyses, BNF front end."""
+
+from .analyses import (
+    first_of_sequence,
+    first_sets,
+    follow_sets,
+    nullable_nonterminals,
+    sequence_is_nullable,
+)
+from .bnf import load_grammar, parse_bnf
+from .grammar import (
+    END_OF_INPUT,
+    BuildNode,
+    Grammar,
+    Nonterminal,
+    Production,
+    grammar_from_rules,
+)
+
+__all__ = [
+    "Grammar",
+    "Production",
+    "Nonterminal",
+    "BuildNode",
+    "grammar_from_rules",
+    "END_OF_INPUT",
+    "parse_bnf",
+    "load_grammar",
+    "nullable_nonterminals",
+    "first_sets",
+    "follow_sets",
+    "first_of_sequence",
+    "sequence_is_nullable",
+]

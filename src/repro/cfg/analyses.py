@@ -1,0 +1,113 @@
+"""Classical grammar analyses: nullable non-terminals, FIRST and FOLLOW sets.
+
+These are the standard fixed-point computations from compiler textbooks.  They
+serve two purposes in the reproduction:
+
+* the SLR(1) table construction in :mod:`repro.glr` needs FOLLOW sets, and
+* the tests cross-check the derivative parser's nullability analysis against
+  the classical nullable-non-terminal computation on the same grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from .grammar import END_OF_INPUT, Grammar, Nonterminal
+
+__all__ = [
+    "nullable_nonterminals",
+    "first_sets",
+    "follow_sets",
+    "first_of_sequence",
+    "sequence_is_nullable",
+]
+
+
+def nullable_nonterminals(grammar: Grammar) -> Set[str]:
+    """The set of non-terminals that can derive the empty string."""
+    nullable: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in nullable:
+                continue
+            if all(
+                isinstance(symbol, Nonterminal) and symbol.name in nullable
+                for symbol in production.rhs
+            ):
+                nullable.add(production.lhs)
+                changed = True
+    return nullable
+
+
+def first_sets(grammar: Grammar) -> Dict[str, Set[Any]]:
+    """FIRST sets for every non-terminal (terminals that can begin a derivation)."""
+    nullable = nullable_nonterminals(grammar)
+    first: Dict[str, Set[Any]] = {name: set() for name in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            target = first[production.lhs]
+            before = len(target)
+            for symbol in production.rhs:
+                if isinstance(symbol, Nonterminal):
+                    target.update(first[symbol.name])
+                    if symbol.name not in nullable:
+                        break
+                else:
+                    target.add(symbol)
+                    break
+            if len(target) != before:
+                changed = True
+    return first
+
+
+def sequence_is_nullable(symbols: Sequence[Any], nullable: Set[str]) -> bool:
+    """True when every symbol of ``symbols`` can derive the empty string."""
+    return all(
+        isinstance(symbol, Nonterminal) and symbol.name in nullable for symbol in symbols
+    )
+
+
+def first_of_sequence(
+    symbols: Sequence[Any],
+    first: Dict[str, Set[Any]],
+    nullable: Set[str],
+) -> Set[Any]:
+    """FIRST of a sentential-form suffix (used by FOLLOW and by LALR lookaheads)."""
+    result: Set[Any] = set()
+    for symbol in symbols:
+        if isinstance(symbol, Nonterminal):
+            result.update(first[symbol.name])
+            if symbol.name not in nullable:
+                return result
+        else:
+            result.add(symbol)
+            return result
+    return result
+
+
+def follow_sets(grammar: Grammar) -> Dict[str, Set[Any]]:
+    """FOLLOW sets for every non-terminal, with ``$end`` after the start symbol."""
+    nullable = nullable_nonterminals(grammar)
+    first = first_sets(grammar)
+    follow: Dict[str, Set[Any]] = {name: set() for name in grammar.nonterminals}
+    follow[grammar.start].add(END_OF_INPUT)
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            for position, symbol in enumerate(production.rhs):
+                if not isinstance(symbol, Nonterminal):
+                    continue
+                target = follow[symbol.name]
+                before = len(target)
+                suffix = production.rhs[position + 1 :]
+                target.update(first_of_sequence(suffix, first, nullable))
+                if sequence_is_nullable(suffix, nullable):
+                    target.update(follow[production.lhs])
+                if len(target) != before:
+                    changed = True
+    return follow

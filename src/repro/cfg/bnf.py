@@ -1,0 +1,144 @@
+"""A small BNF/EBNF front end for writing grammars as text.
+
+The reproduction's evaluation grammars are defined programmatically, but a
+text front end makes the library usable the way Bison or ``parser-tools`` is
+used: write the grammar down, load it, parse.  The accepted syntax:
+
+.. code-block:: text
+
+    # comments run to end of line
+    expr   : expr '+' term | term ;
+    term   : term '*' factor | factor ;
+    factor : '(' expr ')' | NUMBER ;
+
+* Rules are ``name : alternatives ;`` (``->`` and ``::=`` also accepted, the
+  terminating ``;`` is optional at end of line).
+* Alternatives are separated by ``|``; an empty alternative (or the keyword
+  ``%empty`` / ``ε``) is an epsilon production.
+* Quoted symbols (``'+'`` or ``"+"``) are terminals; bare names are
+  non-terminals when they appear on some left-hand side and terminal token
+  kinds otherwise (the convention used by most parser generators for token
+  names such as ``NUMBER``).
+
+The first rule's left-hand side is the start symbol unless ``start`` is given.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from ..core.errors import GrammarError
+from .grammar import Grammar
+
+__all__ = ["parse_bnf", "load_grammar"]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<arrow>->|::=|:)
+  | (?P<pipe>\|)
+  | (?P<semi>;)
+  | (?P<empty>%empty|ε)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9.\-]*)
+  | (?P<newline>\n)
+  | (?P<space>[ \t\r]+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind in ("comment", "space", "newline"):
+            continue
+        if kind == "error":
+            raise GrammarError("unexpected character {!r} in grammar text".format(value))
+        tokens.append((kind, value))
+    return tokens
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_bnf(text: str, start: Optional[str] = None) -> Grammar:
+    """Parse BNF text into a :class:`~repro.cfg.grammar.Grammar`."""
+    tokens = _tokenize(text)
+    rules: List[Tuple[str, List[List[Any]]]] = []
+    position = 0
+
+    def peek(offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = position + offset
+        return tokens[index] if index < len(tokens) else None
+
+    while position < len(tokens):
+        kind, value = tokens[position]
+        if kind != "name":
+            raise GrammarError(
+                "expected a rule name, found {!r}".format(value)
+            )
+        lhs = value
+        position += 1
+        if position >= len(tokens) or tokens[position][0] != "arrow":
+            raise GrammarError("expected ':' or '->' after rule name {!r}".format(lhs))
+        position += 1
+
+        alternatives: List[List[Any]] = []
+        current: List[Any] = []
+        saw_empty = False
+        trailing_pipe = False
+        while position < len(tokens):
+            kind, value = tokens[position]
+            if kind == "semi":
+                position += 1
+                break
+            if kind == "name" and peek(1) is not None and peek(1)[0] == "arrow":
+                # The next rule begins; the current one had no terminating ';'.
+                break
+            if kind == "pipe":
+                alternatives.append(current)
+                current = []
+                saw_empty = False
+                trailing_pipe = True
+                position += 1
+                continue
+            trailing_pipe = False
+            if kind == "empty":
+                saw_empty = True
+                position += 1
+                continue
+            if kind == "string":
+                current.append(_unquote(value))
+                position += 1
+                continue
+            if kind == "name":
+                current.append(value)
+                position += 1
+                continue
+            raise GrammarError("unexpected {!r} in rule {!r}".format(value, lhs))
+        if current or saw_empty or trailing_pipe or not alternatives:
+            alternatives.append(current)
+        rules.append((lhs, alternatives))
+
+    if not rules:
+        raise GrammarError("the grammar text contains no rules")
+
+    productions: List[Tuple[str, tuple]] = []
+    for lhs, alternatives in rules:
+        for alternative in alternatives:
+            productions.append((lhs, tuple(alternative)))
+    return Grammar(start if start is not None else rules[0][0], productions)
+
+
+def load_grammar(path: str, start: Optional[str] = None) -> Grammar:
+    """Read a BNF grammar from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_bnf(handle.read(), start=start)

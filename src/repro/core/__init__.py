@@ -1,0 +1,161 @@
+"""Core parsing-with-derivatives implementation (the paper's contribution).
+
+The public surface re-exported here is what most users need:
+
+* grammar construction: :class:`Ref`, :func:`token`, :func:`any_token`,
+  :func:`epsilon`, :data:`EMPTY`, plus the node classes themselves,
+* parsing: :class:`DerivativeParser`, :func:`parse`, :func:`recognize`,
+* forests: :func:`iter_trees`, :func:`count_trees`, :func:`first_tree`,
+* configuration: :class:`CompactionConfig`, memoization strategy names,
+* instrumentation: :class:`Metrics`, :class:`NamingScheme`.
+"""
+
+from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
+from .derivative import Deriver
+from .errors import GrammarError, LexError, ParseError, ReproError
+from .forest import (
+    FOREST_EMPTY,
+    ForestAmb,
+    ForestEmpty,
+    ForestLeaf,
+    ForestMap,
+    ForestNode,
+    ForestPair,
+    ForestRef,
+    count_trees,
+    first_tree,
+    is_empty_forest,
+    iter_trees,
+)
+from .languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+    any_token,
+    as_language,
+    epsilon,
+    graph_size,
+    reachable_nodes,
+    token,
+    token_kind,
+    token_value,
+)
+from .memo import (
+    MEMO_STRATEGIES,
+    DeriveMemo,
+    NestedDictMemo,
+    PerNodeDictMemo,
+    SingleEntryMemo,
+    make_memo,
+    single_entry_fraction,
+)
+from .metrics import Metrics, MetricsSnapshot
+from .naming import NamingAuditResult, NamingScheme, NodeName
+from .nullability import DEFINITELY_NOT_NULLABLE, NULLABLE, NullabilityAnalyzer
+from .productivity import ProductivityAnalyzer
+from .parse import (
+    DEFAULT_RECURSION_LIMIT,
+    DerivativeParser,
+    parse,
+    recognize,
+    validate_grammar,
+)
+from .reductions import (
+    IDENTITY,
+    Compose,
+    Constant,
+    Identity,
+    MapFirst,
+    MapSecond,
+    PairLeft,
+    PairRight,
+    ReassocToLeft,
+    compose,
+)
+
+__all__ = [
+    # languages
+    "Language",
+    "Empty",
+    "Epsilon",
+    "Token",
+    "Alt",
+    "Cat",
+    "Reduce",
+    "Delta",
+    "Ref",
+    "EMPTY",
+    "epsilon",
+    "token",
+    "any_token",
+    "as_language",
+    "token_kind",
+    "token_value",
+    "reachable_nodes",
+    "graph_size",
+    # parsing
+    "DerivativeParser",
+    "parse",
+    "recognize",
+    "validate_grammar",
+    "Deriver",
+    "DEFAULT_RECURSION_LIMIT",
+    # forests
+    "ForestNode",
+    "ForestEmpty",
+    "ForestLeaf",
+    "ForestPair",
+    "ForestMap",
+    "ForestAmb",
+    "ForestRef",
+    "FOREST_EMPTY",
+    "iter_trees",
+    "count_trees",
+    "first_tree",
+    "is_empty_forest",
+    # configuration
+    "CompactionConfig",
+    "Compactor",
+    "optimize_initial_grammar",
+    "DeriveMemo",
+    "SingleEntryMemo",
+    "PerNodeDictMemo",
+    "NestedDictMemo",
+    "make_memo",
+    "MEMO_STRATEGIES",
+    "single_entry_fraction",
+    # nullability
+    "NullabilityAnalyzer",
+    "NULLABLE",
+    "DEFINITELY_NOT_NULLABLE",
+    "ProductivityAnalyzer",
+    # instrumentation
+    "Metrics",
+    "MetricsSnapshot",
+    "NamingScheme",
+    "NodeName",
+    "NamingAuditResult",
+    # reductions
+    "Identity",
+    "IDENTITY",
+    "Compose",
+    "Constant",
+    "PairLeft",
+    "PairRight",
+    "MapFirst",
+    "MapSecond",
+    "ReassocToLeft",
+    "compose",
+    # errors
+    "ReproError",
+    "GrammarError",
+    "ParseError",
+    "LexError",
+]

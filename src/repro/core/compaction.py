@@ -1,0 +1,439 @@
+"""Compaction: smart constructors that simplify grammars as they are built.
+
+Section 4.3 of the paper improves the *compaction* process of Might et al.
+(2011) in three ways, all of which are implemented here:
+
+1. The original reduction rules are kept, two overlooked rules are added
+   (``∅ ↪→ f ⇒ ∅`` and ``ε_s1 ∪ ε_s2 ⇒ ε_{s1 ∪ s2}``), and one redundant
+   rule is dropped.
+2. Rules that inspect the *right*-hand child of a sequence node are applied
+   only to the initial grammar (Section 4.3.1, Theorem 10), because
+   derivatives never change the right child of a sequence.
+3. Chains of sequence nodes are canonicalized to be right-associated and
+   reduction nodes are floated above sequences (Section 4.3.2) so that
+   ``derive`` traverses O(1) nodes per sequence chain instead of O(length).
+4. Compaction happens *inline*, at node-construction time, instead of as a
+   separate pass between derivatives (Section 4.3.3).  When the structure of
+   a child is not yet known — the child is a partially-constructed node that
+   is part of a cycle — the smart constructor simply punts and builds the
+   uncompacted form.
+
+The :class:`Compactor` exposes one ``make_*`` method per grammar form; every
+rule can be switched off individually through :class:`CompactionConfig` so
+the ablation benchmarks can measure the contribution of each group of rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from .languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    reachable_nodes,
+)
+from .metrics import Metrics
+from .reductions import (
+    IDENTITY,
+    Identity,
+    MapFirst,
+    MapSecond,
+    PairLeft,
+    PairRight,
+    ReassocToLeft,
+    compose,
+)
+
+__all__ = ["CompactionConfig", "Compactor", "optimize_initial_grammar"]
+
+
+@dataclass
+class CompactionConfig:
+    """Feature switches for the compaction rules.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  When False the smart constructors degenerate to the
+        plain node constructors (the paper's "without compaction" setting,
+        reported in Section 2.6 to be ~90× slower).
+    null_rules:
+        ``∅ ∪ p ⇒ p``, ``p ∪ ∅ ⇒ p`` and ``∅ ◦ p ⇒ ∅`` (original rules).
+    epsilon_rules:
+        ``ε_s ◦ p ⇒ p ↪→ λu.(s,u)`` and ``ε_s ↪→ f ⇒ ε_{f(s)}`` (original).
+    reduction_fusion:
+        ``(p ↪→ f) ↪→ g ⇒ p ↪→ (g ∘ f)`` (original rule).
+    new_rules:
+        The two rules added by this paper: ``∅ ↪→ f ⇒ ∅`` and
+        ``ε_s1 ∪ ε_s2 ⇒ ε_{s1∪s2}``.
+    canonicalize_sequences:
+        The Section 4.3.2 associativity rule ``(p1 ◦ p2) ◦ p3 ⇒ ...``.
+    float_reductions:
+        The Section 4.3.2 rule ``(p1 ↪→ f) ◦ p2 ⇒ (p1 ◦ p2) ↪→ ...``.
+    """
+
+    enabled: bool = True
+    null_rules: bool = True
+    epsilon_rules: bool = True
+    reduction_fusion: bool = True
+    new_rules: bool = True
+    canonicalize_sequences: bool = True
+    float_reductions: bool = True
+
+    @classmethod
+    def disabled(cls) -> "CompactionConfig":
+        """Compaction completely off (original parser without compaction)."""
+        return cls(
+            enabled=False,
+            null_rules=False,
+            epsilon_rules=False,
+            reduction_fusion=False,
+            new_rules=False,
+            canonicalize_sequences=False,
+            float_reductions=False,
+        )
+
+    @classmethod
+    def original_2011(cls) -> "CompactionConfig":
+        """Only the rules present in Might et al. (2011)."""
+        return cls(
+            enabled=True,
+            null_rules=True,
+            epsilon_rules=True,
+            reduction_fusion=True,
+            new_rules=False,
+            canonicalize_sequences=False,
+            float_reductions=False,
+        )
+
+    @classmethod
+    def full(cls) -> "CompactionConfig":
+        """Every rule described in Section 4.3 (the improved parser default)."""
+        return cls()
+
+
+def _structure_known(node: Optional[Language]) -> bool:
+    """True when a node's children may safely be inspected by a rule.
+
+    Partially-constructed placeholder nodes (created by ``derive`` before
+    recurring, to break cycles) advertise ``under_construction``; inspecting
+    them "would result in a cycle" in the paper's words, so rules punt.
+    """
+    return node is not None and not node.under_construction
+
+
+class Compactor:
+    """Smart constructors implementing the reduction rules of Section 4.3."""
+
+    def __init__(
+        self,
+        config: Optional[CompactionConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.config = config if config is not None else CompactionConfig.full()
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    # ----------------------------------------------------------- primitives
+    def _count_node(self) -> None:
+        self.metrics.nodes_created += 1
+
+    def _count_rewrite(self) -> None:
+        self.metrics.compaction_rewrites += 1
+
+    def make_epsilon(self, trees: Iterable[Any]) -> Epsilon:
+        """Construct an ``ε`` node carrying ``trees``."""
+        self._count_node()
+        return Epsilon(trees)
+
+    # ------------------------------------------------------------------ alt
+    def make_alt(self, left: Language, right: Language) -> Language:
+        """Construct ``left ∪ right``, applying the union reduction rules."""
+        cfg = self.config
+        if cfg.enabled:
+            if cfg.null_rules:
+                if left is EMPTY or isinstance(left, Empty):
+                    self._count_rewrite()
+                    return right
+                if right is EMPTY or isinstance(right, Empty):
+                    self._count_rewrite()
+                    return left
+            if (
+                cfg.new_rules
+                and isinstance(left, Epsilon)
+                and isinstance(right, Epsilon)
+                and _structure_known(left)
+                and _structure_known(right)
+            ):
+                # ε_s1 ∪ ε_s2 ⇒ ε_{s1 ∪ s2} (one of the paper's added rules)
+                self._count_rewrite()
+                return self.make_epsilon(_merge_trees(left.trees, right.trees))
+        self._count_node()
+        return Alt(left, right)
+
+    # ------------------------------------------------------------------ cat
+    def make_cat(self, left: Language, right: Language) -> Language:
+        """Construct ``left ◦ right``, applying the sequence reduction rules.
+
+        Only rules that inspect the *left* child are applied here; the
+        right-child rules are restricted to the initial grammar
+        (:func:`optimize_initial_grammar`), per Section 4.3.1.
+        """
+        cfg = self.config
+        if cfg.enabled:
+            if cfg.null_rules and (left is EMPTY or isinstance(left, Empty)):
+                # ∅ ◦ p ⇒ ∅
+                self._count_rewrite()
+                return EMPTY
+            if cfg.epsilon_rules and isinstance(left, Epsilon) and _structure_known(left):
+                # ε_s ◦ p ⇒ p ↪→ λu.(s, u)
+                if len(left.trees) == 1:
+                    self._count_rewrite()
+                    return self.make_reduce(right, PairLeft(left.trees[0]))
+            if (
+                cfg.float_reductions
+                and isinstance(left, Reduce)
+                and _structure_known(left)
+                and left.lang is not None
+            ):
+                # (p1 ↪→ f) ◦ p2 ⇒ (p1 ◦ p2) ↪→ λ(t1,t2).(f(t1), t2)
+                self._count_rewrite()
+                return self.make_reduce(self.make_cat(left.lang, right), MapFirst(left.fn))
+            if (
+                cfg.canonicalize_sequences
+                and isinstance(left, Cat)
+                and _structure_known(left)
+                and left.left is not None
+                and left.right is not None
+            ):
+                # (p1 ◦ p2) ◦ p3 ⇒ (p1 ◦ (p2 ◦ p3)) ↪→ reassociate
+                self._count_rewrite()
+                inner = self.make_cat(left.right, right)
+                return self.make_reduce(self.make_cat(left.left, inner), ReassocToLeft())
+        self._count_node()
+        return Cat(left, right)
+
+    # --------------------------------------------------------------- reduce
+    def make_reduce(self, lang: Language, fn: Callable[[Any], Any]) -> Language:
+        """Construct ``lang ↪→ fn``, applying the reduction-node rules."""
+        cfg = self.config
+        if cfg.enabled:
+            if cfg.new_rules and (lang is EMPTY or isinstance(lang, Empty)):
+                # ∅ ↪→ f ⇒ ∅ (one of the paper's added rules)
+                self._count_rewrite()
+                return EMPTY
+            if cfg.epsilon_rules and isinstance(lang, Epsilon) and _structure_known(lang):
+                # ε_s ↪→ f ⇒ ε_{f(s)}
+                self._count_rewrite()
+                return self.make_epsilon(tuple(fn(tree) for tree in lang.trees))
+            if (
+                cfg.reduction_fusion
+                and isinstance(lang, Reduce)
+                and _structure_known(lang)
+                and lang.lang is not None
+            ):
+                # (p ↪→ f) ↪→ g ⇒ p ↪→ (g ∘ f)
+                self._count_rewrite()
+                return self.make_reduce(lang.lang, compose(fn, lang.fn))
+            if isinstance(fn, Identity):
+                return lang
+        self._count_node()
+        return Reduce(lang, fn)
+
+    # ---------------------------------------------------------------- delta
+    def make_delta(self, lang: Language) -> Language:
+        """Construct ``δ(lang)`` — the null-parse projection of ``lang``.
+
+        When the null parses of ``lang`` are already syntactically evident —
+        ``lang`` is an ``ε`` node, or itself a ``δ`` node — the existing node
+        is reused instead of wrapping it again.
+        """
+        cfg = self.config
+        if cfg.enabled:
+            if isinstance(lang, Epsilon) and _structure_known(lang):
+                self._count_rewrite()
+                return lang
+            if isinstance(lang, Delta) and _structure_known(lang):
+                self._count_rewrite()
+                return lang
+            if cfg.null_rules and (lang is EMPTY or isinstance(lang, Empty)):
+                self._count_rewrite()
+                return EMPTY
+        self._count_node()
+        return Delta(lang)
+
+    # ---------------------------------------------------------- raw builders
+    def raw_alt(self) -> Alt:
+        """Construct an empty (placeholder) ``∪`` node without compaction."""
+        self._count_node()
+        self.metrics.placeholders_created += 1
+        return Alt(None, None)
+
+    def raw_cat(self) -> Cat:
+        """Construct an empty (placeholder) ``◦`` node without compaction."""
+        self._count_node()
+        self.metrics.placeholders_created += 1
+        return Cat(None, None)
+
+    def raw_reduce(self, fn: Callable[[Any], Any]) -> Reduce:
+        """Construct a placeholder ``↪→`` node without compaction."""
+        self._count_node()
+        self.metrics.placeholders_created += 1
+        return Reduce(None, fn)
+
+    def raw_ref(self, ref_name: str) -> Ref:
+        """Construct a placeholder non-terminal reference without compaction."""
+        self._count_node()
+        self.metrics.placeholders_created += 1
+        return Ref(ref_name, None)
+
+
+def _merge_trees(left: tuple, right: tuple) -> tuple:
+    """Union two tree tuples, preserving order and dropping duplicates."""
+    merged = list(left)
+    for tree in right:
+        if not any(tree == existing for existing in merged):
+            merged.append(tree)
+    return tuple(merged)
+
+
+def optimize_initial_grammar(
+    root: Language,
+    compactor: Optional[Compactor] = None,
+    max_passes: int = 25,
+) -> Language:
+    """Apply every compaction rule — including right-child rules — to a grammar.
+
+    Section 4.3.1 proves (Theorem 10) that the forms ``p ◦ ε`` and ``p ◦ ∅``
+    cannot arise during parsing unless the initial grammar contains them, so
+    the rules rewriting them (and the right-hand reduction-floating rule of
+    Section 4.3.2) are applied once, here, before parsing starts.  This frees
+    ``derive`` from ever inspecting the right child of a sequence node.
+
+    The grammar graph may be cyclic, so the rewrite runs as a small fixpoint:
+    each pass examines every reachable node and replaces children whose local
+    structure matches a rule; passes repeat until nothing changes (or
+    ``max_passes`` is hit, which only happens for adversarial inputs).
+    """
+    compactor = compactor if compactor is not None else Compactor()
+    for _ in range(max_passes):
+        changed = False
+        cache: dict[int, Language] = {}
+        new_root = _rewrite_initial(root, compactor, cache)
+        if new_root is not root:
+            root = new_root
+            changed = True
+        for node in reachable_nodes(root):
+            if isinstance(node, (Alt, Cat)):
+                if node.left is not None:
+                    new_left = _rewrite_initial(node.left, compactor, cache)
+                    if new_left is not node.left:
+                        node.left = new_left
+                        changed = True
+                if node.right is not None:
+                    new_right = _rewrite_initial(node.right, compactor, cache)
+                    if new_right is not node.right:
+                        node.right = new_right
+                        changed = True
+            elif isinstance(node, Reduce):
+                if node.lang is not None:
+                    new_lang = _rewrite_initial(node.lang, compactor, cache)
+                    if new_lang is not node.lang:
+                        node.lang = new_lang
+                        changed = True
+            elif isinstance(node, Ref):
+                if node.target is not None:
+                    new_target = _rewrite_initial(node.target, compactor, cache)
+                    if new_target is not node.target:
+                        node.target = new_target
+                        changed = True
+        if not changed:
+            break
+    return root
+
+
+def _rewrite_initial(node: Language, compactor: Compactor, cache: dict[int, Language]) -> Language:
+    """Rewrite a single node using the full (initial-grammar) rule set.
+
+    Shared children are rewritten once per pass (``cache`` preserves sharing).
+    The function only constructs new nodes when a rule actually applies.
+    """
+    cached = cache.get(id(node))
+    if cached is not None:
+        return cached
+    result = _rewrite_initial_uncached(node, compactor, cache)
+    cache[id(node)] = result
+    return result
+
+
+def _rewrite_initial_uncached(
+    node: Language, compactor: Compactor, cache: dict[int, Language]
+) -> Language:
+    cfg = compactor.config
+    if not cfg.enabled:
+        return node
+
+    if isinstance(node, Alt) and node.left is not None and node.right is not None:
+        left, right = node.left, node.right
+        if cfg.null_rules and isinstance(left, Empty):
+            compactor._count_rewrite()
+            return right
+        if cfg.null_rules and isinstance(right, Empty):
+            compactor._count_rewrite()
+            return left
+        if cfg.new_rules and isinstance(left, Epsilon) and isinstance(right, Epsilon):
+            compactor._count_rewrite()
+            return compactor.make_epsilon(_merge_trees(left.trees, right.trees))
+        return node
+
+    if isinstance(node, Reduce) and node.lang is not None:
+        lang = node.lang
+        if cfg.new_rules and isinstance(lang, Empty):
+            compactor._count_rewrite()
+            return EMPTY
+        if cfg.epsilon_rules and isinstance(lang, Epsilon):
+            compactor._count_rewrite()
+            return compactor.make_epsilon(tuple(node.fn(tree) for tree in lang.trees))
+        if cfg.reduction_fusion and isinstance(lang, Reduce) and lang.lang is not None:
+            compactor._count_rewrite()
+            return compactor.make_reduce(lang.lang, compose(node.fn, lang.fn))
+        return node
+
+    if isinstance(node, Cat) and node.left is not None and node.right is not None:
+        left, right = node.left, node.right
+        # Left-child rules (also applied during parsing).
+        if cfg.null_rules and isinstance(left, Empty):
+            compactor._count_rewrite()
+            return EMPTY
+        if cfg.epsilon_rules and isinstance(left, Epsilon) and len(left.trees) == 1:
+            compactor._count_rewrite()
+            return compactor.make_reduce(right, PairLeft(left.trees[0]))
+        # Right-child rules (initial grammar only, Section 4.3.1).
+        if cfg.null_rules and isinstance(right, Empty):
+            compactor._count_rewrite()
+            return EMPTY
+        if cfg.epsilon_rules and isinstance(right, Epsilon) and len(right.trees) == 1:
+            compactor._count_rewrite()
+            return compactor.make_reduce(left, PairRight(right.trees[0]))
+        if cfg.float_reductions and isinstance(left, Reduce) and left.lang is not None:
+            compactor._count_rewrite()
+            return compactor.make_reduce(compactor.make_cat(left.lang, right), MapFirst(left.fn))
+        if cfg.float_reductions and isinstance(right, Reduce) and right.lang is not None:
+            compactor._count_rewrite()
+            return compactor.make_reduce(
+                compactor.make_cat(left, right.lang), MapSecond(right.fn)
+            )
+        if cfg.canonicalize_sequences and isinstance(left, Cat) and left.left is not None:
+            compactor._count_rewrite()
+            inner = compactor.make_cat(left.right, right)
+            return compactor.make_reduce(compactor.make_cat(left.left, inner), ReassocToLeft())
+        return node
+
+    return node

@@ -1,0 +1,268 @@
+"""The derivative of parsing expressions (Figure 2, Sections 2.3–2.5).
+
+``Deriver.derive(node, token)`` computes the Brzozowski derivative of a
+(possibly cyclic) grammar node with respect to one input token, following the
+rules of Figure 2:
+
+* ``Dc(∅) = ∅`` and ``Dc(ε) = ∅``
+* ``Dc(c') = ε_c`` when the token matches, ``∅`` otherwise
+* ``Dc(L1 ∪ L2) = Dc(L1) ∪ Dc(L2)``
+* ``Dc(L1 ◦ L2) = Dc(L1) ◦ L2``                      when ``L1`` is not nullable
+* ``Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ Dc(L2)``           when ``L1`` is nullable
+* ``Dc(L ↪→ f) = Dc(L) ↪→ f``
+
+Cycles are handled exactly as described in Section 2.5.2: before recurring
+into a node's children, ``derive`` installs a *partially constructed* result
+node in the memo table; any recursive call caused by a cycle finds and uses
+that placeholder.  After the children's derivatives return, either
+
+* the placeholder was **observed** by a recursive call (there really was a
+  cycle) — its children are filled in place and no compaction is attempted
+  (the "punt on cycle" rule of Section 4.3.3), or
+* the placeholder was **not observed** — it is discarded, the result is built
+  through the compaction smart constructors (Section 4.3), and the memo entry
+  is replaced by the compacted node.
+
+Memoization is pluggable (:mod:`repro.core.memo`); the default single-entry
+strategy is the improvement of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .compaction import Compactor
+from .errors import GrammarError
+from .languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+    token_value,
+)
+from .memo import MISS, DeriveMemo, SingleEntryMemo
+from .metrics import Metrics
+from .naming import NamingScheme
+from .nullability import NullabilityAnalyzer
+
+__all__ = ["Deriver"]
+
+
+class Deriver:
+    """Memoized, cycle-aware, compacting derivative computation."""
+
+    def __init__(
+        self,
+        memo: Optional[DeriveMemo] = None,
+        compactor: Optional[Compactor] = None,
+        nullability: Optional[NullabilityAnalyzer] = None,
+        metrics: Optional[Metrics] = None,
+        naming: Optional[NamingScheme] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.memo = memo if memo is not None else SingleEntryMemo(self.metrics)
+        self.compactor = compactor if compactor is not None else Compactor(metrics=self.metrics)
+        self.nullability = (
+            nullability if nullability is not None else NullabilityAnalyzer(self.metrics)
+        )
+        self.naming = naming
+
+    # ------------------------------------------------------------------ API
+    def derive(self, node: Language, token: Any, position: int = 0) -> Language:
+        """Return the derivative of ``node`` with respect to ``token``.
+
+        ``position`` is the index of ``token`` in the input; it is used only
+        by the optional naming instrumentation (Definition 5) and does not
+        affect the computed language.
+        """
+        self.metrics.derive_calls += 1
+        cached = self.memo.get(node, token)
+        if cached is not MISS:
+            self.metrics.derive_cache_hits += 1
+            if isinstance(cached, Language) and cached.under_construction:
+                cached.observed = True
+            return cached
+        self.metrics.derive_uncached += 1
+
+        if isinstance(node, (Empty, Epsilon, Delta)):
+            # Dc(∅) = Dc(ε) = Dc(δ(L)) = ∅ — none of these accept a first token.
+            result = EMPTY
+            self.memo.put(node, token, result)
+            return result
+
+        if isinstance(node, Token):
+            return self._derive_token(node, token, position)
+
+        if isinstance(node, Alt):
+            return self._derive_alt(node, token, position)
+
+        if isinstance(node, Cat):
+            return self._derive_cat(node, token, position)
+
+        if isinstance(node, Reduce):
+            return self._derive_reduce(node, token, position)
+
+        if isinstance(node, Ref):
+            return self._derive_ref(node, token, position)
+
+        raise GrammarError("cannot derive unknown node type: {!r}".format(node))
+
+    # ------------------------------------------------------------ terminals
+    def _derive_token(self, node: Token, token: Any, position: int) -> Language:
+        if node.matches(token):
+            result: Language = self.compactor.make_epsilon((token_value(token),))
+            self._name(node, result, position, with_bullet=False)
+        else:
+            result = EMPTY
+        self.memo.put(node, token, result)
+        return result
+
+    # ----------------------------------------------------------- alternation
+    def _derive_alt(self, node: Alt, token: Any, position: int) -> Language:
+        if node.left is None or node.right is None:
+            raise GrammarError("derivative of an incomplete ∪ node: {!r}".format(node))
+        placeholder = self.compactor.raw_alt()
+        placeholder.under_construction = True
+        self.memo.put(node, token, placeholder)
+
+        left = self.derive(node.left, token, position)
+        right = self.derive(node.right, token, position)
+
+        if placeholder.observed:
+            placeholder.left = left
+            placeholder.right = right
+            placeholder.under_construction = False
+            self._name(node, placeholder, position, with_bullet=False)
+            return placeholder
+
+        self.metrics.placeholders_discarded += 1
+        result = self.compactor.make_alt(left, right)
+        self._name(node, result, position, with_bullet=False)
+        self.memo.put(node, token, result)
+        return result
+
+    # --------------------------------------------------------- concatenation
+    def _derive_cat(self, node: Cat, token: Any, position: int) -> Language:
+        if node.left is None or node.right is None:
+            raise GrammarError("derivative of an incomplete ◦ node: {!r}".format(node))
+
+        if not self.nullability.nullable(node.left):
+            # Dc(L1 ◦ L2) = Dc(L1) ◦ L2
+            placeholder = self.compactor.raw_cat()
+            placeholder.under_construction = True
+            placeholder.right = node.right
+            self.memo.put(node, token, placeholder)
+
+            left = self.derive(node.left, token, position)
+
+            if placeholder.observed:
+                placeholder.left = left
+                placeholder.under_construction = False
+                self._name(node, placeholder, position, with_bullet=False)
+                return placeholder
+
+            self.metrics.placeholders_discarded += 1
+            result = self.compactor.make_cat(left, node.right)
+            self._name(node, result, position, with_bullet=False)
+            self.memo.put(node, token, result)
+            return result
+
+        # Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2)) — the duplication case
+        # that the naming argument (Rule 5b) tracks with the • symbol.  The
+        # δ(L1) factor keeps L1's null-parse trees; Figure 2 of the paper
+        # presents the recognizer form, which drops it.
+        placeholder = self.compactor.raw_alt()
+        placeholder.under_construction = True
+        self.memo.put(node, token, placeholder)
+
+        left_derivative = self.derive(node.left, token, position)
+        right_derivative = self.derive(node.right, token, position)
+
+        if placeholder.observed:
+            cat_node = self.compactor.make_cat(left_derivative, node.right)
+            self._name(node, cat_node, position, with_bullet=False)
+            null_branch = self._null_branch(node.left, right_derivative)
+            placeholder.left = cat_node
+            placeholder.right = null_branch
+            placeholder.under_construction = False
+            self._name(node, placeholder, position, with_bullet=True)
+            return placeholder
+
+        self.metrics.placeholders_discarded += 1
+        cat_node = self.compactor.make_cat(left_derivative, node.right)
+        self._name(node, cat_node, position, with_bullet=False)
+        null_branch = self._null_branch(node.left, right_derivative)
+        result = self.compactor.make_alt(cat_node, null_branch)
+        self._name(node, result, position, with_bullet=True)
+        self.memo.put(node, token, result)
+        return result
+
+    def _null_branch(self, left: Language, right_derivative: Language) -> Language:
+        """Build ``δ(left) ◦ Dc(right)`` for the nullable-left sequence case."""
+        if right_derivative is EMPTY or isinstance(right_derivative, Empty):
+            # The freshly computed derivative is known to be ∅, so the whole
+            # branch contributes nothing (this does not violate the
+            # Section 4.3.1 rule about right children: no inspection of a
+            # pre-existing grammar node is involved).
+            return EMPTY
+        return self.compactor.make_cat(self.compactor.make_delta(left), right_derivative)
+
+    # -------------------------------------------------------------- reduction
+    def _derive_reduce(self, node: Reduce, token: Any, position: int) -> Language:
+        if node.lang is None:
+            raise GrammarError("derivative of an incomplete ↪→ node: {!r}".format(node))
+        placeholder = self.compactor.raw_reduce(node.fn)
+        placeholder.under_construction = True
+        self.memo.put(node, token, placeholder)
+
+        child = self.derive(node.lang, token, position)
+
+        if placeholder.observed:
+            placeholder.lang = child
+            placeholder.under_construction = False
+            self._name(node, placeholder, position, with_bullet=False)
+            return placeholder
+
+        self.metrics.placeholders_discarded += 1
+        result = self.compactor.make_reduce(child, node.fn)
+        self._name(node, result, position, with_bullet=False)
+        self.memo.put(node, token, result)
+        return result
+
+    # ------------------------------------------------------------- reference
+    def _derive_ref(self, node: Ref, token: Any, position: int) -> Language:
+        if node.target is None:
+            raise GrammarError(
+                "non-terminal <{}> was never resolved (Ref.set was not called)".format(
+                    node.ref_name
+                )
+            )
+        placeholder = self.compactor.raw_ref(node.ref_name)
+        placeholder.under_construction = True
+        self.memo.put(node, token, placeholder)
+
+        target = self.derive(node.target, token, position)
+
+        if placeholder.observed:
+            placeholder.target = target
+            placeholder.under_construction = False
+            self._name(node, placeholder, position, with_bullet=False)
+            return placeholder
+
+        # No cycle went through the reference itself: drop the wrapper and
+        # memoize the target's derivative directly.
+        self.metrics.placeholders_discarded += 1
+        self._name(node, target, position, with_bullet=False)
+        self.memo.put(node, token, target)
+        return target
+
+    # ----------------------------------------------------------------- naming
+    def _name(self, parent: Language, child: Language, position: int, with_bullet: bool) -> None:
+        if self.naming is not None:
+            self.naming.name_derivative(parent, child, position, with_bullet)

@@ -1,0 +1,55 @@
+"""Exception types used throughout the reproduction."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["ReproError", "GrammarError", "ParseError", "LexError"]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GrammarError(ReproError):
+    """A grammar is malformed (unresolved reference, pure-Ref cycle, ...)."""
+
+
+class ParseError(ReproError):
+    """The input is not in the language of the grammar.
+
+    Attributes
+    ----------
+    position:
+        Index of the token at which the parse failed (the first token whose
+        derivative produced the empty language), or the input length when the
+        whole input was consumed but the final language was not nullable.
+    token:
+        The offending token, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: Optional[int] = None,
+        token: Any = None,
+        tokens: Optional[Sequence[Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.position = position
+        self.token = token
+        self.tokens = list(tokens) if tokens is not None else None
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.position is not None:
+            return "{} (at token index {}: {!r})".format(base, self.position, self.token)
+        return base
+
+
+class LexError(ReproError):
+    """The lexer could not tokenize the input."""
+
+    def __init__(self, message: str, position: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.position = position

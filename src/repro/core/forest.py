@@ -1,0 +1,248 @@
+"""Shared parse forests with explicit ambiguity nodes.
+
+Section 3 of the paper notes that its cubic bound — like the cubic bounds of
+GLR and Earley — assumes parse results are represented as a *graph* with
+ambiguity nodes rather than as an explicitly enumerated set of trees (the
+grammar ``S → S S | a | b`` has exponentially many distinct parses, but they
+share structure).  This module provides that representation:
+
+* :class:`ForestEmpty` — no parses,
+* :class:`ForestLeaf` — one or more finished trees,
+* :class:`ForestPair` — the cross product of two forests (from ``◦`` nodes),
+* :class:`ForestMap` — a reduction function applied to every tree,
+* :class:`ForestAmb` — an ambiguity node (union of alternatives),
+* :class:`ForestRef` — an indirection used to tie cyclic forests together.
+
+Forests are produced by ``parse_null`` (:mod:`repro.core.parse`) and consumed
+through :func:`iter_trees`, :func:`count_trees` and :func:`first_tree`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, List, Optional
+
+__all__ = [
+    "ForestNode",
+    "ForestEmpty",
+    "ForestLeaf",
+    "ForestPair",
+    "ForestMap",
+    "ForestAmb",
+    "ForestRef",
+    "FOREST_EMPTY",
+    "iter_trees",
+    "count_trees",
+    "first_tree",
+    "is_empty_forest",
+]
+
+
+class ForestNode:
+    """Base class for parse-forest nodes."""
+
+    __slots__ = ()
+
+
+class ForestEmpty(ForestNode):
+    """A forest containing no parse trees."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ForestEmpty()"
+
+
+#: Canonical empty forest.
+FOREST_EMPTY = ForestEmpty()
+
+
+class ForestLeaf(ForestNode):
+    """A forest of fully-built trees (typically exactly one)."""
+
+    __slots__ = ("trees",)
+
+    def __init__(self, trees: tuple) -> None:
+        self.trees = tuple(trees)
+
+    def __repr__(self) -> str:
+        return "ForestLeaf({!r})".format(self.trees)
+
+
+class ForestPair(ForestNode):
+    """Every tree ``(l, r)`` with ``l`` from ``left`` and ``r`` from ``right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: ForestNode, right: ForestNode) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "ForestPair({!r}, {!r})".format(self.left, self.right)
+
+
+class ForestMap(ForestNode):
+    """A reduction function applied to every tree of the child forest."""
+
+    __slots__ = ("fn", "child")
+
+    def __init__(self, fn, child: ForestNode) -> None:
+        self.fn = fn
+        self.child = child
+
+    def __repr__(self) -> str:
+        return "ForestMap({!r})".format(self.child)
+
+
+class ForestAmb(ForestNode):
+    """An ambiguity node: the union of several alternative forests."""
+
+    __slots__ = ("alternatives",)
+
+    def __init__(self, alternatives: Optional[List[ForestNode]] = None) -> None:
+        self.alternatives = list(alternatives) if alternatives is not None else []
+
+    def __repr__(self) -> str:
+        return "ForestAmb(<{} alternatives>)".format(len(self.alternatives))
+
+
+class ForestRef(ForestNode):
+    """A forward reference, used while building forests over cyclic grammars."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Optional[ForestNode] = None) -> None:
+        self.target = target
+
+    def __repr__(self) -> str:
+        return "ForestRef(resolved={})".format(self.target is not None)
+
+
+def is_empty_forest(forest: ForestNode) -> bool:
+    """True when the forest (shallowly) contains no parse trees.
+
+    A :class:`ForestRef` or :class:`ForestAmb` with no resolved alternatives is
+    treated as empty; deeper emptiness (e.g. a pair with an empty side) is
+    discovered during enumeration.
+    """
+    if isinstance(forest, ForestEmpty):
+        return True
+    if isinstance(forest, ForestLeaf):
+        return len(forest.trees) == 0
+    if isinstance(forest, ForestAmb):
+        return len(forest.alternatives) == 0
+    if isinstance(forest, ForestRef):
+        return forest.target is None or is_empty_forest(forest.target)
+    return False
+
+
+def iter_trees(
+    forest: ForestNode,
+    limit: Optional[int] = None,
+    max_depth: int = 10_000,
+) -> Iterator[Any]:
+    """Enumerate concrete parse trees from a forest.
+
+    ``limit`` bounds the number of trees yielded (ambiguous grammars can have
+    exponentially or infinitely many), and ``max_depth`` bounds recursion
+    through cyclic forests: alternatives that would require revisiting a node
+    already on the current path are skipped, which yields exactly the finite
+    trees of the forest.
+    """
+    emitted = 0
+    for tree in _iter_trees(forest, set(), max_depth):
+        yield tree
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def _iter_trees(forest: ForestNode, on_path: set, depth: int) -> Iterator[Any]:
+    if depth <= 0 or id(forest) in on_path:
+        return
+    if isinstance(forest, ForestEmpty):
+        return
+    if isinstance(forest, ForestLeaf):
+        yield from forest.trees
+        return
+    on_path = on_path | {id(forest)}
+    if isinstance(forest, ForestRef):
+        if forest.target is not None:
+            yield from _iter_trees(forest.target, on_path, depth - 1)
+        return
+    if isinstance(forest, ForestAmb):
+        seen = []
+        for alternative in forest.alternatives:
+            for tree in _iter_trees(alternative, on_path, depth - 1):
+                if not any(tree == prior for prior in seen):
+                    seen.append(tree)
+                    yield tree
+        return
+    if isinstance(forest, ForestMap):
+        for tree in _iter_trees(forest.child, on_path, depth - 1):
+            yield forest.fn(tree)
+        return
+    if isinstance(forest, ForestPair):
+        # Materialize the right side lazily per left tree; both sides may be
+        # large, so trees stream out in a nested-loop order.
+        for left_tree in _iter_trees(forest.left, on_path, depth - 1):
+            for right_tree in _iter_trees(forest.right, on_path, depth - 1):
+                yield (left_tree, right_tree)
+        return
+    raise TypeError("unknown forest node: {!r}".format(forest))
+
+
+def first_tree(forest: ForestNode, max_depth: int = 10_000) -> Any:
+    """Return one parse tree from the forest, or raise ``ValueError`` if empty."""
+    for tree in iter_trees(forest, limit=1, max_depth=max_depth):
+        return tree
+    raise ValueError("the parse forest contains no trees")
+
+
+def count_trees(forest: ForestNode) -> float:
+    """Count the trees in a forest; cyclic forests count as ``math.inf``.
+
+    The count treats shared sub-forests correctly (each distinct combination
+    is counted once per context, which is the number of distinct parse trees).
+    """
+    cache: dict[int, float] = {}
+    on_path: set[int] = set()
+
+    def visit(node: ForestNode) -> float:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        if key in on_path:
+            return math.inf
+        on_path.add(key)
+        try:
+            if isinstance(node, ForestEmpty):
+                result: float = 0
+            elif isinstance(node, ForestLeaf):
+                result = len(node.trees)
+            elif isinstance(node, ForestRef):
+                result = visit(node.target) if node.target is not None else 0
+            elif isinstance(node, ForestMap):
+                result = visit(node.child)
+            elif isinstance(node, ForestAmb):
+                result = sum(visit(alt) for alt in node.alternatives)
+            elif isinstance(node, ForestPair):
+                left_count = visit(node.left)
+                if left_count == 0:
+                    result = 0
+                else:
+                    right_count = visit(node.right)
+                    # Guard the inf * 0 = nan corner explicitly.
+                    result = 0 if right_count == 0 else left_count * right_count
+            else:
+                raise TypeError("unknown forest node: {!r}".format(node))
+        finally:
+            on_path.discard(key)
+        # Only cache values computed without hitting the current path; a value
+        # involving a back edge is context-dependent, so it is not cached.
+        if result != math.inf:
+            cache[key] = result
+        return result
+
+    return visit(forest)

@@ -1,0 +1,440 @@
+"""Parsing-expression language nodes.
+
+This module defines the grammar representation of Sections 2.2 and 2.5 of
+Adams, Hollenbeck & Might (PLDI 2016): a small family of parsing-expression
+forms whose instances are linked into a *graph* (cycles encode recursive
+non-terminals, exactly as in Figure 4 of the paper).
+
+The forms are:
+
+=============  =====================  ==========================================
+Paper form     Class                  Meaning
+=============  =====================  ==========================================
+``∅``          :class:`Empty`         the empty language (no words)
+``ε_s``        :class:`Epsilon`       the empty word, annotated with parse trees
+``c``          :class:`Token`         a single terminal token
+``L1 ◦ L2``    :class:`Cat`           concatenation
+``L1 ∪ L2``    :class:`Alt`           alternation
+``L ↪→ f``     :class:`Reduce`        semantic-action / reduction node
+``N = ...``    :class:`Ref`           a named non-terminal reference
+=============  =====================  ==========================================
+
+Nodes are *mutable in a restricted way*: the children of :class:`Alt`,
+:class:`Cat`, :class:`Reduce` and the target of :class:`Ref` may be assigned
+after construction.  This is how cyclic grammars are tied together and how the
+derivative function installs partially-constructed results in its memo table
+before recurring (Section 2.5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "Language",
+    "Empty",
+    "Epsilon",
+    "Token",
+    "Alt",
+    "Cat",
+    "Reduce",
+    "Delta",
+    "Ref",
+    "EMPTY",
+    "epsilon",
+    "token",
+    "any_token",
+    "reachable_nodes",
+    "graph_size",
+    "iter_children",
+]
+
+
+_NODE_IDS = itertools.count()
+
+
+class Language:
+    """Base class for all parsing-expression nodes.
+
+    Every node carries:
+
+    * ``node_id`` — a monotonically increasing identifier (used for stable
+      ordering, debugging and as a hash key),
+    * ``name`` — an optional :class:`repro.core.naming.NodeName` assigned by
+      the naming instrumentation of Definition 5,
+    * private slots used by the nullability analysis and the single-entry
+      memoization of ``derive`` (Section 4.4 stores memo results in node
+      fields rather than hash tables; those fields live here).
+    """
+
+    __slots__ = (
+        "node_id",
+        "name",
+        "under_construction",
+        "observed",
+        # single-entry derive memo (Section 4.4)
+        "memo_epoch",
+        "memo_token",
+        "memo_result",
+        # per-node dict memo (the "full hash table" strategy of Section 4.4)
+        "memo_table",
+        # nullability cache (Section 4.2)
+        "null_state",
+        "null_generation",
+        # parse-null memo
+        "null_parse_epoch",
+        "null_parse_result",
+    )
+
+    def __init__(self) -> None:
+        self.node_id = next(_NODE_IDS)
+        self.name = None
+        self.under_construction = False
+        self.observed = False
+        self.memo_epoch = -1
+        self.memo_token = None
+        self.memo_result = None
+        self.memo_table = None
+        self.null_state = None
+        self.null_generation = -1
+        self.null_parse_epoch = -1
+        self.null_parse_result = None
+
+    # -- structure ---------------------------------------------------------
+    def children(self) -> tuple["Language", ...]:
+        """Return the direct children of this node (possibly empty)."""
+        return ()
+
+    # -- convenience combinators -------------------------------------------
+    def __or__(self, other: "Language") -> "Alt":
+        return Alt(self, as_language(other))
+
+    def __ror__(self, other: "Language") -> "Alt":
+        return Alt(as_language(other), self)
+
+    def __add__(self, other: "Language") -> "Cat":
+        return Cat(self, as_language(other))
+
+    def __radd__(self, other: "Language") -> "Cat":
+        return Cat(as_language(other), self)
+
+    def map(self, fn: Callable[[Any], Any]) -> "Reduce":
+        """Return ``self ↪→ fn`` — apply ``fn`` to every parse tree."""
+        return Reduce(self, fn)
+
+    # -- identity-based hashing --------------------------------------------
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "{}#{}".format(type(self).__name__, self.node_id)
+
+    def describe(self) -> str:
+        """A short human-readable description of the node."""
+        return repr(self)
+
+
+class Empty(Language):
+    """The empty language ``∅`` — it contains no words at all.
+
+    A single shared instance, :data:`EMPTY`, is used throughout; smart
+    constructors and the derivative rely on identity checks against it.
+    """
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "∅"
+
+    def __repr__(self) -> str:
+        return "Empty()"
+
+
+#: The canonical empty-language instance.
+EMPTY = Empty()
+
+
+class Epsilon(Language):
+    """The empty-word language ``ε_s``, annotated with its parse trees.
+
+    ``trees`` is a tuple of parse results; it usually holds exactly one tree
+    but may hold several when compaction merges ``ε_s1 ∪ ε_s2 ⇒ ε_{s1∪s2}``
+    (one of the reduction rules added by the paper in Section 4.3).
+    """
+
+    __slots__ = ("trees",)
+
+    def __init__(self, trees: Iterable[Any] = ((),)) -> None:
+        super().__init__()
+        self.trees = tuple(trees)
+
+    def describe(self) -> str:
+        return "ε{}".format(list(self.trees))
+
+    def __repr__(self) -> str:
+        return "Epsilon(trees={!r})".format(self.trees)
+
+
+def epsilon(tree: Any = ()) -> Epsilon:
+    """Build an ``ε`` node carrying a single parse tree (default: ``()``)."""
+    return Epsilon((tree,))
+
+
+class Token(Language):
+    """A single-terminal language ``c``.
+
+    A token node matches an input token if:
+
+    * ``predicate`` is given and returns true for the token, otherwise
+    * ``kind`` is given and equals the token's *kind* (see
+      :func:`token_kind`), otherwise
+    * it matches *any* token (the paper's Figure 5 example uses a ``c`` that
+      accepts every token).
+    """
+
+    __slots__ = ("kind", "predicate", "label")
+
+    def __init__(
+        self,
+        kind: Any = None,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.kind = kind
+        self.predicate = predicate
+        self.label = label if label is not None else (str(kind) if kind is not None else "<any>")
+
+    def matches(self, tok: Any) -> bool:
+        """Return True when this terminal accepts the input token ``tok``."""
+        if self.predicate is not None:
+            return bool(self.predicate(tok))
+        if self.kind is None:
+            return True
+        return token_kind(tok) == self.kind
+
+    def describe(self) -> str:
+        return "tok({})".format(self.label)
+
+    def __repr__(self) -> str:
+        return "Token(kind={!r})".format(self.kind)
+
+
+def token(kind: Any, label: Optional[str] = None) -> Token:
+    """Build a terminal node matching tokens whose kind equals ``kind``."""
+    return Token(kind=kind, label=label)
+
+
+def any_token(label: str = "<any>") -> Token:
+    """Build a terminal node that matches every token."""
+    return Token(kind=None, predicate=None, label=label)
+
+
+def token_kind(tok: Any) -> Any:
+    """Return the *kind* of an input token.
+
+    Input tokens may be:
+
+    * plain hashable values (characters, strings, ints) — the kind is the
+      value itself,
+    * objects with a ``kind`` attribute (e.g. :class:`repro.lexer.tokens.Tok`),
+    * ``(kind, value)`` pairs.
+    """
+    kind = getattr(tok, "kind", None)
+    if kind is not None:
+        return kind
+    if isinstance(tok, tuple) and len(tok) == 2:
+        return tok[0]
+    return tok
+
+
+def token_value(tok: Any) -> Any:
+    """Return the semantic value carried by an input token (see token_kind)."""
+    value = getattr(tok, "value", None)
+    if value is not None:
+        return value
+    if isinstance(tok, tuple) and len(tok) == 2:
+        return tok[1]
+    return tok
+
+
+class Alt(Language):
+    """The alternation ``L1 ∪ L2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Optional[Language] = None, right: Optional[Language] = None) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Language, ...]:
+        out = []
+        if self.left is not None:
+            out.append(self.left)
+        if self.right is not None:
+            out.append(self.right)
+        return tuple(out)
+
+    def describe(self) -> str:
+        return "(∪ #{} #{})".format(
+            getattr(self.left, "node_id", "?"), getattr(self.right, "node_id", "?")
+        )
+
+
+class Cat(Language):
+    """The concatenation ``L1 ◦ L2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Optional[Language] = None, right: Optional[Language] = None) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Language, ...]:
+        out = []
+        if self.left is not None:
+            out.append(self.left)
+        if self.right is not None:
+            out.append(self.right)
+        return tuple(out)
+
+    def describe(self) -> str:
+        return "(◦ #{} #{})".format(
+            getattr(self.left, "node_id", "?"), getattr(self.right, "node_id", "?")
+        )
+
+
+class Reduce(Language):
+    """The reduction ``L ↪→ f`` — every tree produced by ``L`` is mapped by ``f``."""
+
+    __slots__ = ("lang", "fn")
+
+    def __init__(self, lang: Optional[Language] = None, fn: Callable[[Any], Any] = None) -> None:
+        super().__init__()
+        self.lang = lang
+        self.fn = fn if fn is not None else _identity
+
+    def children(self) -> tuple[Language, ...]:
+        return (self.lang,) if self.lang is not None else ()
+
+    def describe(self) -> str:
+        return "(↪→ #{} {})".format(getattr(self.lang, "node_id", "?"), _fn_name(self.fn))
+
+
+class Delta(Language):
+    """The null-parse projection ``δ(L)`` of a language.
+
+    ``Delta(L)`` accepts exactly the empty word and yields the parse trees of
+    ``L``'s empty-word parses.  It is the lazy device (used by Might et al.
+    2011) that lets the derivative of a concatenation with a nullable left
+    child retain the left child's parse trees::
+
+        Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2))     when ε ∈ ⟦L1⟧
+
+    Figure 2 of the PLDI 2016 paper presents the recognizer form of this rule
+    (the ``δ(L1)`` factor carries no recognition information, so it is written
+    simply as ``Dc(L2)``); the tree-producing form above is what the
+    implementations actually compute.  The derivative of a ``Delta`` node is
+    ``∅`` and its nullability equals the nullability of ``L``.
+    """
+
+    __slots__ = ("lang",)
+
+    def __init__(self, lang: Optional[Language] = None) -> None:
+        super().__init__()
+        self.lang = lang
+
+    def children(self) -> tuple[Language, ...]:
+        return (self.lang,) if self.lang is not None else ()
+
+    def describe(self) -> str:
+        return "(δ #{})".format(getattr(self.lang, "node_id", "?"))
+
+
+class Ref(Language):
+    """A named non-terminal reference.
+
+    The paper's representation stores non-terminals as direct pointers; a
+    :class:`Ref` is a thin, named indirection that makes grammars convenient
+    to build (``expr = Ref("expr"); expr.set(...)``) and keeps non-terminal
+    names around for error messages and for the naming instrumentation.
+    A Ref behaves exactly like its target language.
+    """
+
+    __slots__ = ("ref_name", "target")
+
+    def __init__(self, ref_name: str, target: Optional[Language] = None) -> None:
+        super().__init__()
+        self.ref_name = ref_name
+        self.target = target
+
+    def set(self, target: Language) -> "Ref":
+        """Resolve this reference to ``target`` and return ``self``."""
+        self.target = as_language(target)
+        return self
+
+    def children(self) -> tuple[Language, ...]:
+        return (self.target,) if self.target is not None else ()
+
+    def describe(self) -> str:
+        return "<{}>".format(self.ref_name)
+
+    def __repr__(self) -> str:
+        return "Ref({!r})".format(self.ref_name)
+
+
+def as_language(value: Any) -> Language:
+    """Coerce ``value`` into a :class:`Language` node.
+
+    Non-language values are treated as token kinds, so grammars can be written
+    compactly: ``Cat('(', expr)`` instead of ``Cat(token('('), expr)``.
+    """
+    if isinstance(value, Language):
+        return value
+    return token(value)
+
+
+def _identity(tree: Any) -> Any:
+    return tree
+
+
+def _fn_name(fn: Callable[..., Any]) -> str:
+    return getattr(fn, "__name__", None) or type(fn).__name__
+
+
+def iter_children(node: Language) -> Iterator[Language]:
+    """Iterate over the non-None direct children of ``node``."""
+    for child in node.children():
+        if child is not None:
+            yield child
+
+
+def reachable_nodes(root: Language) -> list[Language]:
+    """Return every node reachable from ``root`` (including ``root``).
+
+    The traversal is iterative (grammar graphs can be deep and cyclic) and
+    the result is in a deterministic depth-first discovery order.
+    """
+    seen: set[int] = set()
+    order: list[Language] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        order.append(node)
+        # reversed so the left child is visited before the right child
+        stack.extend(reversed(list(iter_children(node))))
+    return order
+
+
+def graph_size(root: Language) -> int:
+    """Number of nodes reachable from ``root`` — ``G`` in the paper's bounds."""
+    return len(reachable_nodes(root))

@@ -1,0 +1,105 @@
+"""Instrumentation counters for the derivative parser.
+
+The paper's evaluation (Section 4) is largely about *counting things*:
+
+* Figure 7 counts calls to ``nullable?`` in the improved parser relative to
+  the original implementation,
+* Figure 10 counts how many grammar nodes ever receive more than one
+  ``derive`` memoization entry,
+* Figure 11 counts uncached calls to ``derive`` under the single-entry
+  memoization strategy versus full hash tables,
+* Section 3 bounds the run time by the number of grammar nodes constructed.
+
+:class:`Metrics` is a plain counter bag that the parser components update as
+they run.  It is intentionally lightweight — a handful of integer attributes —
+so that enabling instrumentation does not meaningfully perturb the timings
+used for Figures 6 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+__all__ = ["Metrics", "MetricsSnapshot"]
+
+
+@dataclass
+class MetricsSnapshot:
+    """An immutable copy of the counter values at a point in time."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> int:
+        return self.values.get(key, 0)
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Return the per-counter difference ``self - earlier``."""
+        keys = set(self.values) | set(earlier.values)
+        return MetricsSnapshot(
+            {key: self.values.get(key, 0) - earlier.values.get(key, 0) for key in keys}
+        )
+
+
+@dataclass
+class Metrics:
+    """Counters shared by the derivative, nullability and memoization layers.
+
+    Attributes
+    ----------
+    nodes_created:
+        Total grammar nodes constructed, including placeholder nodes that are
+        later discarded by compaction (``g`` in Section 3 counts constructed
+        nodes, so discarded placeholders are included and also reported
+        separately as ``placeholders_discarded``).
+    derive_calls:
+        Every invocation of ``derive`` (cached or not).
+    derive_cache_hits / derive_uncached:
+        Split of ``derive_calls`` into memo hits and real computations.
+    memo_evictions:
+        Number of single-entry memo evictions (Section 4.4's "forgetful"
+        memoization replacing an old token entry with a new one).
+    nullable_calls:
+        Number of node visits performed by the nullability computation; this
+        is the quantity plotted in Figure 7.
+    nullable_fixed_points:
+        Number of times a cyclic dependency forced a full fixed-point
+        computation rather than a direct recursive evaluation.
+    compaction_rewrites:
+        Number of times a smart constructor applied a reduction rule.
+    parse_null_calls:
+        Non-cached invocations of ``parse_null``.
+    """
+
+    nodes_created: int = 0
+    placeholders_created: int = 0
+    placeholders_discarded: int = 0
+    derive_calls: int = 0
+    derive_cache_hits: int = 0
+    derive_uncached: int = 0
+    memo_evictions: int = 0
+    memo_single_entry_nodes: int = 0
+    memo_multi_entry_nodes: int = 0
+    nullable_calls: int = 0
+    nullable_cache_hits: int = 0
+    nullable_fixed_points: int = 0
+    compaction_rewrites: int = 0
+    parse_null_calls: int = 0
+    tokens_consumed: int = 0
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Capture the current counter values."""
+        return MetricsSnapshot({f.name: getattr(self, f.name) for f in fields(self)})
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        parts = ["{}={}".format(key, value) for key, value in self.as_dict().items() if value]
+        return "Metrics({})".format(", ".join(parts))

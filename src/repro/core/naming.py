@@ -1,0 +1,210 @@
+"""The node-naming scheme of Definition 5 and its audits (Lemmas 6 and 7).
+
+The heart of the paper's complexity argument (Section 3.2) is a naming scheme
+for grammar nodes created during parsing:
+
+* **Rule 5a** — every node in the initial grammar gets a unique symbol.
+* **Rule 5b** — when ``derive`` is applied to a ``◦`` node whose left child is
+  nullable, the resulting ``∪`` node is named ``w•c`` (parent name, a special
+  ``•`` marker, the token).
+* **Rule 5c** — every other node created by ``derive`` is named ``wc``.
+
+Because the memoization of ``derive`` guarantees two nodes with the same name
+are the same node, the number of nodes created during parsing is bounded by
+the number of possible names.  Lemma 6 shows the token part of a name is a
+contiguous substring of the input (O(n²) possibilities), Lemma 7 shows a name
+contains at most one ``•`` (O(n) positions), and Theorem 8 multiplies these by
+the initial grammar size ``G`` to obtain the O(G·n³) bound.
+
+This module implements the naming scheme as *optional instrumentation* on the
+derivative (it is off by default; it exists to make the proof's invariants
+executable) together with audit helpers used by the property tests and by the
+``bench_naming_audit`` benchmark.
+
+A caveat the paper itself notes (Section 4.4): the counting argument assumes
+every input token is unique.  When tokens repeat, memoization reuses the
+derivative computed at an earlier position, so a node named at position *i*
+can acquire children whose names skip to a later position; the Lemma 6
+contiguity audit is therefore only meaningful on inputs with pairwise-distinct
+tokens (repetition only ever *reduces* the number of nodes created, so the
+Theorem 8 bound is unaffected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .languages import Language, reachable_nodes
+
+__all__ = ["NodeName", "NamingScheme", "NamingAuditResult"]
+
+
+@dataclass(frozen=True)
+class NodeName:
+    """A node name ``N t1 t2 … [• inserted before index bullet] … tk``.
+
+    Attributes
+    ----------
+    base:
+        The unique symbol of the originating initial-grammar node (Rule 5a).
+    positions:
+        The input positions of the tokens appended by successive derivatives.
+        Storing positions (rather than token texts) makes the Lemma 6 audit —
+        "the token part is a contiguous substring of the input" — a direct
+        check that the positions are consecutive.
+    bullet:
+        ``None`` when the name contains no ``•``; otherwise the index into
+        ``positions`` *before* which the ``•`` sits (Rule 5b places the ``•``
+        immediately before the token that triggered it).
+    """
+
+    base: str
+    positions: tuple = ()
+    bullet: Optional[int] = None
+
+    def extend(self, position: int, with_bullet: bool) -> "NodeName":
+        """Append one derivative step (Rule 5b when ``with_bullet`` else 5c)."""
+        new_bullet = self.bullet
+        if with_bullet:
+            new_bullet = len(self.positions)
+        return NodeName(self.base, self.positions + (position,), new_bullet)
+
+    @property
+    def bullet_count(self) -> int:
+        """Number of ``•`` symbols in the name (Lemma 7 says this is ≤ 1)."""
+        return 0 if self.bullet is None else 1
+
+    def token_part_is_contiguous(self) -> bool:
+        """Lemma 6: positions in a name form a consecutive run of the input."""
+        return all(
+            later == earlier + 1
+            for earlier, later in zip(self.positions, self.positions[1:])
+        )
+
+    def render(self, tokens: Optional[Sequence[object]] = None) -> str:
+        """Format the name the way the paper does (e.g. ``Mc1•c2c3``)."""
+        parts: List[str] = [self.base]
+        for index, position in enumerate(self.positions):
+            if self.bullet is not None and index == self.bullet:
+                parts.append("•")
+            if tokens is not None and 0 <= position < len(tokens):
+                parts.append(str(tokens[position]))
+            else:
+                parts.append("c{}".format(position + 1))
+        if self.bullet is not None and self.bullet == len(self.positions):
+            parts.append("•")
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class NamingAuditResult:
+    """Summary of the Definition 5 invariants over one parse."""
+
+    total_names: int
+    distinct_names: int
+    max_bullets_in_a_name: int
+    all_token_parts_contiguous: bool
+    initial_symbols: int
+    input_length: int
+
+    @property
+    def lemma7_holds(self) -> bool:
+        """Every name contains at most one ``•``."""
+        return self.max_bullets_in_a_name <= 1
+
+    @property
+    def lemma6_holds(self) -> bool:
+        """Every name's token part is a contiguous substring of the input."""
+        return self.all_token_parts_contiguous
+
+    @property
+    def theorem8_bound(self) -> int:
+        """The O(G·n³) bound instantiated for this parse: G·(n+1)²·(n+2)."""
+        g = max(self.initial_symbols, 1)
+        n = self.input_length
+        return g * (n + 1) * (n + 1) * (n + 2)
+
+    @property
+    def within_theorem8_bound(self) -> bool:
+        """Whether the number of distinct names respects the cubic bound."""
+        return self.distinct_names <= self.theorem8_bound
+
+
+class NamingScheme:
+    """Assign Definition 5 names to nodes and collect them for auditing."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self.assigned: List[NodeName] = []
+        self.initial_symbols = 0
+
+    # ------------------------------------------------------------- Rule 5a
+    def assign_initial(self, root: Language) -> None:
+        """Give every node in the initial grammar a unique single-symbol name."""
+        for node in reachable_nodes(root):
+            if node.name is None:
+                node.name = self._fresh_initial_name()
+                self.assigned.append(node.name)
+
+    def _fresh_initial_name(self) -> NodeName:
+        symbol = _spreadsheet_symbol(self._counter)
+        self._counter += 1
+        self.initial_symbols += 1
+        return NodeName(base=symbol)
+
+    # -------------------------------------------------------- Rules 5b / 5c
+    def name_derivative(
+        self,
+        parent: Language,
+        child: Language,
+        position: int,
+        with_bullet: bool,
+    ) -> None:
+        """Name a node created by ``derive`` from ``parent`` at input ``position``.
+
+        ``with_bullet`` selects Rule 5b (the ``∪`` node created for a sequence
+        node with a nullable left child) over Rule 5c.  Nodes that already
+        carry a name — for example pre-existing nodes returned by a compaction
+        rule — are left untouched, since the naming argument only needs names
+        for *newly constructed* nodes.
+        """
+        if child.name is not None:
+            return
+        parent_name = parent.name
+        if parent_name is None:
+            # The parent was itself unnamed (e.g. created by compaction);
+            # treat it as a fresh initial symbol so audits remain conservative.
+            parent_name = self._fresh_initial_name()
+            parent.name = parent_name
+            self.assigned.append(parent_name)
+        child.name = parent_name.extend(position, with_bullet)
+        self.assigned.append(child.name)
+
+    # ---------------------------------------------------------------- audit
+    def audit(self, input_length: int) -> NamingAuditResult:
+        """Check the Lemma 6 / Lemma 7 / Theorem 8 invariants over all names."""
+        distinct = set(self.assigned)
+        max_bullets = max((name.bullet_count for name in self.assigned), default=0)
+        contiguous = all(name.token_part_is_contiguous() for name in self.assigned)
+        return NamingAuditResult(
+            total_names=len(self.assigned),
+            distinct_names=len(distinct),
+            max_bullets_in_a_name=max_bullets,
+            all_token_parts_contiguous=contiguous,
+            initial_symbols=self.initial_symbols,
+            input_length=input_length,
+        )
+
+
+def _spreadsheet_symbol(index: int) -> str:
+    """0 → 'A', 1 → 'B', …, 25 → 'Z', 26 → 'AA', … (unique readable symbols)."""
+    letters = []
+    index += 1
+    while index > 0:
+        index, remainder = divmod(index - 1, 26)
+        letters.append(chr(ord("A") + remainder))
+    return "".join(reversed(letters))

@@ -1,0 +1,373 @@
+"""The outer parsing loop and the public :class:`DerivativeParser` API.
+
+Parsing with derivatives is the composition of three pieces (Section 3 of the
+paper calls them ``derive``, ``nullable?`` and ``parse-null``):
+
+1. successively derive the grammar by each input token,
+2. ask whether the final grammar is nullable (recognition), and
+3. extract the parse forest of the final grammar's empty-word parses
+   (``parse-null``), which are exactly the parses of the original input.
+
+:class:`DerivativeParser` wires together the pluggable pieces — memoization
+strategy, compaction configuration, nullability analyzer and the optional
+naming instrumentation — and exposes ``recognize``, ``parse``,
+``parse_forest`` and a few inspection helpers used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
+from .derivative import Deriver
+from .errors import GrammarError, ParseError
+from .forest import (
+    FOREST_EMPTY,
+    ForestAmb,
+    ForestLeaf,
+    ForestMap,
+    ForestNode,
+    ForestPair,
+    ForestRef,
+    first_tree,
+    iter_trees,
+)
+from .languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+    graph_size,
+    reachable_nodes,
+)
+from .memo import DeriveMemo, make_memo
+from .metrics import Metrics
+from .naming import NamingScheme
+from .nullability import NullabilityAnalyzer
+from .productivity import ProductivityAnalyzer
+from .prune import live_nodes, prune_empty
+
+__all__ = [
+    "DerivativeParser",
+    "parse",
+    "recognize",
+    "validate_grammar",
+    "DEFAULT_RECURSION_LIMIT",
+]
+
+
+#: Derivative computations recurse over grammar graphs whose depth grows with
+#: the input, so the interpreter recursion limit is raised to this value by
+#: default (CPython ≥ 3.11 keeps pure-Python recursion on the heap, so a large
+#: limit is safe).
+DEFAULT_RECURSION_LIMIT = 200_000
+
+
+def validate_grammar(root: Language) -> None:
+    """Check that a grammar graph is fully constructed.
+
+    Raises :class:`GrammarError` when a non-terminal reference was never
+    resolved or a binary node is missing a child.  Called by the parser
+    constructor so that malformed grammars fail fast with a clear message
+    rather than deep inside a derivative.
+    """
+    for node in reachable_nodes(root):
+        if isinstance(node, Ref) and node.target is None:
+            raise GrammarError(
+                "non-terminal <{}> was never resolved (call .set(...) on the Ref)".format(
+                    node.ref_name
+                )
+            )
+        if isinstance(node, (Alt, Cat)) and (node.left is None or node.right is None):
+            raise GrammarError("node {!r} is missing a child".format(node))
+        if isinstance(node, (Reduce, Delta)) and node.lang is None:
+            raise GrammarError("node {!r} is missing its language".format(node))
+
+
+class DerivativeParser:
+    """A parser for an arbitrary context-free grammar given as a language graph.
+
+    Parameters
+    ----------
+    grammar:
+        The root :class:`~repro.core.languages.Language` node.  Objects with a
+        ``to_language()`` method (e.g. :class:`repro.cfg.grammar.Grammar`) are
+        converted automatically.
+    memo:
+        Memoization strategy for ``derive``: ``"single"`` (the paper's
+        improved single-entry strategy, default), ``"dict"`` (full per-node
+        hash tables) or ``"nested"`` (the original global nested tables).
+        A pre-built :class:`~repro.core.memo.DeriveMemo` may also be passed.
+    compaction:
+        A :class:`~repro.core.compaction.CompactionConfig`, or True/False for
+        the full/disabled configurations.
+    optimize_grammar:
+        Whether to run the initial-grammar-only compaction rules of
+        Section 4.3.1 before parsing (default True).
+    naming:
+        Enable the Definition 5 naming instrumentation (default False).
+    prune:
+        Periodically replace provably-empty sub-grammars with ``∅`` so that
+        structural compaction can collapse them (see :mod:`repro.core.prune`).
+        On by default; disable to measure the structural-rules-only behaviour.
+    metrics:
+        An optional shared :class:`~repro.core.metrics.Metrics` instance.
+    recursion_limit:
+        Raise ``sys.setrecursionlimit`` to at least this value.
+    """
+
+    def __init__(
+        self,
+        grammar: Union[Language, Any],
+        memo: Union[str, DeriveMemo] = "single",
+        compaction: Union[CompactionConfig, bool, None] = None,
+        optimize_grammar: bool = True,
+        naming: bool = False,
+        prune: bool = True,
+        metrics: Optional[Metrics] = None,
+        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
+    ) -> None:
+        if hasattr(grammar, "to_language"):
+            grammar = grammar.to_language()
+        if not isinstance(grammar, Language):
+            raise GrammarError(
+                "expected a Language node or an object with to_language(); got {!r}".format(
+                    type(grammar)
+                )
+            )
+        validate_grammar(grammar)
+
+        if recursion_limit and sys.getrecursionlimit() < recursion_limit:
+            sys.setrecursionlimit(recursion_limit)
+
+        self.metrics = metrics if metrics is not None else Metrics()
+
+        if compaction is None or compaction is True:
+            compaction_config = CompactionConfig.full()
+        elif compaction is False:
+            compaction_config = CompactionConfig.disabled()
+        else:
+            compaction_config = compaction
+        self.compaction_config = compaction_config
+        self.compactor = Compactor(compaction_config, self.metrics)
+
+        if isinstance(memo, DeriveMemo):
+            self.memo = memo
+            self.memo.metrics = self.metrics
+        else:
+            self.memo = make_memo(memo, self.metrics)
+
+        self.nullability = NullabilityAnalyzer(self.metrics)
+        self.naming = NamingScheme() if naming else None
+
+        if optimize_grammar and compaction_config.enabled:
+            grammar = optimize_initial_grammar(grammar, self.compactor)
+        self.root = grammar
+
+        if self.naming is not None:
+            self.naming.assign_initial(self.root)
+
+        self.deriver = Deriver(
+            memo=self.memo,
+            compactor=self.compactor,
+            nullability=self.nullability,
+            metrics=self.metrics,
+            naming=self.naming,
+        )
+        self._null_parse_epoch = 0
+
+        # Adaptive pruning of semantically-empty branches (repro.core.prune):
+        # a prune pass runs whenever the uncached derive work since the last
+        # pass exceeds a small multiple of the live grammar size, keeping the
+        # amortized overhead constant.
+        self.prune_enabled = prune and compaction_config.enabled
+        self._initial_size = graph_size(self.root)
+        self._prune_interval = max(4 * self._initial_size, 64)
+        self._prune_marker = self.metrics.derive_uncached
+        self.prune_passes = 0
+
+    # ------------------------------------------------------------------ API
+    def reset(self) -> None:
+        """Clear memo tables (the paper clears them before each timed parse)."""
+        self.memo.clear()
+
+    def grammar_size(self) -> int:
+        """``G`` — the number of nodes in the (optimized) initial grammar."""
+        return graph_size(self.root)
+
+    def _derive_step(self, language: Language, tok: Any, position: int) -> Language:
+        """Derive by one token and run the adaptive empty-branch prune."""
+        language = self.deriver.derive(language, tok, position)
+        self.metrics.tokens_consumed += 1
+        if (
+            self.prune_enabled
+            and not isinstance(language, Empty)
+            and self.metrics.derive_uncached - self._prune_marker > self._prune_interval
+        ):
+            language, live_size = prune_empty(language, self.nullability, self.metrics)
+            self.prune_passes += 1
+            self._prune_marker = self.metrics.derive_uncached
+            self._prune_interval = max(4 * self._initial_size, 2 * live_size, 64)
+        return language
+
+    def derive_all(self, tokens: Iterable[Any]) -> Language:
+        """Derive the grammar by every token and return the final language."""
+        language = self.root
+        for position, tok in enumerate(tokens):
+            language = self._derive_step(language, tok, position)
+            if language is EMPTY or isinstance(language, Empty):
+                return EMPTY
+        return language
+
+    def derivative_trace(self, tokens: Sequence[Any]) -> List[Language]:
+        """Return the list of intermediate grammars ``[L, Dc1 L, Dc2 Dc1 L, ...]``."""
+        language = self.root
+        trace = [language]
+        for position, tok in enumerate(tokens):
+            language = self._derive_step(language, tok, position)
+            trace.append(language)
+            if language is EMPTY or isinstance(language, Empty):
+                break
+        return trace
+
+    def recognize(self, tokens: Iterable[Any]) -> bool:
+        """True when the token sequence is in the grammar's language."""
+        final = self.derive_all(tokens)
+        if final is EMPTY or isinstance(final, Empty):
+            return False
+        return self.nullability.nullable(final)
+
+    def parse_forest(self, tokens: Sequence[Any]) -> ForestNode:
+        """Parse and return the shared parse forest (with ambiguity nodes)."""
+        language = self.root
+        for position, tok in enumerate(tokens):
+            language = self._derive_step(language, tok, position)
+            if language is EMPTY or isinstance(language, Empty):
+                raise ParseError(
+                    "unexpected token", position=position, token=tok, tokens=tokens
+                )
+        if not self.nullability.nullable(language):
+            raise self._failure_error(tokens)
+        return self.parse_null(language)
+
+    def _failure_error(self, tokens: Sequence[Any]) -> ParseError:
+        """Build a :class:`ParseError` that points at the earliest bad token.
+
+        Deriving by a token may leave a grammar that is structurally non-empty
+        but denotes the empty language (compaction cannot always collapse it,
+        especially around cycles).  On the error path — and only there — the
+        input is re-derived with a productivity check after each token so the
+        error message reports the position where the language actually died.
+        """
+        diagnoser = ProductivityAnalyzer(self.nullability)
+        language = self.root
+        for position, tok in enumerate(tokens):
+            language = self.deriver.derive(language, tok, position)
+            if (
+                language is EMPTY
+                or isinstance(language, Empty)
+                or not diagnoser.productive(language)
+            ):
+                return ParseError(
+                    "unexpected token", position=position, token=tok, tokens=tokens
+                )
+        return ParseError(
+            "unexpected end of input", position=len(tokens), token=None, tokens=tokens
+        )
+
+    def parse(self, tokens: Sequence[Any]) -> Any:
+        """Parse and return a single parse tree (raises on ambiguity-free failure).
+
+        For ambiguous grammars this returns an arbitrary (but deterministic)
+        member of the forest; use :meth:`parse_forest` /
+        :func:`repro.core.forest.iter_trees` to inspect every parse.
+        """
+        forest = self.parse_forest(tokens)
+        try:
+            return first_tree(forest)
+        except ValueError:
+            raise ParseError(
+                "input recognized but no finite parse tree could be extracted",
+                position=len(tokens),
+                tokens=tokens,
+            ) from None
+
+    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
+        """Parse and return up to ``limit`` distinct parse trees."""
+        forest = self.parse_forest(tokens)
+        return list(iter_trees(forest, limit=limit))
+
+    # ----------------------------------------------------------- parse-null
+    def parse_null(self, node: Language) -> ForestNode:
+        """Extract the forest of empty-word parses of ``node`` (``parse-null``).
+
+        The result shares structure and uses ambiguity nodes; grammars with
+        ε-cycles produce cyclic forests (infinitely many parses), which the
+        forest utilities handle explicitly.
+        """
+        self._null_parse_epoch += 1
+        return self._parse_null(node, self._null_parse_epoch)
+
+    def _parse_null(self, node: Language, epoch: int) -> ForestNode:
+        if node.null_parse_epoch == epoch and node.null_parse_result is not None:
+            return node.null_parse_result
+        self.metrics.parse_null_calls += 1
+
+        if isinstance(node, (Empty, Token)):
+            node.null_parse_epoch = epoch
+            node.null_parse_result = FOREST_EMPTY
+            return FOREST_EMPTY
+        if isinstance(node, Epsilon):
+            result: ForestNode = ForestLeaf(node.trees)
+            node.null_parse_epoch = epoch
+            node.null_parse_result = result
+            return result
+
+        # Nodes that cannot produce the empty word contribute nothing; pruning
+        # here keeps forests small and avoids chasing useless cycles.
+        if not self.nullability.nullable(node):
+            node.null_parse_epoch = epoch
+            node.null_parse_result = FOREST_EMPTY
+            return FOREST_EMPTY
+
+        placeholder = ForestRef()
+        node.null_parse_epoch = epoch
+        node.null_parse_result = placeholder
+
+        if isinstance(node, Alt):
+            result = ForestAmb(
+                [self._parse_null(node.left, epoch), self._parse_null(node.right, epoch)]
+            )
+        elif isinstance(node, Cat):
+            result = ForestPair(
+                self._parse_null(node.left, epoch), self._parse_null(node.right, epoch)
+            )
+        elif isinstance(node, Reduce):
+            result = ForestMap(node.fn, self._parse_null(node.lang, epoch))
+        elif isinstance(node, Delta):
+            result = self._parse_null(node.lang, epoch)
+        elif isinstance(node, Ref):
+            result = self._parse_null(node.target, epoch)
+        else:  # pragma: no cover - defensive
+            raise GrammarError("cannot parse-null unknown node type: {!r}".format(node))
+
+        placeholder.target = result
+        node.null_parse_result = result
+        return result
+
+
+def recognize(grammar: Union[Language, Any], tokens: Iterable[Any], **kwargs: Any) -> bool:
+    """Convenience wrapper: build a :class:`DerivativeParser` and recognize."""
+    return DerivativeParser(grammar, **kwargs).recognize(tokens)
+
+
+def parse(grammar: Union[Language, Any], tokens: Sequence[Any], **kwargs: Any) -> Any:
+    """Convenience wrapper: build a :class:`DerivativeParser` and parse."""
+    return DerivativeParser(grammar, **kwargs).parse(tokens)

@@ -1,0 +1,137 @@
+"""Productivity (non-emptiness) analysis of language nodes.
+
+A language node is *productive* when it generates at least one word.  The
+derivative parser uses this as a diagnostic: after a parse fails, re-deriving
+the input and checking productivity after each token pinpoints the earliest
+token at which the remaining language became empty, which is the position a
+user wants to see in a syntax-error message.
+
+Productivity is a least fixed point over the boolean lattice, exactly dual to
+nullability (Section 2.4):
+
+* ``∅`` is not productive, ``ε`` and tokens are productive,
+* ``L1 ∪ L2`` is productive when either child is,
+* ``L1 ◦ L2`` is productive when both children are,
+* ``L ↪→ f``, ``δ(L)`` and references follow their child.
+
+(The ``δ(L)`` case uses nullability rather than productivity of ``L`` —
+``δ(L)`` is non-empty exactly when ``L`` is nullable — but treating it as
+"follows the child" is a sound over-approximation for diagnostics and keeps
+the solver independent; we use the precise rule.)
+
+Unlike nullability, productivity is only consulted on error paths, so results
+are cached in a dictionary owned by the analyzer rather than in node fields.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from .languages import (
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+)
+from .nullability import NullabilityAnalyzer
+
+__all__ = ["ProductivityAnalyzer"]
+
+
+class ProductivityAnalyzer:
+    """Decide whether a language node generates at least one word."""
+
+    def __init__(self, nullability: Optional[NullabilityAnalyzer] = None) -> None:
+        self.nullability = nullability if nullability is not None else NullabilityAnalyzer()
+        # Keyed by the node object (identity-hashed); an id()-keyed table could
+        # collide when a previously-queried temporary node has been collected.
+        self._cache: Dict[Language, bool] = {}
+
+    def productive(self, node: Language) -> bool:
+        """True when the language of ``node`` is non-empty."""
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        return self._solve(node)
+
+    def is_empty(self, node: Language) -> bool:
+        """True when the language of ``node`` contains no words at all."""
+        return not self.productive(node)
+
+    # ----------------------------------------------------------- fixed point
+    def _solve(self, root: Language) -> bool:
+        pending: List[Language] = []
+        dependents: Dict[int, List[Language]] = {}
+        discovered: set[int] = set()
+        stack: List[Language] = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in discovered:
+                continue
+            discovered.add(id(node))
+            if node in self._cache:
+                continue
+            pending.append(node)
+            for child in self._relevant_children(node):
+                dependents.setdefault(id(child), []).append(node)
+                if id(child) not in discovered and child not in self._cache:
+                    stack.append(child)
+
+        value: Dict[int, bool] = {id(node): False for node in pending}
+        worklist = deque(pending)
+        in_worklist = {id(node) for node in pending}
+        while worklist:
+            node = worklist.popleft()
+            in_worklist.discard(id(node))
+            if self._evaluate(node, value) and not value[id(node)]:
+                value[id(node)] = True
+                for parent in dependents.get(id(node), ()):
+                    if id(parent) not in in_worklist and id(parent) in value:
+                        worklist.append(parent)
+                        in_worklist.add(id(parent))
+
+        for node in pending:
+            self._cache[node] = value[id(node)]
+        return self._cache[root]
+
+    @staticmethod
+    def _relevant_children(node: Language) -> tuple:
+        if isinstance(node, (Alt, Cat)):
+            return tuple(child for child in (node.left, node.right) if child is not None)
+        if isinstance(node, Reduce):
+            return (node.lang,) if node.lang is not None else ()
+        if isinstance(node, Ref):
+            return (node.target,) if node.target is not None else ()
+        # Delta's productivity is decided by nullability, not by recursion here.
+        return ()
+
+    def _evaluate(self, node: Language, value: Dict[int, bool]) -> bool:
+        if isinstance(node, (Epsilon, Token)):
+            return True
+        if isinstance(node, Empty):
+            return False
+        if isinstance(node, Delta):
+            return node.lang is not None and self.nullability.nullable(node.lang)
+        if isinstance(node, Alt):
+            return self._value_of(node.left, value) or self._value_of(node.right, value)
+        if isinstance(node, Cat):
+            return self._value_of(node.left, value) and self._value_of(node.right, value)
+        if isinstance(node, Reduce):
+            return self._value_of(node.lang, value)
+        if isinstance(node, Ref):
+            return self._value_of(node.target, value)
+        raise TypeError("unknown language node type: {!r}".format(node))
+
+    def _value_of(self, child: Optional[Language], value: Dict[int, bool]) -> bool:
+        if child is None:
+            return False
+        cached = self._cache.get(child)
+        if cached is not None:
+            return cached
+        return value.get(id(child), False)

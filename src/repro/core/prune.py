@@ -1,0 +1,178 @@
+"""Pruning of semantically-empty branches from derived grammars.
+
+Structural compaction (Section 4.3) removes a dead alternative only when it is
+*literally* the ``∅`` node.  But derivatives of cyclic grammars routinely
+produce sub-graphs that denote the empty language without being the ``∅``
+node — for example, after a statement has ended, the derivative of a
+left-recursive expression non-terminal is a small cyclic core none of whose
+token leaves can ever match again.  Such "zombie" cores are re-derived on
+every subsequent token and, worse, every failed context leaves one behind, so
+the live grammar grows linearly and overall parsing degrades to quadratic.
+
+Racket implementations of parsing with derivatives (including the ``derp``
+family this paper builds on) handle this with an *emptiness* fixed point used
+during compaction: a child that provably generates no words is replaced by
+``∅`` so the ordinary ``∅``-rules can collapse its parents.  This module
+implements that as a standalone pass:
+
+* :func:`prune_empty` computes productivity (non-emptiness) for every node
+  reachable from the current grammar — treating ``δ(L)`` as a leaf whose
+  emptiness is decided by ``L``'s (already cached) nullability — and rewrites
+  child pointers of unproductive children to the canonical ``∅`` in place.
+
+:class:`repro.core.parse.DerivativeParser` invokes the pass adaptively (when
+the number of uncached ``derive`` calls since the last prune exceeds a small
+multiple of the live grammar size), so its amortized cost is a constant factor
+on top of derivation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Ref,
+    Token,
+)
+from .metrics import Metrics
+from .nullability import NullabilityAnalyzer
+
+__all__ = ["prune_empty", "live_nodes"]
+
+
+def live_nodes(root: Language) -> List[Language]:
+    """Nodes reachable from ``root`` without descending into ``δ`` children.
+
+    ``derive`` never recurses into the language under a ``δ`` node (its
+    derivative is ``∅`` outright), so for the purposes of per-token work the
+    "live" grammar excludes that history; the parse data it carries is only
+    visited once more, by ``parse-null`` at the very end.
+    """
+    seen: set[int] = set()
+    order: List[Language] = []
+    stack: List[Language] = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        order.append(node)
+        if isinstance(node, Delta):
+            continue
+        for child in node.children():
+            if child is not None and id(child) not in seen:
+                stack.append(child)
+    return order
+
+
+def _productivity(
+    nodes: List[Language], nullability: NullabilityAnalyzer
+) -> Dict[int, bool]:
+    """Least-fixed-point productivity (non-emptiness) over ``nodes``."""
+    value: Dict[int, bool] = {id(node): False for node in nodes}
+    dependents: Dict[int, List[Language]] = {}
+    for node in nodes:
+        if isinstance(node, Delta):
+            continue
+        for child in node.children():
+            if child is not None:
+                dependents.setdefault(id(child), []).append(node)
+
+    def evaluate(node: Language) -> bool:
+        if isinstance(node, (Epsilon, Token)):
+            return True
+        if isinstance(node, Empty):
+            return False
+        if isinstance(node, Delta):
+            return node.lang is not None and nullability.nullable(node.lang)
+        if isinstance(node, Alt):
+            return _val(node.left, value) or _val(node.right, value)
+        if isinstance(node, Cat):
+            return _val(node.left, value) and _val(node.right, value)
+        if isinstance(node, Reduce):
+            return _val(node.lang, value)
+        if isinstance(node, Ref):
+            return _val(node.target, value)
+        return True  # unknown node types are conservatively kept
+
+    worklist = deque(nodes)
+    in_worklist = {id(node) for node in nodes}
+    while worklist:
+        node = worklist.popleft()
+        in_worklist.discard(id(node))
+        if evaluate(node) and not value[id(node)]:
+            value[id(node)] = True
+            for parent in dependents.get(id(node), ()):
+                if id(parent) in value and id(parent) not in in_worklist:
+                    worklist.append(parent)
+                    in_worklist.add(id(parent))
+    return value
+
+
+def _val(child: Optional[Language], value: Dict[int, bool]) -> bool:
+    if child is None:
+        return False
+    if isinstance(child, Empty):
+        return False
+    if isinstance(child, (Epsilon, Token)):
+        return True
+    return value.get(id(child), True)
+
+
+def prune_empty(
+    root: Language,
+    nullability: Optional[NullabilityAnalyzer] = None,
+    metrics: Optional[Metrics] = None,
+) -> Tuple[Language, int]:
+    """Replace provably-empty children with ``∅`` throughout the live grammar.
+
+    Returns ``(new_root, live_size)`` where ``new_root`` is ``∅`` when the
+    whole grammar is empty (the input can no longer be completed) and
+    ``live_size`` is the number of live nodes remaining after the rewrite.
+    The rewrite mutates child pointers in place, so every memoized reference
+    to an existing node stays valid; no new nodes are created.
+    """
+    nullability = nullability if nullability is not None else NullabilityAnalyzer()
+    nodes = live_nodes(root)
+    productive = _productivity(nodes, nullability)
+
+    def is_dead(child: Optional[Language]) -> bool:
+        if child is None or isinstance(child, Empty):
+            return False  # nothing to rewrite
+        if isinstance(child, (Epsilon, Token)):
+            return False
+        return not productive.get(id(child), True)
+
+    rewrites = 0
+    for node in nodes:
+        if isinstance(node, (Alt, Cat)):
+            if is_dead(node.left):
+                node.left = EMPTY
+                rewrites += 1
+            if is_dead(node.right):
+                node.right = EMPTY
+                rewrites += 1
+        elif isinstance(node, Reduce):
+            if is_dead(node.lang):
+                node.lang = EMPTY
+                rewrites += 1
+        elif isinstance(node, Ref):
+            if is_dead(node.target):
+                node.target = EMPTY
+                rewrites += 1
+
+    if metrics is not None:
+        metrics.compaction_rewrites += rewrites
+
+    if not productive.get(id(root), True):
+        return EMPTY, 1
+    return root, len(live_nodes(root))

@@ -1,0 +1,166 @@
+"""Named reduction functions used by compaction.
+
+The compaction rules of Section 4.3 insert reduction nodes (``↪→``) whose
+functions reshape parse trees: pairing a tree with a constant, re-associating
+nested pairs, mapping a function over one component of a pair, or composing
+two reductions into one.  Using small named callable classes (instead of
+anonymous lambdas) keeps the resulting grammars debuggable and makes the
+reduction functions comparable and picklable, which the tests rely on.
+
+All functions operate on a *single* parse tree; ambiguity is represented
+structurally in the parse forest (ambiguity nodes), so the set-comprehension
+notation of the paper (``{(f {t1}, t2) | ...}``) corresponds here to mapping
+the function over each alternative of the forest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "Identity",
+    "Compose",
+    "PairLeft",
+    "PairRight",
+    "MapFirst",
+    "MapSecond",
+    "ReassocToLeft",
+    "Constant",
+    "compose",
+    "IDENTITY",
+]
+
+
+class ReductionFunction:
+    """Base class for named, comparable reduction functions."""
+
+    def __call__(self, tree: Any) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(part) for part in self._key())
+        return "{}({})".format(type(self).__name__, args)
+
+
+class Identity(ReductionFunction):
+    """``t ↦ t``."""
+
+    def __call__(self, tree: Any) -> Any:
+        return tree
+
+
+#: Shared identity reduction.
+IDENTITY = Identity()
+
+
+class Constant(ReductionFunction):
+    """``t ↦ value`` — discard the tree and return a constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __call__(self, tree: Any) -> Any:
+        return self.value
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class Compose(ReductionFunction):
+    """``t ↦ outer(inner(t))`` — the rule ``(p ↪→ f) ↪→ g ⇒ p ↪→ (g ∘ f)``."""
+
+    def __init__(self, outer: Callable[[Any], Any], inner: Callable[[Any], Any]) -> None:
+        self.outer = outer
+        self.inner = inner
+
+    def __call__(self, tree: Any) -> Any:
+        return self.outer(self.inner(tree))
+
+    def _key(self) -> tuple:
+        return (self.outer, self.inner)
+
+
+class PairLeft(ReductionFunction):
+    """``u ↦ (s, u)`` — from the rule ``ε_s ◦ p ⇒ p ↪→ λu.(s, u)``."""
+
+    def __init__(self, left: Any) -> None:
+        self.left = left
+
+    def __call__(self, tree: Any) -> Any:
+        return (self.left, tree)
+
+    def _key(self) -> tuple:
+        return (self.left,)
+
+
+class PairRight(ReductionFunction):
+    """``u ↦ (u, s)`` — from the rule ``p ◦ ε_s ⇒ p ↪→ λu.(u, s)``."""
+
+    def __init__(self, right: Any) -> None:
+        self.right = right
+
+    def __call__(self, tree: Any) -> Any:
+        return (tree, self.right)
+
+    def _key(self) -> tuple:
+        return (self.right,)
+
+
+class MapFirst(ReductionFunction):
+    """``(t1, t2) ↦ (f(t1), t2)`` — floating a reduction out of a left child."""
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, tree: Any) -> Any:
+        first, second = tree
+        return (self.fn(first), second)
+
+    def _key(self) -> tuple:
+        return (self.fn,)
+
+
+class MapSecond(ReductionFunction):
+    """``(t1, t2) ↦ (t1, f(t2))`` — floating a reduction out of a right child."""
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, tree: Any) -> Any:
+        first, second = tree
+        return (first, self.fn(second))
+
+    def _key(self) -> tuple:
+        return (self.fn,)
+
+
+class ReassocToLeft(ReductionFunction):
+    """``(t1, (t2, t3)) ↦ ((t1, t2), t3)``.
+
+    Used by the sequence-canonicalization rule of Section 4.3.2, which turns a
+    left-associated chain ``(p1 ◦ p2) ◦ p3`` into a right-associated chain and
+    restores the original tree shape with this function.
+    """
+
+    def __call__(self, tree: Any) -> Any:
+        first, rest = tree
+        second, third = rest
+        return ((first, second), third)
+
+
+def compose(outer: Callable[[Any], Any], inner: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """Compose two reduction functions, simplifying identities away."""
+    if isinstance(outer, Identity):
+        return inner
+    if isinstance(inner, Identity):
+        return outer
+    return Compose(outer, inner)

@@ -1,0 +1,5 @@
+"""Earley parser baseline (stand-in for Racket's parser-tools/cfg-parser)."""
+
+from .parser import EarleyItem, EarleyParser
+
+__all__ = ["EarleyParser", "EarleyItem"]

@@ -1,0 +1,231 @@
+"""An Earley parser — the stand-in for Racket's ``parser-tools/cfg-parser``.
+
+The paper's second baseline is the ``parser-tools/cfg-parser`` library, which
+its documentation describes as a variant of the Earley algorithm
+(Section 4.1).  This module implements the textbook Earley parser (Earley
+1968/1970) over the :class:`repro.cfg.grammar.Grammar` representation:
+
+* a chart with one item set per input position,
+* the *predictor*, *scanner* and *completer* rules,
+* the Aycock–Horspool refinement for nullable non-terminals (the predictor
+  immediately completes a predicted non-terminal that can derive ε), and
+* memoized parse-tree extraction from the completed chart.
+
+Like the other parsers in this reproduction it works on token *kinds*
+(see :func:`repro.core.languages.token_kind`), so the same token streams feed
+the derivative, Earley and GLR parsers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ParseError
+from ..core.languages import token_kind, token_value
+from ..cfg.analyses import nullable_nonterminals
+from ..cfg.grammar import Grammar, Nonterminal, Production
+
+__all__ = ["EarleyParser", "EarleyItem"]
+
+
+@dataclass(frozen=True)
+class EarleyItem:
+    """A dotted production with an origin position: ``A → α • β  [origin]``."""
+
+    production: Production
+    dot: int
+    origin: int
+
+    @property
+    def next_symbol(self) -> Optional[Any]:
+        """The symbol right after the dot, or None when the item is complete."""
+        if self.dot < len(self.production.rhs):
+            return self.production.rhs[self.dot]
+        return None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.dot >= len(self.production.rhs)
+
+    def advanced(self) -> "EarleyItem":
+        """The item with the dot moved one symbol to the right."""
+        return EarleyItem(self.production, self.dot + 1, self.origin)
+
+    def __str__(self) -> str:
+        before = " ".join(str(sym) for sym in self.production.rhs[: self.dot])
+        after = " ".join(str(sym) for sym in self.production.rhs[self.dot :])
+        return "{} → {} • {} [{}]".format(self.production.lhs, before, after, self.origin)
+
+
+class EarleyParser:
+    """Chart-based Earley recognizer and parser for arbitrary CFGs."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        grammar.validate()
+        self.grammar = grammar
+        self.nullable = nullable_nonterminals(grammar)
+
+    # ------------------------------------------------------------------ API
+    def recognize(self, tokens: Sequence[Any]) -> bool:
+        """True when the token sequence is in the grammar's language."""
+        chart = self._build_chart(tokens)
+        return self._accepting_item(chart, len(tokens)) is not None
+
+    def parse(self, tokens: Sequence[Any]) -> Any:
+        """Return one parse tree of the input in ``(lhs, children)`` form."""
+        chart = self._build_chart(tokens)
+        if self._accepting_item(chart, len(tokens)) is None:
+            raise ParseError(
+                "Earley parse failed",
+                position=self._failure_position(chart, tokens),
+                tokens=tokens,
+            )
+        completed = self._completed_index(chart)
+        memo: Dict[Tuple[str, int, int], Optional[Any]] = {}
+        tree = self._derive_tree(self.grammar.start, 0, len(tokens), tokens, completed, memo)
+        if tree is None:  # pragma: no cover - recognition succeeded, so a tree exists
+            raise ParseError("Earley tree extraction failed", position=len(tokens))
+        return tree
+
+    def chart_sizes(self, tokens: Sequence[Any]) -> List[int]:
+        """Number of items per chart position (used by tests and diagnostics)."""
+        return [len(items) for items in self._build_chart(tokens)]
+
+    # ------------------------------------------------------------ chart core
+    def _build_chart(self, tokens: Sequence[Any]) -> List[Set[EarleyItem]]:
+        length = len(tokens)
+        chart: List[Set[EarleyItem]] = [set() for _ in range(length + 1)]
+        order: List[List[EarleyItem]] = [[] for _ in range(length + 1)]
+
+        def add(position: int, item: EarleyItem) -> None:
+            if item not in chart[position]:
+                chart[position].add(item)
+                order[position].append(item)
+
+        for production in self.grammar.productions_for(self.grammar.start):
+            add(0, EarleyItem(production, 0, 0))
+
+        for position in range(length + 1):
+            index = 0
+            items = order[position]
+            while index < len(items):
+                item = items[index]
+                index += 1
+                symbol = item.next_symbol
+                if symbol is None:
+                    # Completer: finish every item waiting on this non-terminal.
+                    for waiting in list(order[item.origin]):
+                        next_symbol = waiting.next_symbol
+                        if (
+                            isinstance(next_symbol, Nonterminal)
+                            and next_symbol.name == item.production.lhs
+                        ):
+                            add(position, waiting.advanced())
+                elif isinstance(symbol, Nonterminal):
+                    # Predictor.
+                    for production in self.grammar.productions_for(symbol.name):
+                        add(position, EarleyItem(production, 0, position))
+                    if symbol.name in self.nullable:
+                        # Aycock–Horspool: a nullable prediction completes here.
+                        add(position, item.advanced())
+                else:
+                    # Scanner.
+                    if position < length and token_kind(tokens[position]) == symbol:
+                        add(position + 1, item.advanced())
+        return chart
+
+    def _accepting_item(
+        self, chart: List[Set[EarleyItem]], length: int
+    ) -> Optional[EarleyItem]:
+        for item in chart[length]:
+            if (
+                item.is_complete
+                and item.origin == 0
+                and item.production.lhs == self.grammar.start
+            ):
+                return item
+        return None
+
+    @staticmethod
+    def _failure_position(chart: List[Set[EarleyItem]], tokens: Sequence[Any]) -> int:
+        for position in range(len(chart)):
+            if not chart[position]:
+                return max(position - 1, 0)
+        return len(tokens)
+
+    # -------------------------------------------------------- tree extraction
+    def _completed_index(
+        self, chart: List[Set[EarleyItem]]
+    ) -> Dict[Tuple[str, int], List[Tuple[Production, int]]]:
+        """Index completed items as (lhs, origin) → [(production, end), ...]."""
+        completed: Dict[Tuple[str, int], List[Tuple[Production, int]]] = {}
+        for end, items in enumerate(chart):
+            for item in items:
+                if item.is_complete:
+                    completed.setdefault((item.production.lhs, item.origin), []).append(
+                        (item.production, end)
+                    )
+        return completed
+
+    def _derive_tree(
+        self,
+        lhs: str,
+        start: int,
+        end: int,
+        tokens: Sequence[Any],
+        completed: Dict[Tuple[str, int], List[Tuple[Production, int]]],
+        memo: Dict[Tuple[str, int, int], Optional[Any]],
+    ) -> Optional[Any]:
+        """Find one derivation of ``lhs`` spanning ``tokens[start:end]``."""
+        key = (lhs, start, end)
+        if key in memo:
+            return memo[key]
+        memo[key] = None  # guards against ε-cycles while searching
+        for production, completed_end in completed.get((lhs, start), ()):
+            if completed_end != end:
+                continue
+            children = self._match_symbols(
+                production.rhs, 0, start, end, tokens, completed, memo
+            )
+            if children is not None:
+                tree = (lhs, tuple(children))
+                memo[key] = tree
+                return tree
+        return memo[key]
+
+    def _match_symbols(
+        self,
+        symbols: Tuple[Any, ...],
+        index: int,
+        start: int,
+        end: int,
+        tokens: Sequence[Any],
+        completed: Dict[Tuple[str, int], List[Tuple[Production, int]]],
+        memo: Dict[Tuple[str, int, int], Optional[Any]],
+    ) -> Optional[List[Any]]:
+        """Split ``tokens[start:end]`` across ``symbols[index:]`` (backtracking)."""
+        if index == len(symbols):
+            return [] if start == end else None
+        symbol = symbols[index]
+        if not isinstance(symbol, Nonterminal):
+            if start < end and token_kind(tokens[start]) == symbol:
+                rest = self._match_symbols(
+                    symbols, index + 1, start + 1, end, tokens, completed, memo
+                )
+                if rest is not None:
+                    return [token_value(tokens[start])] + rest
+            return None
+        # Try every completed span of this non-terminal beginning at `start`.
+        for production, mid in completed.get((symbol.name, start), ()):
+            if mid > end:
+                continue
+            subtree = self._derive_tree(
+                symbol.name, start, mid, tokens, completed, memo
+            )
+            if subtree is None:
+                continue
+            rest = self._match_symbols(symbols, index + 1, mid, end, tokens, completed, memo)
+            if rest is not None:
+                return [subtree] + rest
+        return None

@@ -1,0 +1,15 @@
+"""GLR parser baseline (stand-in for Bison in GLR mode)."""
+
+from .lr import Accept, LRItem, LRTable, Reduce, Shift, build_slr_table
+from .parser import GLRParser, GSSNode
+
+__all__ = [
+    "GLRParser",
+    "GSSNode",
+    "LRTable",
+    "LRItem",
+    "Shift",
+    "Reduce",
+    "Accept",
+    "build_slr_table",
+]

@@ -1,0 +1,230 @@
+"""LR(0) automaton and SLR(1) parse-table construction.
+
+Bison — the paper's third baseline — builds an LALR(1) (or, in GLR mode, a
+possibly conflicting LALR(1)) table and drives it with a graph-structured
+stack.  This module provides the table half of that pipeline:
+
+* LR(0) items, closures and the canonical collection of item sets,
+* SLR(1) ACTION/GOTO tables, where each ACTION cell holds a *list* of actions
+  so that shift/reduce and reduce/reduce conflicts are preserved rather than
+  rejected (GLR explores all of them), and
+* conflict reporting, mirroring Bison's ``N shift/reduce, M reduce/reduce``
+  summary (the paper reports 92 shift/reduce and 4 reduce/reduce conflicts for
+  its Python grammar).
+
+SLR(1) lookaheads are slightly weaker than Bison's LALR(1), which only means
+our tables contain a few more conflicts; the GLR driver resolves them by
+exploring both alternatives, so the recognized language is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.analyses import follow_sets
+from ..cfg.grammar import END_OF_INPUT, Grammar, Nonterminal, Production
+
+__all__ = [
+    "LRItem",
+    "Shift",
+    "Reduce",
+    "Accept",
+    "LRTable",
+    "build_slr_table",
+]
+
+
+@dataclass(frozen=True)
+class LRItem:
+    """An LR(0) item ``A → α • β`` identified by production index and dot."""
+
+    production: Production
+    dot: int
+
+    @property
+    def next_symbol(self) -> Optional[Any]:
+        if self.dot < len(self.production.rhs):
+            return self.production.rhs[self.dot]
+        return None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.dot >= len(self.production.rhs)
+
+    def advanced(self) -> "LRItem":
+        return LRItem(self.production, self.dot + 1)
+
+    def __str__(self) -> str:
+        before = " ".join(str(s) for s in self.production.rhs[: self.dot])
+        after = " ".join(str(s) for s in self.production.rhs[self.dot :])
+        return "{} → {} • {}".format(self.production.lhs, before, after)
+
+
+@dataclass(frozen=True)
+class Shift:
+    """Shift the lookahead token and go to ``state``."""
+
+    state: int
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Reduce by ``production``."""
+
+    production: Production
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Accept the input."""
+
+
+class LRTable:
+    """SLR(1) ACTION/GOTO tables with conflicts preserved.
+
+    ``action[state][terminal]`` is a list of :class:`Shift` / :class:`Reduce` /
+    :class:`Accept` actions (more than one entry means a conflict), and
+    ``goto[state][nonterminal_name]`` is the successor state.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        states: List[FrozenSet[LRItem]],
+        action: List[Dict[Any, List[Any]]],
+        goto: List[Dict[str, int]],
+    ) -> None:
+        self.grammar = grammar
+        self.states = states
+        self.action = action
+        self.goto = goto
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def conflicts(self) -> Tuple[int, int]:
+        """Return ``(shift_reduce, reduce_reduce)`` conflict counts."""
+        shift_reduce = 0
+        reduce_reduce = 0
+        for row in self.action:
+            for actions in row.values():
+                if len(actions) < 2:
+                    continue
+                shifts = sum(1 for act in actions if isinstance(act, Shift))
+                reduces = sum(1 for act in actions if isinstance(act, Reduce))
+                if shifts and reduces:
+                    shift_reduce += 1
+                if reduces >= 2:
+                    reduce_reduce += 1
+        return shift_reduce, reduce_reduce
+
+    def is_deterministic(self) -> bool:
+        """True when no cell holds more than one action (plain LR parsing works)."""
+        return all(len(actions) <= 1 for row in self.action for actions in row.values())
+
+    def describe(self) -> str:
+        """A compact human-readable summary (state and conflict counts)."""
+        shift_reduce, reduce_reduce = self.conflicts()
+        return "LR table: {} states, {} shift/reduce and {} reduce/reduce conflicts".format(
+            self.state_count, shift_reduce, reduce_reduce
+        )
+
+
+def _closure(items: Set[LRItem], grammar: Grammar) -> FrozenSet[LRItem]:
+    closure = set(items)
+    worklist = list(items)
+    while worklist:
+        item = worklist.pop()
+        symbol = item.next_symbol
+        if isinstance(symbol, Nonterminal):
+            for production in grammar.productions_for(symbol.name):
+                new_item = LRItem(production, 0)
+                if new_item not in closure:
+                    closure.add(new_item)
+                    worklist.append(new_item)
+    return frozenset(closure)
+
+
+def _goto(items: FrozenSet[LRItem], symbol: Any, grammar: Grammar) -> FrozenSet[LRItem]:
+    moved = {
+        item.advanced()
+        for item in items
+        if item.next_symbol is not None and _symbols_equal(item.next_symbol, symbol)
+    }
+    if not moved:
+        return frozenset()
+    return _closure(moved, grammar)
+
+
+def _symbols_equal(left: Any, right: Any) -> bool:
+    return left == right
+
+
+def build_slr_table(grammar: Grammar) -> LRTable:
+    """Build the SLR(1) parse table for ``grammar`` (augmenting it first)."""
+    grammar.validate()
+    augmented = grammar.augmented()
+    start_production = augmented.productions_for(augmented.start)[0]
+
+    initial = _closure({LRItem(start_production, 0)}, augmented)
+    states: List[FrozenSet[LRItem]] = [initial]
+    state_index: Dict[FrozenSet[LRItem], int] = {initial: 0}
+    transitions: Dict[Tuple[int, Any], int] = {}
+
+    # Symbols over which transitions exist: every terminal and non-terminal.
+    symbols: List[Any] = list(augmented.terminals) + [
+        Nonterminal(name) for name in augmented.nonterminals
+    ]
+
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        for symbol in symbols:
+            successor = _goto(states[index], symbol, augmented)
+            if not successor:
+                continue
+            if successor not in state_index:
+                state_index[successor] = len(states)
+                states.append(successor)
+                worklist.append(state_index[successor])
+            transitions[(index, _transition_key(symbol))] = state_index[successor]
+
+    follow = follow_sets(augmented)
+    action: List[Dict[Any, List[Any]]] = [dict() for _ in states]
+    goto_table: List[Dict[str, int]] = [dict() for _ in states]
+
+    for (index, symbol_key), target in transitions.items():
+        if isinstance(symbol_key, tuple) and symbol_key[0] == "__nt__":
+            goto_table[index][symbol_key[1]] = target
+        else:
+            action[index].setdefault(symbol_key, []).append(Shift(target))
+
+    for index, items in enumerate(states):
+        for item in items:
+            if not item.is_complete:
+                continue
+            if item.production.lhs == augmented.start:
+                action[index].setdefault(END_OF_INPUT, []).append(Accept())
+                continue
+            for lookahead in follow[item.production.lhs]:
+                action[index].setdefault(lookahead, []).append(Reduce(item.production))
+
+    # Deduplicate identical actions (a cell can receive the same reduce twice
+    # through different FOLLOW paths).
+    for row in action:
+        for key, actions in row.items():
+            unique: List[Any] = []
+            for act in actions:
+                if act not in unique:
+                    unique.append(act)
+            row[key] = unique
+
+    return LRTable(augmented, states, action, goto_table)
+
+
+def _transition_key(symbol: Any) -> Any:
+    if isinstance(symbol, Nonterminal):
+        return ("__nt__", symbol.name)
+    return symbol

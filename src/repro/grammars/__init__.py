@@ -1,0 +1,29 @@
+"""Evaluation grammars: classic, ambiguous/worst-case, JSON and the Python subset."""
+
+from .ambiguous import (
+    binary_sum_grammar,
+    exponential_grammar,
+    worst_case_grammar,
+    worst_case_language,
+)
+from .classic import (
+    arithmetic_grammar,
+    balanced_parens_grammar,
+    json_grammar,
+    sexpr_grammar,
+)
+from .python_subset import PYTHON_GRAMMAR_TEXT, PYTHON_KEYWORDS, python_grammar
+
+__all__ = [
+    "arithmetic_grammar",
+    "balanced_parens_grammar",
+    "sexpr_grammar",
+    "json_grammar",
+    "exponential_grammar",
+    "binary_sum_grammar",
+    "worst_case_grammar",
+    "worst_case_language",
+    "python_grammar",
+    "PYTHON_GRAMMAR_TEXT",
+    "PYTHON_KEYWORDS",
+]

@@ -1,0 +1,51 @@
+"""Highly ambiguous and worst-case grammars from the paper's analysis.
+
+These are the grammars the complexity discussion of Section 3 leans on:
+
+* ``S → S S | a | b`` — the grammar the paper uses to justify the
+  ambiguity-node assumption (it has exponentially many parses).
+* ``E → E + E | n`` — the textbook ambiguous expression grammar (Catalan-many
+  parses), convenient because inputs are easy to scale.
+* ``L = (L ◦ L) ∪ c`` — Figure 5's worst-case grammar for the node-naming
+  argument, provided both as a CFG and as a raw parsing-expression graph with
+  an any-token terminal (exactly as drawn in the figure).
+"""
+
+from __future__ import annotations
+
+from ..cfg.grammar import Grammar, grammar_from_rules
+from ..core.languages import Alt, Cat, Language, Ref, any_token
+
+__all__ = [
+    "exponential_grammar",
+    "binary_sum_grammar",
+    "worst_case_grammar",
+    "worst_case_language",
+]
+
+
+def exponential_grammar() -> Grammar:
+    """``S → S S | a | b`` — exponentially many parses without sharing."""
+    return grammar_from_rules("S", {"S": [["S", "S"], ["a"], ["b"]]})
+
+
+def binary_sum_grammar() -> Grammar:
+    """``E → E + E | n`` — Catalan-number ambiguity, easy to scale by length."""
+    return grammar_from_rules("E", {"E": [["E", "+", "E"], ["n"]]})
+
+
+def worst_case_grammar() -> Grammar:
+    """Figure 5's grammar as a CFG over a single terminal ``c``."""
+    return grammar_from_rules("L", {"L": [["L", "L"], ["c"]]})
+
+
+def worst_case_language() -> Language:
+    """Figure 5's grammar as a raw parsing-expression graph.
+
+    The terminal accepts *any* token ("in this example, c accepts any token"),
+    which is what makes every position of the input a potential split point
+    and drives the O(G·n³) node construction the naming argument counts.
+    """
+    ref = Ref("L")
+    ref.set(Alt(Cat(ref, ref), any_token("c")))
+    return ref

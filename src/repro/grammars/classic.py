@@ -1,0 +1,64 @@
+"""Classic small grammars used by the tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from ..cfg.bnf import parse_bnf
+from ..cfg.grammar import Grammar, grammar_from_rules
+
+__all__ = [
+    "arithmetic_grammar",
+    "balanced_parens_grammar",
+    "sexpr_grammar",
+    "json_grammar",
+]
+
+
+def arithmetic_grammar() -> Grammar:
+    """The classic unambiguous expression grammar over NUMBER tokens.
+
+    ``expr → expr + term | term``, ``term → term * factor | factor``,
+    ``factor → ( expr ) | NUMBER`` — left recursive, so it exercises exactly
+    the feature that defeats recursive descent and PEGs but that parsing with
+    derivatives, Earley and GLR all handle.
+    """
+    return parse_bnf(
+        """
+        expr   : expr '+' term | expr '-' term | term ;
+        term   : term '*' factor | term '/' factor | factor ;
+        factor : '(' expr ')' | NUMBER | NAME ;
+        """
+    )
+
+
+def balanced_parens_grammar() -> Grammar:
+    """Balanced parentheses: ``S → ( S ) S | ε`` (nullable and recursive)."""
+    return grammar_from_rules("S", {"S": [["(", "S", ")", "S"], []]})
+
+
+def sexpr_grammar() -> Grammar:
+    """S-expressions over atoms: ``sexpr → ATOM | ( items )``."""
+    return parse_bnf(
+        """
+        sexpr : ATOM | '(' items ')' ;
+        items : %empty | sexpr items ;
+        """
+    )
+
+
+def json_grammar() -> Grammar:
+    """A JSON grammar over lexer token kinds (STRING, NUMBER, punctuation).
+
+    Token kinds follow json.org: objects, arrays, strings, numbers, the three
+    literals.  The grammar is unambiguous and heavily nested — a good
+    "realistic data format" workload that is not Python.
+    """
+    return parse_bnf(
+        """
+        value    : object | array | STRING | NUMBER | 'true' | 'false' | 'null' ;
+        object   : '{' '}' | '{' members '}' ;
+        members  : pair | pair ',' members ;
+        pair     : STRING ':' value ;
+        array    : '[' ']' | '[' elements ']' ;
+        elements : value | value ',' elements ;
+        """
+    )

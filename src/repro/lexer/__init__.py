@@ -1,0 +1,7 @@
+"""Derivative-based lexer and Python tokenizer bridge."""
+
+from .lexer import Lexer, LexRule
+from .python_tokens import tokenize_python, tokenize_python_file
+from .tokens import Tok
+
+__all__ = ["Tok", "Lexer", "LexRule", "tokenize_python", "tokenize_python_file"]

@@ -1,0 +1,105 @@
+"""A longest-match lexer driven by regular-expression derivatives.
+
+The paper tokenizes its corpus before benchmarking ("we tokenized files in
+advance and loaded those tokens into memory", Section 4.1), so the
+reproduction needs a tokenizer substrate.  :class:`Lexer` turns a list of
+``(kind, regex)`` rules into a scanner:
+
+* at each position every rule's regex is derived character by character,
+* the longest match wins; ties go to the earlier rule (the usual lex rules),
+* rules whose kind is in ``skip`` produce no token (whitespace, comments).
+
+Because matching is by Brzozowski derivatives, the lexer is itself a small
+demonstration of the technique the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import LexError
+from ..regex.derivatives import NULL, Regex, _Null
+from .tokens import Tok
+
+__all__ = ["LexRule", "Lexer"]
+
+
+@dataclass(frozen=True)
+class LexRule:
+    """One lexer rule: token ``kind`` plus the regex recognizing its lexemes."""
+
+    kind: str
+    pattern: Regex
+
+
+class Lexer:
+    """Longest-match scanner over a prioritized list of lexical rules."""
+
+    def __init__(
+        self,
+        rules: Sequence[Tuple[str, Regex]],
+        skip: Iterable[str] = (),
+        keywords: Optional[dict] = None,
+    ) -> None:
+        self.rules = [LexRule(kind, pattern) for kind, pattern in rules]
+        self.skip = frozenset(skip)
+        # keyword map: when a rule's lexeme is a key here, the token kind is
+        # replaced (the classic identifier-vs-keyword special case).
+        self.keywords = dict(keywords or {})
+
+    def tokens(self, text: str) -> List[Tok]:
+        """Tokenize ``text`` completely, raising :class:`LexError` on failure."""
+        out: List[Tok] = []
+        position = 0
+        line = 1
+        column = 1
+        while position < len(text):
+            kind, lexeme = self._longest_match(text, position)
+            if kind is None:
+                raise LexError(
+                    "cannot tokenize input at offset {} ({!r}...)".format(
+                        position, text[position : position + 10]
+                    ),
+                    position=position,
+                )
+            if kind not in self.skip:
+                token_kind = self.keywords.get(lexeme, kind)
+                value = lexeme
+                out.append(Tok(token_kind, value, line, column))
+            newlines = lexeme.count("\n")
+            if newlines:
+                line += newlines
+                column = len(lexeme) - lexeme.rfind("\n")
+            else:
+                column += len(lexeme)
+            position += len(lexeme)
+        return out
+
+    def _longest_match(self, text: str, start: int) -> Tuple[Optional[str], str]:
+        """Return the (kind, lexeme) of the longest match at ``start``."""
+        best_kind: Optional[str] = None
+        best_length = 0
+        for rule in self.rules:
+            length = self._match_length(rule.pattern, text, start)
+            if length > best_length:
+                best_kind = rule.kind
+                best_length = length
+        return best_kind, text[start : start + best_length]
+
+    @staticmethod
+    def _match_length(pattern: Regex, text: str, start: int) -> int:
+        """Length of the longest prefix of ``text[start:]`` matching ``pattern``."""
+        current = pattern
+        best = -1
+        if current.nullable():
+            best = 0
+        position = start
+        while position < len(text):
+            current = current.derive(text[position])
+            if isinstance(current, _Null):
+                break
+            position += 1
+            if current.nullable():
+                best = position - start
+        return max(best, 0)

@@ -1,0 +1,83 @@
+"""Tokenize Python source into the token vocabulary of the Python-subset grammar.
+
+The paper's corpus is "the Python Standard Library ... tokenized in advance"
+(Section 4.1).  This module is the bridge between real Python source files and
+the reproduction's parsers: it runs the standard library's ``tokenize`` module
+and maps its tokens onto the kinds used by
+:func:`repro.grammars.python_subset.python_grammar`:
+
+* keywords become their own kinds (``"def"``, ``"if"``, ...),
+* identifiers become ``NAME``, numbers ``NUMBER``, strings ``STRING``,
+* operators and delimiters use their literal text (``"+"``, ``"("``, ...),
+* ``NEWLINE``, ``INDENT`` and ``DEDENT`` pass through (the grammar is
+  whitespace-structured, like Python's real grammar),
+* comments, blank-line ``NL`` tokens, encoding markers and the end marker are
+  dropped.
+"""
+
+from __future__ import annotations
+
+import io
+import keyword
+import tokenize as std_tokenize
+from typing import List
+
+from ..core.errors import LexError
+from .tokens import Tok
+
+__all__ = ["tokenize_python", "tokenize_python_file"]
+
+
+_DROPPED = {
+    std_tokenize.COMMENT,
+    std_tokenize.NL,
+    std_tokenize.ENCODING,
+    std_tokenize.ENDMARKER,
+}
+
+
+def tokenize_python(source: str) -> List[Tok]:
+    """Tokenize Python source text into :class:`~repro.lexer.tokens.Tok` objects."""
+    reader = io.StringIO(source).readline
+    out: List[Tok] = []
+    try:
+        for tok in std_tokenize.generate_tokens(reader):
+            mapped = _map_token(tok)
+            if mapped is not None:
+                out.append(mapped)
+    except (std_tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        raise LexError("could not tokenize Python source: {}".format(exc)) from exc
+    return out
+
+
+def tokenize_python_file(path: str) -> List[Tok]:
+    """Tokenize a Python file on disk."""
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return tokenize_python(handle.read())
+
+
+def _map_token(tok: "std_tokenize.TokenInfo") -> Tok | None:
+    kind = tok.type
+    text = tok.string
+    line, column = tok.start
+    if kind in _DROPPED:
+        return None
+    if kind == std_tokenize.NAME:
+        if keyword.iskeyword(text):
+            return Tok(text, text, line, column + 1)
+        return Tok("NAME", text, line, column + 1)
+    if kind == std_tokenize.NUMBER:
+        return Tok("NUMBER", text, line, column + 1)
+    if kind == std_tokenize.STRING or kind == getattr(std_tokenize, "FSTRING_START", -1):
+        return Tok("STRING", text, line, column + 1)
+    if kind == std_tokenize.NEWLINE:
+        return Tok("NEWLINE", "\n", line, column + 1)
+    if kind == std_tokenize.INDENT:
+        return Tok("INDENT", text, line, column + 1)
+    if kind == std_tokenize.DEDENT:
+        return Tok("DEDENT", "", line, column + 1)
+    if kind == std_tokenize.OP:
+        return Tok(text, text, line, column + 1)
+    # Anything else (await/async soft tokens on old versions, error tokens …)
+    # is passed through by its literal text so grammars can choose to care.
+    return Tok(text, text, line, column + 1)

@@ -1,0 +1,38 @@
+"""The token type shared by every parser in the reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Tok"]
+
+
+@dataclass(frozen=True)
+class Tok:
+    """A lexed token: a ``kind`` (what grammars match on) and a ``value``.
+
+    ``kind`` is what terminal symbols in grammars refer to (``"NAME"``,
+    ``"+"`` …) and ``value`` is the semantic payload that ends up in parse
+    trees (``"foo"``, ``"+"`` …).  ``line``/``column`` are 1-based source
+    coordinates when known, 0 otherwise.
+
+    Equality and hashing deliberately include only ``kind`` and ``value``:
+    the derivative parser memoizes ``derive`` per token, and two occurrences
+    of the same token text at different positions must share memo entries
+    (Section 4.4 discusses precisely this reuse).
+    """
+
+    kind: str
+    value: Any = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            object.__setattr__(self, "value", self.kind)
+
+    def __str__(self) -> str:
+        if self.value == self.kind:
+            return str(self.kind)
+        return "{}({!r})".format(self.kind, self.value)

@@ -1,0 +1,316 @@
+"""Brzozowski derivatives of regular expressions (Section 2.1 made executable).
+
+Parsing with derivatives generalizes Brzozowski's 1964 technique for regular
+expressions; this module implements the original technique, both because the
+paper's background section builds on it and because the reproduction's lexer
+(:mod:`repro.lexer`) uses it to recognize token classes.
+
+A regular expression is represented by a small AST (:class:`Regex` subclasses)
+with smart constructors that keep expressions in a weak normal form (the
+"similarity" rules Brzozowski uses to keep the set of derivatives finite):
+
+* ``∅ | r ⇒ r``, ``r | r ⇒ r``
+* ``∅ · r ⇒ ∅``, ``ε · r ⇒ r``
+* ``(r*)* ⇒ r*``, ``ε* ⇒ ε``, ``∅* ⇒ ε``
+
+With these rules the set of derivatives of any regex is finite, which is what
+makes :func:`to_dfa` terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Regex",
+    "NULL",
+    "EPSILON",
+    "char",
+    "chars",
+    "char_range",
+    "any_char",
+    "seq",
+    "alt",
+    "star",
+    "plus",
+    "optional",
+    "literal",
+    "nullable",
+    "derive",
+    "matches",
+    "DFA",
+    "to_dfa",
+]
+
+
+class Regex:
+    """Base class of the regular-expression AST (immutable, hashable)."""
+
+    def nullable(self) -> bool:
+        raise NotImplementedError
+
+    def derive(self, symbol: str) -> "Regex":
+        raise NotImplementedError
+
+    # Convenience operators mirroring the parsing-expression sugar.
+    def __or__(self, other: "Regex") -> "Regex":
+        return alt(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return seq(self, other)
+
+
+@dataclass(frozen=True)
+class _Null(Regex):
+    """The empty language ``∅``."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def derive(self, symbol: str) -> Regex:
+        return NULL
+
+    def __repr__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class _Epsilon(Regex):
+    """The empty-string language ``ε``."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def derive(self, symbol: str) -> Regex:
+        return NULL
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+NULL = _Null()
+EPSILON = _Epsilon()
+
+
+@dataclass(frozen=True)
+class CharSet(Regex):
+    """A single symbol drawn from a set of characters (or its complement)."""
+
+    symbols: FrozenSet[str]
+    negated: bool = False
+
+    def accepts(self, symbol: str) -> bool:
+        return (symbol in self.symbols) != self.negated
+
+    def nullable(self) -> bool:
+        return False
+
+    def derive(self, symbol: str) -> Regex:
+        return EPSILON if self.accepts(symbol) else NULL
+
+    def __repr__(self) -> str:
+        inside = "".join(sorted(self.symbols))
+        return "[^{}]".format(inside) if self.negated else "[{}]".format(inside)
+
+
+@dataclass(frozen=True)
+class Seq(Regex):
+    """Concatenation ``first · second``."""
+
+    first: Regex
+    second: Regex
+
+    def nullable(self) -> bool:
+        return self.first.nullable() and self.second.nullable()
+
+    def derive(self, symbol: str) -> Regex:
+        head = seq(self.first.derive(symbol), self.second)
+        if self.first.nullable():
+            return alt(head, self.second.derive(symbol))
+        return head
+
+    def __repr__(self) -> str:
+        return "({!r}{!r})".format(self.first, self.second)
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Alternation ``left | right``."""
+
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def derive(self, symbol: str) -> Regex:
+        return alt(self.left.derive(symbol), self.right.derive(symbol))
+
+    def __repr__(self) -> str:
+        return "({!r}|{!r})".format(self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure ``inner*``."""
+
+    inner: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+    def derive(self, symbol: str) -> Regex:
+        return seq(self.inner.derive(symbol), self)
+
+    def __repr__(self) -> str:
+        return "({!r})*".format(self.inner)
+
+
+# ------------------------------------------------------------ constructors
+def char(symbol: str) -> Regex:
+    """A regex matching exactly the one-character string ``symbol``."""
+    if len(symbol) != 1:
+        raise ValueError("char() expects a single character, got {!r}".format(symbol))
+    return CharSet(frozenset({symbol}))
+
+
+def chars(symbols: Iterable[str], negated: bool = False) -> Regex:
+    """A regex matching any one character in ``symbols`` (or outside it)."""
+    return CharSet(frozenset(symbols), negated)
+
+
+def char_range(start: str, end: str) -> Regex:
+    """A regex matching one character in the inclusive range ``start``–``end``."""
+    return chars(chr(code) for code in range(ord(start), ord(end) + 1))
+
+
+def any_char() -> Regex:
+    """A regex matching any single character."""
+    return CharSet(frozenset(), negated=True)
+
+
+def seq(*parts: Regex) -> Regex:
+    """Concatenation with the ``∅``/``ε`` simplifications applied."""
+    result: Optional[Regex] = None
+    for part in reversed(parts):
+        if isinstance(part, _Null):
+            return NULL
+        if isinstance(part, _Epsilon):
+            continue
+        result = part if result is None else Seq(part, result)
+    return result if result is not None else EPSILON
+
+
+def alt(*parts: Regex) -> Regex:
+    """Alternation with ``∅`` elimination and duplicate removal."""
+    flat: List[Regex] = []
+    for part in parts:
+        if isinstance(part, _Null):
+            continue
+        if part not in flat:
+            flat.append(part)
+    if not flat:
+        return NULL
+    result = flat[0]
+    for part in flat[1:]:
+        result = Alt(result, part)
+    return result
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with ``(r*)* ⇒ r*``, ``ε* ⇒ ε`` and ``∅* ⇒ ε``."""
+    if isinstance(inner, (_Epsilon, _Null)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """``r+ = r · r*``."""
+    return seq(inner, star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """``r? = ε | r``."""
+    return alt(EPSILON, inner)
+
+
+def literal(text: str) -> Regex:
+    """A regex matching exactly ``text``."""
+    return seq(*(char(symbol) for symbol in text))
+
+
+# ------------------------------------------------------------------ queries
+def nullable(regex: Regex) -> bool:
+    """True when the regex matches the empty string."""
+    return regex.nullable()
+
+
+def derive(regex: Regex, symbol: str) -> Regex:
+    """The Brzozowski derivative of ``regex`` with respect to ``symbol``."""
+    return regex.derive(symbol)
+
+
+def matches(regex: Regex, text: str) -> bool:
+    """Match by repeated derivation — the algorithm of Section 2.1."""
+    current = regex
+    for symbol in text:
+        current = current.derive(symbol)
+        if isinstance(current, _Null):
+            return False
+    return current.nullable()
+
+
+# ---------------------------------------------------------------------- DFA
+@dataclass
+class DFA:
+    """A deterministic automaton built from regex derivatives.
+
+    ``states`` are the distinct derivatives encountered, ``transitions`` maps
+    ``(state_index, symbol)`` to a state index, and ``accepting`` is the set of
+    nullable states.  Symbols outside ``alphabet`` fall into the dead state.
+    """
+
+    alphabet: Tuple[str, ...]
+    transitions: Dict[Tuple[int, str], int]
+    accepting: FrozenSet[int]
+    start: int
+    dead: Optional[int]
+
+    @property
+    def state_count(self) -> int:
+        states = {self.start}
+        states.update(target for target in self.transitions.values())
+        states.update(index for index, _ in self.transitions)
+        return len(states)
+
+    def accepts(self, text: str) -> bool:
+        state = self.start
+        for symbol in text:
+            state = self.transitions.get((state, symbol), self.dead if self.dead is not None else -1)
+            if state == -1:
+                return False
+        return state in self.accepting
+
+
+def to_dfa(regex: Regex, alphabet: Iterable[str]) -> DFA:
+    """Build a DFA whose states are the (finitely many) derivatives of ``regex``."""
+    alphabet = tuple(dict.fromkeys(alphabet))
+    index: Dict[Regex, int] = {regex: 0}
+    order: List[Regex] = [regex]
+    transitions: Dict[Tuple[int, str], int] = {}
+    worklist = [regex]
+    while worklist:
+        current = worklist.pop()
+        for symbol in alphabet:
+            successor = current.derive(symbol)
+            if successor not in index:
+                index[successor] = len(order)
+                order.append(successor)
+                worklist.append(successor)
+            transitions[(index[current], symbol)] = index[successor]
+    accepting = frozenset(position for position, state in enumerate(order) if state.nullable())
+    dead = index.get(NULL)
+    return DFA(alphabet, transitions, accepting, 0, dead)

@@ -1,0 +1,28 @@
+"""Workload generators: synthetic Python programs, token streams, stdlib corpus."""
+
+from .corpus import CorpusFile, iter_corpus, load_corpus_sample, stdlib_paths
+from .python_source import PythonProgramGenerator, SyntheticProgram, generate_program
+from .token_streams import (
+    ambiguous_sum_tokens,
+    arithmetic_tokens,
+    json_tokens,
+    nested_parens_tokens,
+    repeated_token_stream,
+    sexpr_tokens,
+)
+
+__all__ = [
+    "PythonProgramGenerator",
+    "SyntheticProgram",
+    "generate_program",
+    "CorpusFile",
+    "iter_corpus",
+    "load_corpus_sample",
+    "stdlib_paths",
+    "arithmetic_tokens",
+    "json_tokens",
+    "sexpr_tokens",
+    "nested_parens_tokens",
+    "ambiguous_sum_tokens",
+    "repeated_token_stream",
+]

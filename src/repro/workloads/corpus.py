@@ -1,0 +1,74 @@
+"""Real-Python corpus loading (the locally installed standard library).
+
+The paper's corpus is the Python 3.4.3 standard library.  The reproduction
+uses whatever CPython standard library is installed on the machine running
+the benchmarks: files are discovered under ``sysconfig``'s stdlib path,
+tokenized with the stdlib ``tokenize`` module and mapped onto the grammar's
+token vocabulary by :mod:`repro.lexer.python_tokens`.
+
+Not every real file is inside the Python *subset* grammar (decorators,
+``try``/``except``, comprehensions and other constructs are outside the
+subset), so corpus files are primarily used for tokenizer-level statistics
+and for opportunistic end-to-end checks; the timing benchmarks use the
+synthetic generator, which guarantees grammar coverage at every size.
+"""
+
+from __future__ import annotations
+
+import os
+import sysconfig
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..core.errors import LexError
+from ..lexer.python_tokens import tokenize_python_file
+from ..lexer.tokens import Tok
+
+__all__ = ["CorpusFile", "stdlib_paths", "iter_corpus", "load_corpus_sample"]
+
+
+@dataclass
+class CorpusFile:
+    """One tokenized corpus file."""
+
+    path: str
+    tokens: List[Tok]
+
+    @property
+    def token_count(self) -> int:
+        return len(self.tokens)
+
+
+def stdlib_paths(limit: Optional[int] = None) -> List[str]:
+    """Paths of standard-library ``.py`` files, smallest first."""
+    root = sysconfig.get_paths().get("stdlib")
+    if not root or not os.path.isdir(root):
+        return []
+    paths: List[str] = []
+    for entry in sorted(os.listdir(root)):
+        full = os.path.join(root, entry)
+        if entry.endswith(".py") and os.path.isfile(full):
+            paths.append(full)
+    paths.sort(key=lambda path: os.path.getsize(path))
+    return paths[:limit] if limit is not None else paths
+
+
+def iter_corpus(limit: Optional[int] = None) -> Iterator[CorpusFile]:
+    """Tokenize standard-library files, skipping any the tokenizer rejects."""
+    for path in stdlib_paths(limit):
+        try:
+            yield CorpusFile(path, tokenize_python_file(path))
+        except LexError:
+            continue
+
+
+def load_corpus_sample(max_files: int = 10, max_tokens: int = 5000) -> List[CorpusFile]:
+    """A small deterministic sample of tokenized stdlib files for tests."""
+    sample: List[CorpusFile] = []
+    for corpus_file in iter_corpus(limit=max_files * 5):
+        if corpus_file.token_count == 0 or corpus_file.token_count > max_tokens:
+            continue
+        sample.append(corpus_file)
+        if len(sample) >= max_files:
+            break
+    return sample

@@ -1,0 +1,306 @@
+"""Deterministic synthetic Python programs for the evaluation workloads.
+
+The paper benchmarks against the Python Standard Library (663 files, up to
+26,125 tokens).  The reproduction cannot ship that exact corpus, so this
+module generates *synthetic* Python programs with the statistical shape of
+ordinary Python code — functions with arithmetic and calls, conditionals,
+loops, classes, imports — at any requested token count.  Two properties make
+the generator suitable for benchmarking:
+
+* **Determinism** — a given ``seed`` and ``target_tokens`` always produce the
+  same program, so measurements are repeatable.
+* **Grammar closure** — every emitted construct is covered by
+  :func:`repro.grammars.python_subset.python_grammar`, so all four parsers
+  accept every generated program and the comparison measures parsing speed,
+  never error handling.
+
+The generator produces both the token stream (what the parsers consume — the
+paper tokenizes ahead of time as well) and the corresponding source text
+(useful for eyeballing the workload and for the stdlib-``tokenize`` bridge).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..lexer.tokens import Tok
+
+__all__ = ["SyntheticProgram", "PythonProgramGenerator", "generate_program"]
+
+
+@dataclass
+class SyntheticProgram:
+    """A generated program: its token stream and its source text."""
+
+    tokens: List[Tok]
+    source: str
+    seed: int
+    requested_tokens: int
+
+    @property
+    def token_count(self) -> int:
+        return len(self.tokens)
+
+
+class _Emitter:
+    """Accumulates tokens and source text while tracking indentation."""
+
+    def __init__(self) -> None:
+        self.tokens: List[Tok] = []
+        self.lines: List[str] = []
+        self.indent = 0
+        self._current: List[str] = []
+
+    def tok(self, kind: str, value: Optional[str] = None) -> None:
+        self.tokens.append(Tok(kind, value if value is not None else kind))
+        self._current.append(value if value is not None else kind)
+
+    def newline(self) -> None:
+        self.tokens.append(Tok("NEWLINE", "\n"))
+        self.lines.append("    " * self.indent + " ".join(self._current))
+        self._current = []
+
+    def open_suite(self) -> None:
+        self.newline()
+        self.indent += 1
+        self.tokens.append(Tok("INDENT", "    " * self.indent))
+
+    def close_suite(self) -> None:
+        self.indent -= 1
+        self.tokens.append(Tok("DEDENT", ""))
+
+    @property
+    def count(self) -> int:
+        return len(self.tokens)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class PythonProgramGenerator:
+    """Generate Python-like programs of (approximately) a requested token count."""
+
+    NAMES = ("alpha", "beta", "counter", "data", "index", "item", "result", "total", "value", "x")
+    ATTRS = ("size", "next", "items", "name", "head")
+    FUNCS = ("process", "compute", "update", "handle", "reduce_all", "scan")
+    MODULES = ("os", "sys", "math", "json", "collections")
+    NUMBERS = ("0", "1", "2", "3", "7", "10", "42", "100")
+    STRINGS = ("'ok'", "'error'", "'result'", "'x'")
+    COMPARES = ("<", ">", "==", "!=", "<=", ">=")
+    ARITH = ("+", "-", "*", "//", "%")
+    AUG = ("+=", "-=", "*=")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ API
+    def generate(self, target_tokens: int) -> SyntheticProgram:
+        """Generate a program of roughly ``target_tokens`` tokens (never fewer)."""
+        emitter = _Emitter()
+        # A little preamble of imports, like most real modules.
+        self._import(emitter)
+        while emitter.count < target_tokens:
+            choice = self.rng.random()
+            if choice < 0.45:
+                self._funcdef(emitter)
+            elif choice < 0.55:
+                self._classdef(emitter)
+            else:
+                self._statement(emitter, in_function=False, in_loop=False)
+        return SyntheticProgram(
+            tokens=emitter.tokens,
+            source=emitter.source(),
+            seed=self.seed,
+            requested_tokens=target_tokens,
+        )
+
+    # ------------------------------------------------------------ statements
+    def _import(self, emitter: _Emitter) -> None:
+        if self.rng.random() < 0.5:
+            emitter.tok("import")
+            emitter.tok("NAME", self.rng.choice(self.MODULES))
+        else:
+            emitter.tok("from")
+            emitter.tok("NAME", self.rng.choice(self.MODULES))
+            emitter.tok("import")
+            emitter.tok("NAME", self.rng.choice(self.FUNCS))
+        emitter.newline()
+
+    def _funcdef(self, emitter: _Emitter) -> None:
+        emitter.tok("def")
+        emitter.tok("NAME", self.rng.choice(self.FUNCS))
+        emitter.tok("(")
+        params = self.rng.randrange(0, 4)
+        for position in range(params):
+            if position:
+                emitter.tok(",")
+            emitter.tok("NAME", self.NAMES[position])
+            if self.rng.random() < 0.25:
+                emitter.tok("=")
+                emitter.tok("NUMBER", self.rng.choice(self.NUMBERS))
+        emitter.tok(")")
+        emitter.tok(":")
+        emitter.open_suite()
+        for _ in range(self.rng.randrange(2, 6)):
+            self._statement(emitter, in_function=True, in_loop=False)
+        if self.rng.random() < 0.8:
+            emitter.tok("return")
+            self._expression(emitter, depth=2)
+            emitter.newline()
+        emitter.close_suite()
+
+    def _classdef(self, emitter: _Emitter) -> None:
+        emitter.tok("class")
+        emitter.tok("NAME", "Widget")
+        if self.rng.random() < 0.4:
+            emitter.tok("(")
+            emitter.tok("NAME", "object")
+            emitter.tok(")")
+        emitter.tok(":")
+        emitter.open_suite()
+        for _ in range(self.rng.randrange(1, 3)):
+            self._funcdef(emitter)
+        emitter.close_suite()
+
+    def _statement(self, emitter: _Emitter, in_function: bool, in_loop: bool) -> None:
+        roll = self.rng.random()
+        if roll < 0.35:
+            self._assignment(emitter)
+        elif roll < 0.45:
+            self._aug_assignment(emitter)
+        elif roll < 0.55:
+            self._call_statement(emitter)
+        elif roll < 0.70:
+            self._if(emitter, in_function, in_loop)
+        elif roll < 0.80:
+            self._while(emitter, in_function)
+        elif roll < 0.90:
+            self._for(emitter, in_function)
+        elif roll < 0.95 and in_loop:
+            emitter.tok(self.rng.choice(("break", "continue")))
+            emitter.newline()
+        else:
+            emitter.tok("assert")
+            self._expression(emitter, depth=1)
+            emitter.newline()
+
+    def _assignment(self, emitter: _Emitter) -> None:
+        emitter.tok("NAME", self.rng.choice(self.NAMES))
+        if self.rng.random() < 0.2:
+            emitter.tok(".")
+            emitter.tok("NAME", self.rng.choice(self.ATTRS))
+        emitter.tok("=")
+        self._expression(emitter, depth=2)
+        emitter.newline()
+
+    def _aug_assignment(self, emitter: _Emitter) -> None:
+        emitter.tok("NAME", self.rng.choice(self.NAMES))
+        emitter.tok(self.rng.choice(self.AUG))
+        self._expression(emitter, depth=1)
+        emitter.newline()
+
+    def _call_statement(self, emitter: _Emitter) -> None:
+        self._call(emitter, depth=1)
+        emitter.newline()
+
+    def _if(self, emitter: _Emitter, in_function: bool, in_loop: bool) -> None:
+        emitter.tok("if")
+        self._condition(emitter)
+        emitter.tok(":")
+        emitter.open_suite()
+        for _ in range(self.rng.randrange(1, 3)):
+            self._simple_statement(emitter)
+        emitter.close_suite()
+        if self.rng.random() < 0.4:
+            emitter.tok("else")
+            emitter.tok(":")
+            emitter.open_suite()
+            self._simple_statement(emitter)
+            emitter.close_suite()
+
+    def _while(self, emitter: _Emitter, in_function: bool) -> None:
+        emitter.tok("while")
+        self._condition(emitter)
+        emitter.tok(":")
+        emitter.open_suite()
+        for _ in range(self.rng.randrange(1, 3)):
+            self._simple_statement(emitter)
+        if self.rng.random() < 0.3:
+            emitter.tok(self.rng.choice(("break", "continue")))
+            emitter.newline()
+        emitter.close_suite()
+
+    def _for(self, emitter: _Emitter, in_function: bool) -> None:
+        emitter.tok("for")
+        emitter.tok("NAME", self.rng.choice(self.NAMES))
+        emitter.tok("in")
+        self._call(emitter, depth=1)
+        emitter.tok(":")
+        emitter.open_suite()
+        for _ in range(self.rng.randrange(1, 3)):
+            self._simple_statement(emitter)
+        emitter.close_suite()
+
+    def _simple_statement(self, emitter: _Emitter) -> None:
+        roll = self.rng.random()
+        if roll < 0.5:
+            self._assignment(emitter)
+        elif roll < 0.7:
+            self._aug_assignment(emitter)
+        elif roll < 0.9:
+            self._call_statement(emitter)
+        else:
+            emitter.tok("pass")
+            emitter.newline()
+
+    # ----------------------------------------------------------- expressions
+    def _condition(self, emitter: _Emitter) -> None:
+        self._expression(emitter, depth=1)
+        emitter.tok(self.rng.choice(self.COMPARES))
+        self._expression(emitter, depth=1)
+        if self.rng.random() < 0.2:
+            emitter.tok(self.rng.choice(("and", "or")))
+            self._expression(emitter, depth=1)
+
+    def _expression(self, emitter: _Emitter, depth: int) -> None:
+        self._term(emitter, depth)
+        for _ in range(self.rng.randrange(0, 3)):
+            emitter.tok(self.rng.choice(self.ARITH))
+            self._term(emitter, depth)
+
+    def _term(self, emitter: _Emitter, depth: int) -> None:
+        roll = self.rng.random()
+        if depth <= 0 or roll < 0.35:
+            emitter.tok("NAME", self.rng.choice(self.NAMES))
+        elif roll < 0.6:
+            emitter.tok("NUMBER", self.rng.choice(self.NUMBERS))
+        elif roll < 0.7:
+            emitter.tok("STRING", self.rng.choice(self.STRINGS))
+        elif roll < 0.85:
+            self._call(emitter, depth - 1)
+        elif roll < 0.95:
+            emitter.tok("NAME", self.rng.choice(self.NAMES))
+            emitter.tok(".")
+            emitter.tok("NAME", self.rng.choice(self.ATTRS))
+        else:
+            emitter.tok("(")
+            self._expression(emitter, depth - 1)
+            emitter.tok(")")
+
+    def _call(self, emitter: _Emitter, depth: int) -> None:
+        emitter.tok("NAME", self.rng.choice(self.FUNCS))
+        emitter.tok("(")
+        arguments = self.rng.randrange(0, 3)
+        for position in range(arguments):
+            if position:
+                emitter.tok(",")
+            self._expression(emitter, max(depth, 0))
+        emitter.tok(")")
+
+
+def generate_program(target_tokens: int, seed: int = 0) -> SyntheticProgram:
+    """Convenience wrapper: one-shot generation of a synthetic program."""
+    return PythonProgramGenerator(seed).generate(target_tokens)

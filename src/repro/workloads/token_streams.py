@@ -1,0 +1,143 @@
+"""Token-stream generators for the non-Python evaluation grammars."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..lexer.tokens import Tok
+
+__all__ = [
+    "arithmetic_tokens",
+    "json_tokens",
+    "sexpr_tokens",
+    "nested_parens_tokens",
+    "ambiguous_sum_tokens",
+    "repeated_token_stream",
+]
+
+
+def arithmetic_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A random well-formed arithmetic expression of roughly ``length`` tokens."""
+    rng = random.Random(seed)
+    out: List[Tok] = []
+    depth = 0
+
+    def operand() -> None:
+        nonlocal depth
+        if rng.random() < 0.2 and depth < 8:
+            out.append(Tok("("))
+            depth += 1
+            operand()
+            rest()
+            out.append(Tok(")"))
+            depth -= 1
+        elif rng.random() < 0.5:
+            out.append(Tok("NUMBER", str(rng.randrange(0, 1000))))
+        else:
+            out.append(Tok("NAME", rng.choice("abcxyz")))
+
+    def rest() -> None:
+        while rng.random() < 0.5:
+            out.append(Tok(rng.choice("+-*/")))
+            operand()
+
+    operand()
+    while len(out) < length:
+        out.append(Tok(rng.choice("+-*/")))
+        operand()
+    return out
+
+
+def json_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A random well-formed JSON document of at least ``length`` tokens."""
+    rng = random.Random(seed)
+    out: List[Tok] = []
+
+    def value(depth: int) -> None:
+        roll = rng.random()
+        if depth <= 0 or roll < 0.35:
+            out.append(
+                rng.choice(
+                    [
+                        Tok("NUMBER", str(rng.randrange(0, 100))),
+                        Tok("STRING", '"s{}"'.format(rng.randrange(0, 50))),
+                        Tok("true"),
+                        Tok("false"),
+                        Tok("null"),
+                    ]
+                )
+            )
+        elif roll < 0.7:
+            out.append(Tok("{"))
+            for position in range(rng.randrange(1, 4)):
+                if position:
+                    out.append(Tok(","))
+                out.append(Tok("STRING", '"k{}"'.format(position)))
+                out.append(Tok(":"))
+                value(depth - 1)
+            out.append(Tok("}"))
+        else:
+            out.append(Tok("["))
+            for position in range(rng.randrange(1, 4)):
+                if position:
+                    out.append(Tok(","))
+                value(depth - 1)
+            out.append(Tok("]"))
+
+    # Wrap everything in one array so concatenating more elements keeps the
+    # document well formed while we grow to the requested size.
+    out.append(Tok("["))
+    value(4)
+    while len(out) < length - 1:
+        out.append(Tok(","))
+        value(4)
+    out.append(Tok("]"))
+    return out
+
+
+def sexpr_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A random S-expression of at least ``length`` tokens."""
+    rng = random.Random(seed)
+    out: List[Tok] = []
+
+    def expr(depth: int) -> None:
+        if depth <= 0 or rng.random() < 0.4:
+            out.append(Tok("ATOM", "a{}".format(rng.randrange(0, 50))))
+            return
+        out.append(Tok("("))
+        for _ in range(rng.randrange(1, 4)):
+            expr(depth - 1)
+        out.append(Tok(")"))
+
+    out.append(Tok("("))
+    expr(5)
+    while len(out) < length - 1:
+        expr(5)
+    out.append(Tok(")"))
+    return out
+
+
+def nested_parens_tokens(pairs: int) -> List[Tok]:
+    """``( ( ... ) )`` — maximal nesting for the balanced-parentheses grammar."""
+    return [Tok("(")] * pairs + [Tok(")")] * pairs
+
+
+def ambiguous_sum_tokens(terms: int) -> List[Tok]:
+    """``n + n + ... + n`` with ``terms`` operands (Catalan-many parses)."""
+    out: List[Tok] = [Tok("n")]
+    for _ in range(terms - 1):
+        out.append(Tok("+"))
+        out.append(Tok("n"))
+    return out
+
+
+def repeated_token_stream(kind: str, count: int, distinct: bool = False) -> List[Tok]:
+    """``count`` copies of one token kind; ``distinct`` makes every value unique.
+
+    Distinct values exercise the worst case of the single-entry memo (no reuse
+    between positions); identical values exercise the best case.
+    """
+    if distinct:
+        return [Tok(kind, "{}_{}".format(kind, position)) for position in range(count)]
+    return [Tok(kind)] * count

@@ -1,0 +1,53 @@
+"""Tests for the complexity-analysis helpers."""
+
+import pytest
+
+from repro.analysis import growth_exponent, summarize_series, within_cubic_bound
+
+
+class TestGrowthExponent:
+    def test_linear_series(self):
+        sizes = [10, 20, 40, 80]
+        values = [5 * size for size in sizes]
+        assert abs(growth_exponent(sizes, values) - 1.0) < 1e-9
+
+    def test_cubic_series(self):
+        sizes = [10, 20, 40, 80]
+        values = [2 * size**3 for size in sizes]
+        assert abs(growth_exponent(sizes, values) - 3.0) < 1e-9
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([10], [100])
+
+    def test_equal_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            growth_exponent([10, 10], [100, 200])
+
+    def test_non_positive_points_skipped(self):
+        assert abs(growth_exponent([0, 10, 20], [0, 10, 20]) - 1.0) < 1e-9
+
+
+class TestCubicBound:
+    def test_within_bound(self):
+        sizes = [4, 8]
+        counts = [5 * (n + 1) ** 2 * (n + 2) for n in sizes]
+        assert within_cubic_bound(5, sizes, counts)
+
+    def test_exceeding_bound(self):
+        assert not within_cubic_bound(1, [4], [10_000])
+
+    def test_slack_factor(self):
+        sizes = [4]
+        bound = 1 * 5 * 5 * 6
+        assert not within_cubic_bound(1, sizes, [bound * 2])
+        assert within_cubic_bound(1, sizes, [bound * 2], slack=3.0)
+
+
+class TestSummary:
+    def test_summary_flags(self):
+        linear = summarize_series([10, 20, 40], [10, 21, 39])
+        assert linear.looks_linear and linear.looks_subcubic
+        cubic = summarize_series([10, 20, 40], [1e3, 8e3, 64e3])
+        assert not cubic.looks_linear and cubic.looks_subcubic
+        assert "growth exponent" in str(cubic)

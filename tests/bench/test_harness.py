@@ -1,0 +1,75 @@
+"""Tests for the benchmark harness utilities and (small) runner sanity checks."""
+
+import math
+
+from repro.bench import (
+    Measurement,
+    Series,
+    format_table,
+    geometric_mean,
+    naming_audit_rows,
+    python_workload,
+    speedup,
+    time_call,
+    tiny_python_workload,
+)
+from repro.core import DerivativeParser
+from repro.grammars import python_grammar
+
+
+class TestTiming:
+    def test_time_call_returns_positive_seconds(self):
+        assert time_call(lambda: sum(range(1000)), repeats=3) >= 0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert math.isnan(speedup(1.0, 0.0))
+
+    def test_geometric_mean(self):
+        assert abs(geometric_mean([1, 100]) - 10.0) < 1e-9
+        assert math.isnan(geometric_mean([]))
+
+    def test_measurement_and_series(self):
+        series = Series("improved")
+        series.add(100, 0.5)
+        series.add(200, 1.0)
+        assert series.seconds_per_token() == [0.005, 0.005]
+        assert abs(series.mean_seconds_per_token() - 0.005) < 1e-12
+        assert Measurement("x", 0, 1.0).seconds_per_token != 0  # nan for 0 tokens
+
+
+class TestFormatting:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["a", "bbb"], [[1, 2.0], ["xyz", 0.000001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_renders_floats_compactly(self):
+        text = format_table(["v"], [[123456.789]])
+        assert "e+" in text or "123456" in text
+
+
+class TestWorkloadHelpers:
+    def test_python_workload_size(self):
+        tokens = python_workload(60)
+        assert len(tokens) >= 60
+
+    def test_tiny_python_workload_exact_multiples(self):
+        tokens = tiny_python_workload(12)
+        assert len(tokens) == 12
+        assert [t.kind for t in tokens[:6]] == ["NAME", "=", "NAME", "+", "NUMBER", "NEWLINE"]
+
+    def test_tiny_workload_is_in_the_grammar(self):
+        parser = DerivativeParser(python_grammar())
+        assert parser.recognize(tiny_python_workload(18)) is True
+
+
+class TestRunnersSmoke:
+    def test_naming_audit_rows_smoke(self):
+        rows = naming_audit_rows(sizes=(2, 3))
+        assert len(rows) == 2
+        for _tokens, distinct, bound, lemma6, lemma7 in rows:
+            assert distinct <= bound
+            assert lemma6 and lemma7

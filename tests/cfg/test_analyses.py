@@ -1,0 +1,87 @@
+"""Tests for FIRST/FOLLOW/nullable analyses."""
+
+import pytest
+
+from repro.cfg import (
+    END_OF_INPUT,
+    Nonterminal,
+    first_of_sequence,
+    first_sets,
+    follow_sets,
+    grammar_from_rules,
+    nullable_nonterminals,
+    sequence_is_nullable,
+)
+
+
+@pytest.fixture
+def dragon_grammar():
+    """The classic expression grammar used in compiler textbooks (LL(1) form)."""
+    return grammar_from_rules(
+        "E",
+        {
+            "E": [["T", "E'"]],
+            "E'": [["+", "T", "E'"], []],
+            "T": [["F", "T'"]],
+            "T'": [["*", "F", "T'"], []],
+            "F": [["(", "E", ")"], ["id"]],
+        },
+    )
+
+
+class TestNullable:
+    def test_nullable_nonterminals(self, dragon_grammar):
+        assert nullable_nonterminals(dragon_grammar) == {"E'", "T'"}
+
+    def test_all_nullable_chain(self):
+        grammar = grammar_from_rules("A", {"A": [["B", "C"]], "B": [[]], "C": [[]]})
+        assert nullable_nonterminals(grammar) == {"A", "B", "C"}
+
+    def test_sequence_is_nullable(self, dragon_grammar):
+        nullable = nullable_nonterminals(dragon_grammar)
+        assert sequence_is_nullable((Nonterminal("E'"), Nonterminal("T'")), nullable)
+        assert not sequence_is_nullable((Nonterminal("E'"), "x"), nullable)
+        assert sequence_is_nullable((), nullable)
+
+
+class TestFirst:
+    def test_first_sets_match_textbook(self, dragon_grammar):
+        first = first_sets(dragon_grammar)
+        assert first["E"] == {"(", "id"}
+        assert first["T"] == {"(", "id"}
+        assert first["F"] == {"(", "id"}
+        assert first["E'"] == {"+"}
+        assert first["T'"] == {"*"}
+
+    def test_first_of_sequence_skips_nullable_prefix(self, dragon_grammar):
+        first = first_sets(dragon_grammar)
+        nullable = nullable_nonterminals(dragon_grammar)
+        result = first_of_sequence((Nonterminal("E'"), ")"), first, nullable)
+        assert result == {"+", ")"}
+
+    def test_first_of_empty_sequence(self, dragon_grammar):
+        assert (
+            first_of_sequence((), first_sets(dragon_grammar), nullable_nonterminals(dragon_grammar))
+            == set()
+        )
+
+
+class TestFollow:
+    def test_follow_sets_match_textbook(self, dragon_grammar):
+        follow = follow_sets(dragon_grammar)
+        assert follow["E"] == {")", END_OF_INPUT}
+        assert follow["E'"] == {")", END_OF_INPUT}
+        assert follow["T"] == {"+", ")", END_OF_INPUT}
+        assert follow["T'"] == {"+", ")", END_OF_INPUT}
+        assert follow["F"] == {"*", "+", ")", END_OF_INPUT}
+
+    def test_start_symbol_followed_by_end(self, dragon_grammar):
+        assert END_OF_INPUT in follow_sets(dragon_grammar)["E"]
+
+    def test_left_recursive_grammar_follow(self):
+        grammar = grammar_from_rules(
+            "list", {"list": [["list", ",", "item"], ["item"]], "item": [["id"]]}
+        )
+        follow = follow_sets(grammar)
+        assert follow["list"] == {",", END_OF_INPUT}
+        assert follow["item"] == {",", END_OF_INPUT}

@@ -1,0 +1,90 @@
+"""Tests for the BNF text front end."""
+
+import pytest
+
+from repro.cfg import Nonterminal, parse_bnf, load_grammar
+from repro.core import DerivativeParser, GrammarError
+
+
+ARITH_TEXT = """
+# a classic expression grammar
+expr   : expr '+' term | term ;
+term   : term '*' factor | factor ;
+factor : '(' expr ')' | NUMBER ;
+"""
+
+
+class TestParsing:
+    def test_rule_and_production_counts(self):
+        grammar = parse_bnf(ARITH_TEXT)
+        assert grammar.start == "expr"
+        assert grammar.production_count() == 6
+
+    def test_quoted_symbols_are_terminals(self):
+        grammar = parse_bnf(ARITH_TEXT)
+        assert "+" in grammar.terminals
+        assert "NUMBER" in grammar.terminals
+
+    def test_bare_names_on_lhs_are_nonterminals(self):
+        grammar = parse_bnf(ARITH_TEXT)
+        production = grammar.productions_for("expr")[0]
+        assert production.rhs[0] == Nonterminal("expr")
+
+    def test_alternative_arrows(self):
+        for arrow in (":", "->", "::="):
+            grammar = parse_bnf("s {} 'a' ;".format(arrow))
+            assert grammar.production_count() == 1
+
+    def test_missing_semicolon_between_rules(self):
+        grammar = parse_bnf("a : 'x'\nb : 'y' ;")
+        assert grammar.production_count() == 2
+        assert set(grammar.nonterminals) == {"a", "b"}
+
+    def test_percent_empty_and_epsilon(self):
+        for empty in ("%empty", "ε"):
+            grammar = parse_bnf("s : 'a' s | {} ;".format(empty))
+            assert any(production.is_epsilon for production in grammar.productions)
+
+    def test_empty_alternative_without_keyword(self):
+        grammar = parse_bnf("s : 'a' s | ;")
+        assert any(production.is_epsilon for production in grammar.productions)
+
+    def test_comments_are_ignored(self):
+        grammar = parse_bnf("# heading\ns : 'a' ; // trailing\n")
+        assert grammar.production_count() == 1
+
+    def test_escaped_quotes_in_terminals(self):
+        grammar = parse_bnf(r"s : '\'' ;")
+        assert grammar.terminals == ["'"]
+
+    def test_explicit_start_override(self):
+        grammar = parse_bnf(ARITH_TEXT, start="term")
+        assert grammar.start == "term"
+
+    def test_no_rules_is_an_error(self):
+        with pytest.raises(GrammarError):
+            parse_bnf("   # nothing here\n")
+
+    def test_garbage_is_an_error(self):
+        with pytest.raises(GrammarError):
+            parse_bnf("s : 'a' @ ;")
+
+    def test_rule_without_arrow_is_an_error(self):
+        with pytest.raises(GrammarError):
+            parse_bnf("s 'a' ;")
+
+
+class TestEndToEnd:
+    def test_bnf_grammar_parses_input(self):
+        grammar = parse_bnf(ARITH_TEXT)
+        parser = DerivativeParser(grammar)
+        tokens = [("NUMBER", "1"), ("+", "+"), ("NUMBER", "2")]
+        assert parser.recognize(tokens) is True
+        tree = parser.parse(tokens)
+        assert tree[0] == "expr"
+
+    def test_load_grammar_from_file(self, tmp_path):
+        path = tmp_path / "grammar.bnf"
+        path.write_text(ARITH_TEXT, encoding="utf-8")
+        grammar = load_grammar(str(path))
+        assert grammar.production_count() == 6

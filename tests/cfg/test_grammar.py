@@ -1,0 +1,113 @@
+"""Tests for the CFG substrate: Grammar, productions, conversion to combinators."""
+
+import pytest
+
+from repro.cfg import Grammar, Nonterminal, Production, grammar_from_rules, parse_bnf
+from repro.core import DerivativeParser, GrammarError
+
+
+ARITH_RULES = {
+    "expr": [["expr", "+", "term"], ["term"]],
+    "term": [["term", "*", "factor"], ["factor"]],
+    "factor": [["(", "expr", ")"], ["NUMBER"]],
+}
+
+
+@pytest.fixture
+def arith():
+    return grammar_from_rules("expr", ARITH_RULES)
+
+
+class TestGrammarConstruction:
+    def test_nonterminals_and_terminals(self, arith):
+        assert arith.nonterminals == ["expr", "term", "factor"]
+        assert set(arith.terminals) == {"+", "*", "(", ")", "NUMBER"}
+
+    def test_production_count(self, arith):
+        assert arith.production_count() == 6
+
+    def test_productions_for(self, arith):
+        assert len(arith.productions_for("expr")) == 2
+        assert arith.productions_for("missing") == []
+
+    def test_rhs_strings_matching_lhs_become_nonterminals(self, arith):
+        production = arith.productions_for("expr")[0]
+        assert production.rhs[0] == Nonterminal("expr")
+        assert production.rhs[1] == "+"
+
+    def test_is_nonterminal(self, arith):
+        assert arith.is_nonterminal("expr")
+        assert arith.is_nonterminal(Nonterminal("expr"))
+        assert not arith.is_nonterminal("+")
+
+    def test_missing_start_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("nope", [("a", ("x",))])
+
+    def test_validate_rejects_undefined_nonterminal(self):
+        grammar = Grammar("s", [("s", (Nonterminal("ghost"),))])
+        with pytest.raises(GrammarError):
+            grammar.validate()
+
+    def test_epsilon_production(self):
+        grammar = grammar_from_rules("s", {"s": [["a", "s"], []]})
+        production = grammar.productions_for("s")[1]
+        assert production.is_epsilon
+
+    def test_str_rendering(self, arith):
+        text = str(arith)
+        assert "expr" in text and "→" in text
+
+    def test_augmented_adds_fresh_start(self, arith):
+        augmented = arith.augmented()
+        assert augmented.start == "expr'"
+        assert augmented.production_count() == 7
+        assert augmented.productions_for("expr'")[0].rhs == (Nonterminal("expr"),)
+
+
+class TestConversionToLanguage:
+    TOKENS = [("NUMBER", "1"), ("+", "+"), ("NUMBER", "2"), ("*", "*"), ("NUMBER", "3")]
+
+    def test_recognizes_via_derivative_parser(self, arith):
+        parser = DerivativeParser(arith)
+        assert parser.recognize(self.TOKENS) is True
+        assert parser.recognize(self.TOKENS[:2]) is False
+
+    def test_tree_has_classical_node_shape(self, arith):
+        parser = DerivativeParser(arith)
+        tree = parser.parse([("NUMBER", "7")])
+        assert tree == ("expr", (("term", (("factor", ("7",)),)),))
+
+    def test_epsilon_production_tree(self):
+        grammar = grammar_from_rules("s", {"s": [["a", "s"], []]})
+        parser = DerivativeParser(grammar)
+        assert parser.parse([]) == ("s", ())
+        assert parser.parse(["a"]) == ("s", ("a", ("s", ())))
+
+    def test_recognition_without_tree_building(self, arith):
+        language = arith.to_language(build_trees=False)
+        parser = DerivativeParser(language)
+        assert parser.recognize(self.TOKENS) is True
+
+    def test_nonterminal_with_no_production_via_explicit_empty(self):
+        grammar = Grammar("s", [("s", ("a",)), ("dead", ("b", Nonterminal("dead")))])
+        parser = DerivativeParser(grammar)
+        assert parser.recognize(["a"]) is True
+
+
+class TestBuildNodeReduction:
+    def test_arity_one(self):
+        from repro.cfg import BuildNode
+
+        assert BuildNode("x", 1)("leaf") == ("x", ("leaf",))
+
+    def test_arity_three_flattens_right_nested_pairs(self):
+        from repro.cfg import BuildNode
+
+        assert BuildNode("x", 3)(("a", ("b", "c"))) == ("x", ("a", "b", "c"))
+
+    def test_equality(self):
+        from repro.cfg import BuildNode
+
+        assert BuildNode("x", 2) == BuildNode("x", 2)
+        assert BuildNode("x", 2) != BuildNode("y", 2)

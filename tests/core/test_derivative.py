@@ -1,0 +1,209 @@
+"""Unit tests for the derivative function (Figure 2, Section 2.5.2)."""
+
+import pytest
+
+from repro.core.compaction import CompactionConfig, Compactor
+from repro.core.derivative import Deriver
+from repro.core.errors import GrammarError
+from repro.core.languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Reduce,
+    Ref,
+    epsilon,
+    token,
+)
+from repro.core.memo import NestedDictMemo, PerNodeDictMemo, SingleEntryMemo
+from repro.core.metrics import Metrics
+from repro.core.nullability import NullabilityAnalyzer
+
+
+def make_deriver(compaction=None, memo_cls=SingleEntryMemo):
+    metrics = Metrics()
+    return Deriver(
+        memo=memo_cls(metrics),
+        compactor=Compactor(compaction or CompactionConfig.full(), metrics),
+        nullability=NullabilityAnalyzer(metrics),
+        metrics=metrics,
+    )
+
+
+class TestBaseRules:
+    def test_derivative_of_empty_is_empty(self):
+        deriver = make_deriver()
+        assert isinstance(deriver.derive(EMPTY, "a"), Empty)
+
+    def test_derivative_of_epsilon_is_empty(self):
+        deriver = make_deriver()
+        assert isinstance(deriver.derive(epsilon(), "a"), Empty)
+
+    def test_derivative_of_delta_is_empty(self):
+        deriver = make_deriver()
+        assert isinstance(deriver.derive(Delta(epsilon()), "a"), Empty)
+
+    def test_derivative_of_matching_token_is_epsilon_with_value(self):
+        deriver = make_deriver()
+        result = deriver.derive(token("a"), "a")
+        assert isinstance(result, Epsilon)
+        assert result.trees == ("a",)
+
+    def test_derivative_of_token_keeps_semantic_value(self):
+        deriver = make_deriver()
+        result = deriver.derive(token("NAME"), ("NAME", "foo"))
+        assert isinstance(result, Epsilon)
+        assert result.trees == ("foo",)
+
+    def test_derivative_of_non_matching_token_is_empty(self):
+        deriver = make_deriver()
+        assert isinstance(deriver.derive(token("a"), "b"), Empty)
+
+
+class TestCompositeRules:
+    def test_derivative_of_alt_derives_both_children(self):
+        deriver = make_deriver()
+        result = deriver.derive(Alt(token("a"), token("b")), "a")
+        # Dc(a ∪ b) = ε ∪ ∅, which compaction reduces to ε.
+        assert isinstance(result, Epsilon)
+
+    def test_derivative_of_alt_without_compaction(self):
+        deriver = make_deriver(CompactionConfig.disabled())
+        result = deriver.derive(Alt(token("a"), token("b")), "a")
+        assert isinstance(result, Alt)
+        assert isinstance(result.left, Epsilon)
+        assert isinstance(result.right, Empty)
+
+    def test_derivative_of_cat_with_non_nullable_left(self):
+        deriver = make_deriver(CompactionConfig.disabled())
+        result = deriver.derive(Cat(token("a"), token("b")), "a")
+        assert isinstance(result, Cat)
+        assert isinstance(result.left, Epsilon)
+        assert isinstance(result.right, type(token("b")))
+
+    def test_derivative_of_cat_with_nullable_left_builds_union(self):
+        deriver = make_deriver(CompactionConfig.disabled())
+        grammar = Cat(Alt(epsilon(), token("a")), token("b"))
+        result = deriver.derive(grammar, "b")
+        # Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2))
+        assert isinstance(result, Alt)
+        assert isinstance(result.left, Cat)
+        assert isinstance(result.right, Cat)
+        assert isinstance(result.right.left, Delta)
+
+    def test_derivative_of_reduce_wraps_child_derivative(self):
+        fn = lambda t: ("wrapped", t)
+        deriver = make_deriver(CompactionConfig.disabled())
+        result = deriver.derive(Reduce(token("a"), fn), "a")
+        assert isinstance(result, Reduce)
+        assert result.fn is fn
+
+    def test_derivative_of_resolved_ref_is_targets_derivative(self):
+        deriver = make_deriver()
+        ref = Ref("n", token("a"))
+        result = deriver.derive(ref, "a")
+        assert isinstance(result, Epsilon)
+
+    def test_derivative_of_unresolved_ref_raises(self):
+        deriver = make_deriver()
+        with pytest.raises(GrammarError):
+            deriver.derive(Ref("n"), "a")
+
+    def test_derivative_of_incomplete_alt_raises(self):
+        deriver = make_deriver()
+        with pytest.raises(GrammarError):
+            deriver.derive(Alt(token("a"), None), "a")
+
+
+class TestCyclesAndMemoization:
+    def make_left_recursive(self):
+        # L = (L ◦ c) ∪ c with c matching any single 'c' token.
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("c")), token("c")))
+        return ref
+
+    def test_cyclic_grammar_derivative_terminates(self):
+        deriver = make_deriver()
+        result = deriver.derive(self.make_left_recursive(), "c")
+        assert result is not None
+        assert not isinstance(result, Empty)
+
+    def test_cyclic_derivative_is_itself_cyclic(self):
+        from repro.core.languages import reachable_nodes
+
+        deriver = make_deriver(CompactionConfig.disabled())
+        grammar = self.make_left_recursive()
+        result = deriver.derive(grammar, "c")
+        # The derivative graph contains a node that (transitively) points back
+        # to itself, mirroring Figure 4b of the paper.
+        nodes = reachable_nodes(result)
+        assert any(
+            child is node
+            for node in nodes
+            for descendant in nodes
+            for child in descendant.children()
+            if child is node and descendant is not node
+        ) or len(nodes) > 1
+
+    def test_repeated_derivative_uses_memo(self):
+        deriver = make_deriver()
+        grammar = self.make_left_recursive()
+        first = deriver.derive(grammar, "c")
+        calls_before = deriver.metrics.derive_uncached
+        second = deriver.derive(grammar, "c")
+        assert second is first
+        assert deriver.metrics.derive_uncached == calls_before
+
+    def test_memo_shares_result_across_occurrences(self):
+        deriver = make_deriver()
+        shared = token("a")
+        grammar = Alt(Cat(shared, token("b")), Cat(shared, token("c")))
+        deriver.derive(grammar, "a")
+        # `shared` appears twice, but its derivative is computed only once.
+        assert deriver.metrics.derive_cache_hits >= 1
+
+    def test_single_entry_memo_evicts_on_second_token(self):
+        deriver = make_deriver()
+        grammar = self.make_left_recursive()
+        deriver.derive(grammar, "c")
+        deriver.derive(grammar, "d")
+        assert deriver.metrics.memo_evictions >= 1
+
+    @pytest.mark.parametrize("memo_cls", [SingleEntryMemo, PerNodeDictMemo, NestedDictMemo])
+    def test_all_memo_strategies_agree_on_recognition(self, memo_cls):
+        from repro.core.parse import DerivativeParser
+
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("c")), token("c")))
+        parser = DerivativeParser(ref, memo=memo_cls(Metrics()))
+        assert parser.recognize(["c", "c", "c"]) is True
+        parser2 = DerivativeParser(ref, memo=memo_cls(Metrics()))
+        assert parser2.recognize([]) is False
+
+
+class TestPlaceholderBehaviour:
+    def test_non_cyclic_results_are_compacted(self):
+        deriver = make_deriver()
+        grammar = Alt(token("a"), token("b"))
+        result = deriver.derive(grammar, "z")
+        # Both branches die, so compaction collapses the result to ∅.
+        assert isinstance(result, Empty)
+
+    def test_placeholders_discarded_metric(self):
+        deriver = make_deriver()
+        deriver.derive(Alt(token("a"), token("b")), "a")
+        assert deriver.metrics.placeholders_discarded >= 1
+
+    def test_cyclic_placeholder_children_filled(self):
+        deriver = make_deriver(CompactionConfig.disabled())
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("c")), token("c")))
+        result = deriver.derive(ref, "c")
+        from repro.core.languages import reachable_nodes
+
+        for node in reachable_nodes(result):
+            assert not node.under_construction
+            if isinstance(node, (Alt, Cat)):
+                assert node.left is not None and node.right is not None

@@ -1,0 +1,47 @@
+"""Unit tests for the metrics counter bag."""
+
+from repro.core.metrics import Metrics, MetricsSnapshot
+
+
+class TestMetrics:
+    def test_counters_start_at_zero(self):
+        metrics = Metrics()
+        assert metrics.nodes_created == 0
+        assert metrics.derive_calls == 0
+
+    def test_snapshot_captures_values(self):
+        metrics = Metrics()
+        metrics.nodes_created = 5
+        snap = metrics.snapshot()
+        metrics.nodes_created = 9
+        assert snap["nodes_created"] == 5
+
+    def test_snapshot_diff(self):
+        metrics = Metrics()
+        metrics.derive_calls = 10
+        before = metrics.snapshot()
+        metrics.derive_calls = 25
+        delta = metrics.snapshot().diff(before)
+        assert delta["derive_calls"] == 15
+
+    def test_reset(self):
+        metrics = Metrics()
+        metrics.nullable_calls = 3
+        metrics.reset()
+        assert metrics.nullable_calls == 0
+
+    def test_as_dict_contains_every_counter(self):
+        metrics = Metrics()
+        data = metrics.as_dict()
+        assert "nodes_created" in data
+        assert "memo_evictions" in data
+
+    def test_str_only_mentions_nonzero(self):
+        metrics = Metrics()
+        metrics.nodes_created = 2
+        text = str(metrics)
+        assert "nodes_created=2" in text
+        assert "derive_calls" not in text
+
+    def test_missing_key_in_snapshot_is_zero(self):
+        assert MetricsSnapshot({})["whatever"] == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the Definition 5 naming scheme and its audits."""
+
+import pytest
+
+from repro.core import DerivativeParser, Ref, token
+from repro.core.compaction import CompactionConfig
+from repro.core.languages import Alt, Cat, any_token
+from repro.core.naming import NamingScheme, NodeName
+
+
+class TestNodeName:
+    def test_initial_name_has_no_positions(self):
+        name = NodeName("L")
+        assert name.positions == ()
+        assert name.bullet is None
+        assert name.bullet_count == 0
+
+    def test_extend_without_bullet(self):
+        name = NodeName("L").extend(0, with_bullet=False).extend(1, with_bullet=False)
+        assert name.positions == (0, 1)
+        assert name.bullet is None
+
+    def test_extend_with_bullet_records_position(self):
+        name = NodeName("M").extend(0, with_bullet=False).extend(1, with_bullet=True)
+        assert name.bullet == 1
+        assert name.bullet_count == 1
+
+    def test_contiguity_check(self):
+        good = NodeName("L", (2, 3, 4))
+        bad = NodeName("L", (2, 4))
+        assert good.token_part_is_contiguous()
+        assert not bad.token_part_is_contiguous()
+
+    def test_render_matches_paper_style(self):
+        name = NodeName("M", (0, 1, 2), bullet=1)
+        assert name.render() == "Mc1•c2c3"
+
+    def test_render_with_tokens(self):
+        name = NodeName("M", (0, 1), bullet=None)
+        assert name.render(tokens=["a", "b"]) == "Mab"
+
+    def test_names_are_hashable_values(self):
+        assert NodeName("L", (0,), None) == NodeName("L", (0,), None)
+        assert len({NodeName("L", (0,), None), NodeName("L", (0,), None)}) == 1
+
+
+class TestNamingScheme:
+    def test_initial_assignment_gives_unique_symbols(self):
+        scheme = NamingScheme()
+        grammar = Alt(token("a"), Cat(token("b"), token("c")))
+        scheme.assign_initial(grammar)
+        names = [node.name for node in [grammar, grammar.left, grammar.right]]
+        assert all(name is not None for name in names)
+        assert len({name.base for name in names}) == 3
+
+    def test_spreadsheet_symbols_roll_over(self):
+        scheme = NamingScheme()
+        symbols = [scheme._fresh_initial_name().base for _ in range(30)]
+        assert symbols[0] == "A"
+        assert symbols[25] == "Z"
+        assert symbols[26] == "AA"
+        assert len(set(symbols)) == 30
+
+
+class TestPaperFigure5Grammar:
+    """The grammar L = (L ◦ L) ∪ c from Figure 5, with c matching any token."""
+
+    def make_parser(self, naming=True, compaction=None):
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, ref), any_token("c")))
+        return DerivativeParser(
+            ref,
+            naming=naming,
+            compaction=compaction if compaction is not None else CompactionConfig.disabled(),
+            optimize_grammar=False,
+        )
+
+    def test_lemma7_at_most_one_bullet(self):
+        parser = self.make_parser()
+        assert parser.recognize(["c1", "c2", "c3", "c4"]) is True
+        audit = parser.naming.audit(4)
+        assert audit.lemma7_holds
+        assert audit.max_bullets_in_a_name <= 1
+
+    def test_lemma6_token_parts_are_substrings(self):
+        parser = self.make_parser()
+        parser.recognize(["c1", "c2", "c3", "c4"])
+        audit = parser.naming.audit(4)
+        assert audit.lemma6_holds
+
+    def test_theorem8_names_within_cubic_bound(self):
+        parser = self.make_parser()
+        parser.recognize(["c"] * 8)
+        audit = parser.naming.audit(8)
+        assert audit.within_theorem8_bound
+
+    def test_bullets_only_on_union_nodes(self):
+        from repro.core.languages import Alt as AltNode, reachable_nodes
+
+        parser = self.make_parser()
+        final = parser.derive_all(["c1", "c2", "c3"])
+        for node in reachable_nodes(final):
+            if node.name is not None and node.name.bullet is not None:
+                assert isinstance(node, AltNode)
+
+    def test_naming_with_compaction_still_satisfies_lemmas(self):
+        parser = self.make_parser(compaction=CompactionConfig.full())
+        parser.recognize(["c1", "c2", "c3", "c4", "c5", "c6"])
+        audit = parser.naming.audit(6)
+        assert audit.lemma7_holds
+        assert audit.lemma6_holds
+
+    def test_audit_counts_are_consistent(self):
+        parser = self.make_parser()
+        parser.recognize(["c"] * 5)
+        audit = parser.naming.audit(5)
+        assert audit.distinct_names <= audit.total_names
+        assert audit.initial_symbols >= 3

@@ -1,0 +1,131 @@
+"""Executable versions of the paper's worked examples (Figures 4 and 5).
+
+These tests build the exact grammars shown in the paper and check that the
+derivative graphs, node counts and naming behave as the figures describe.
+"""
+
+import pytest
+
+from repro.core import DerivativeParser, Ref, count_trees, token
+from repro.core.compaction import CompactionConfig
+from repro.core.languages import Alt, Cat, Empty, Epsilon, any_token, reachable_nodes
+
+
+class TestFigure4Grammar:
+    """L = (L ◦ c) ∪ c — the left-recursive grammar of Figure 4."""
+
+    def make_grammar(self):
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("c")), token("c")))
+        return ref
+
+    def test_accepts_c_sequences(self):
+        parser = DerivativeParser(self.make_grammar())
+        for n in range(1, 12):
+            assert parser.recognize(["c"] * n) is True
+
+    def test_rejects_empty_and_foreign_tokens(self):
+        parser = DerivativeParser(self.make_grammar())
+        assert parser.recognize([]) is False
+        assert parser.recognize(["d"]) is False
+        assert parser.recognize(["c", "d"]) is False
+
+    def test_derivative_structure_matches_figure_4b(self):
+        # Without compaction, Dc(L) = (Dc(L) ◦ c) ∪ ε — a cyclic graph whose
+        # union node has a concatenation on the left and ε on the right.
+        parser = DerivativeParser(
+            self.make_grammar(),
+            compaction=CompactionConfig.disabled(),
+            optimize_grammar=False,
+        )
+        derivative = parser.deriver.derive(parser.root, "c")
+        nodes = reachable_nodes(derivative)
+        assert any(isinstance(node, Alt) for node in nodes)
+        assert any(isinstance(node, Cat) for node in nodes)
+        assert any(isinstance(node, Epsilon) for node in nodes)
+        # The derivative is cyclic: some concatenation's left child reaches the
+        # derivative's own union node again.
+        assert len(nodes) < 20
+
+    def test_parse_tree_is_left_nested(self):
+        parser = DerivativeParser(self.make_grammar())
+        tree = parser.parse(["c", "c", "c"])
+        assert tree == (("c", "c"), "c")
+
+    def test_parse_is_unambiguous(self):
+        parser = DerivativeParser(self.make_grammar())
+        forest = parser.parse_forest(["c"] * 5)
+        assert count_trees(forest) == 1
+
+
+class TestFigure5Grammar:
+    """L = (L ◦ L) ∪ c — the worst-case grammar used for the naming argument."""
+
+    def make_grammar(self):
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, ref), any_token("c")))
+        return ref
+
+    def test_recognizes_every_nonempty_token_string(self):
+        parser = DerivativeParser(self.make_grammar())
+        for n in range(1, 10):
+            assert parser.recognize(["c"] * n) is True
+        assert parser.recognize([]) is False
+
+    def test_ambiguity_grows_with_catalan_numbers(self):
+        # The number of binary trees over n leaves is Catalan(n-1).
+        catalan = [1, 1, 2, 5, 14, 42]
+        for leaves in range(1, 6):
+            parser = DerivativeParser(self.make_grammar())
+            forest = parser.parse_forest(["c"] * leaves)
+            assert count_trees(forest) == catalan[leaves - 1]
+
+    def test_node_growth_is_polynomial_not_exponential(self):
+        # Section 3.2: the number of nodes created is O(G·n³).  Exponential
+        # growth would overflow these small counts immediately.
+        counts = []
+        for n in (4, 8, 16):
+            parser = DerivativeParser(
+                self.make_grammar(),
+                compaction=CompactionConfig.disabled(),
+                optimize_grammar=False,
+            )
+            parser.recognize(["c"] * n)
+            counts.append(parser.metrics.nodes_created)
+        # Doubling the input should grow node counts by at most ~2³ = 8×
+        # (plus slack for constants), far below exponential blowup.
+        assert counts[1] <= counts[0] * 10
+        assert counts[2] <= counts[1] * 10
+
+    def test_initial_names_match_paper_setup(self):
+        parser = DerivativeParser(
+            self.make_grammar(),
+            naming=True,
+            compaction=CompactionConfig.disabled(),
+            optimize_grammar=False,
+        )
+        # Figure 5 gives the initial grammar three names: L, M, N.
+        assert parser.naming.initial_symbols == 4  # Ref, Alt, Cat, Token
+        parser.recognize(["c1", "c2", "c3", "c4"])
+        audit = parser.naming.audit(4)
+        assert audit.lemma6_holds and audit.lemma7_holds
+
+
+class TestKleeneStarEncoding:
+    """Section 2.2: L* is encoded as L* = ε ∪ (L ◦ L*)."""
+
+    def make_star(self, inner_kind):
+        star = Ref("star")
+        from repro.core import epsilon
+
+        star.set(epsilon(()) | (token(inner_kind) + star))
+        return star
+
+    def test_star_accepts_zero_or_more(self):
+        parser = DerivativeParser(self.make_star("a"))
+        for n in range(0, 10):
+            assert parser.recognize(["a"] * n) is True
+
+    def test_star_rejects_other_tokens(self):
+        parser = DerivativeParser(self.make_star("a"))
+        assert parser.recognize(["a", "b"]) is False

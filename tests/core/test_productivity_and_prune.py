@@ -1,0 +1,106 @@
+"""Tests for the productivity analysis and the empty-branch pruning pass."""
+
+import pytest
+
+from repro.core import CompactionConfig, DerivativeParser, Ref, count_trees, epsilon, token
+from repro.core.languages import EMPTY, Alt, Cat, Delta, Empty, graph_size
+from repro.core.nullability import NullabilityAnalyzer
+from repro.core.productivity import ProductivityAnalyzer
+from repro.core.prune import live_nodes, prune_empty
+
+
+class TestProductivity:
+    def test_base_cases(self):
+        analyzer = ProductivityAnalyzer()
+        assert analyzer.productive(epsilon()) is True
+        assert analyzer.productive(token("a")) is True
+        assert analyzer.productive(EMPTY) is False
+        assert analyzer.is_empty(EMPTY) is True
+
+    def test_composites(self):
+        analyzer = ProductivityAnalyzer()
+        assert analyzer.productive(Alt(EMPTY, token("a"))) is True
+        assert analyzer.productive(Alt(EMPTY, EMPTY)) is False
+        assert analyzer.productive(Cat(token("a"), EMPTY)) is False
+        assert analyzer.productive(Cat(token("a"), token("b"))) is True
+
+    def test_dead_cyclic_grammar_is_empty(self):
+        # L = L 'a'  — no base case, generates nothing.
+        ref = Ref("L")
+        ref.set(Cat(ref, token("a")))
+        analyzer = ProductivityAnalyzer()
+        assert analyzer.is_empty(ref) is True
+
+    def test_live_cyclic_grammar_is_productive(self):
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("a")), token("a")))
+        assert ProductivityAnalyzer().productive(ref) is True
+
+    def test_delta_follows_nullability(self):
+        nullability = NullabilityAnalyzer()
+        analyzer = ProductivityAnalyzer(nullability)
+        assert analyzer.productive(Delta(epsilon())) is True
+        assert analyzer.productive(Delta(token("a"))) is False
+
+    def test_results_are_cached(self):
+        analyzer = ProductivityAnalyzer()
+        node = Alt(token("a"), EMPTY)
+        assert analyzer.productive(node) is True
+        assert analyzer.productive(node) is True
+
+
+class TestPruneEmpty:
+    def test_dead_child_replaced_with_empty(self):
+        dead = Ref("dead")
+        dead.set(Cat(dead, token("a")))
+        root = Alt(dead, token("b"))
+        new_root, live = prune_empty(root)
+        assert new_root is root
+        assert isinstance(root.left, Empty)
+        assert live <= 3
+
+    def test_fully_dead_grammar_prunes_to_empty(self):
+        dead = Ref("dead")
+        dead.set(Cat(dead, token("a")))
+        new_root, _live = prune_empty(dead)
+        assert isinstance(new_root, Empty)
+
+    def test_live_grammar_untouched(self):
+        ref = Ref("L")
+        ref.set(Alt(Cat(ref, token("a")), token("a")))
+        size_before = graph_size(ref)
+        new_root, _live = prune_empty(ref)
+        assert new_root is ref
+        assert graph_size(ref) == size_before
+
+    def test_live_nodes_skips_delta_history(self):
+        history = Cat(token("x"), token("y"))
+        root = Cat(Delta(history), token("z"))
+        nodes = live_nodes(root)
+        assert history not in nodes
+        assert any(isinstance(node, Delta) for node in nodes)
+
+    def test_pruning_does_not_change_the_language(self):
+        grammar = Ref("E")
+        grammar.set((grammar + token("+") + grammar) | token("n"))
+        tokens = list("n+n+n")
+        with_prune = DerivativeParser(grammar, prune=True)
+        without_prune = DerivativeParser(grammar, prune=False)
+        assert with_prune.recognize(tokens) is without_prune.recognize(tokens) is True
+        assert count_trees(DerivativeParser(grammar, prune=True).parse_forest(tokens)) == 2
+
+    def test_prune_disabled_with_compaction_disabled(self):
+        grammar = Ref("E")
+        grammar.set((grammar + token("+") + grammar) | token("n"))
+        parser = DerivativeParser(grammar, compaction=CompactionConfig.disabled())
+        assert parser.prune_enabled is False
+        assert parser.recognize(list("n+n")) is True
+
+    def test_prune_passes_counted_on_long_inputs(self):
+        grammar = Ref("L")
+        grammar.set((grammar + token("a")) | token("a"))
+        parser = DerivativeParser(grammar)
+        parser.recognize(["a"] * 500)
+        # The adaptive policy may or may not fire on such a small grammar, but
+        # the counter must be consistent and never negative.
+        assert parser.prune_passes >= 0

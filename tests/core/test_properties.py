@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) for the core parser's invariants."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CompactionConfig,
+    DerivativeParser,
+    Ref,
+    count_trees,
+    epsilon,
+    iter_trees,
+    token,
+)
+from repro.core.languages import Alt, Cat, Language, any_token
+from repro.core.naming import NodeName
+
+
+# --------------------------------------------------------------------------
+# Random regular expressions: derivative parser vs Python's re module.
+# --------------------------------------------------------------------------
+
+ALPHABET = "ab"
+
+
+class _Regex:
+    """A tiny regex AST we can render both as `re` syntax and as combinators."""
+
+    def to_language(self) -> Language:
+        raise NotImplementedError
+
+    def to_pattern(self) -> str:
+        raise NotImplementedError
+
+
+class _Lit(_Regex):
+    def __init__(self, ch):
+        self.ch = ch
+
+    def to_language(self):
+        return token(self.ch)
+
+    def to_pattern(self):
+        return re.escape(self.ch)
+
+
+class _Eps(_Regex):
+    def to_language(self):
+        return epsilon(())
+
+    def to_pattern(self):
+        return ""
+
+
+class _Seq(_Regex):
+    def __init__(self, left, right):
+        self.left, self.right = left, right
+
+    def to_language(self):
+        return Cat(self.left.to_language(), self.right.to_language())
+
+    def to_pattern(self):
+        return "(?:{})(?:{})".format(self.left.to_pattern(), self.right.to_pattern())
+
+
+class _Or(_Regex):
+    def __init__(self, left, right):
+        self.left, self.right = left, right
+
+    def to_language(self):
+        return Alt(self.left.to_language(), self.right.to_language())
+
+    def to_pattern(self):
+        return "(?:{}|{})".format(self.left.to_pattern(), self.right.to_pattern())
+
+
+class _Star(_Regex):
+    def __init__(self, inner):
+        self.inner = inner
+
+    def to_language(self):
+        # L* = ε ∪ (L ◦ L*) — the encoding of Section 2.2.
+        star = Ref("star")
+        star.set(Alt(epsilon(()), Cat(self.inner.to_language(), star)))
+        return star
+
+    def to_pattern(self):
+        return "(?:{})*".format(self.inner.to_pattern())
+
+
+def regex_strategy(depth=3):
+    leaf = st.one_of(
+        st.sampled_from(list(ALPHABET)).map(_Lit),
+        st.just(_Eps()),
+    )
+    if depth == 0:
+        return leaf
+    sub = regex_strategy(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda pair: _Seq(*pair)),
+        st.tuples(sub, sub).map(lambda pair: _Or(*pair)),
+        sub.map(_Star),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(regex=regex_strategy(), text=st.text(alphabet=ALPHABET, max_size=8))
+def test_recognition_matches_python_re(regex, text):
+    """The derivative parser agrees with Python's regex engine on regular languages."""
+    pattern = re.compile("(?:{})\\Z".format(regex.to_pattern()))
+    expected = pattern.match(text) is not None
+    parser = DerivativeParser(regex.to_language())
+    assert parser.recognize(list(text)) is expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(regex=regex_strategy(depth=2), text=st.text(alphabet=ALPHABET, max_size=6))
+def test_compaction_and_memo_do_not_change_the_language(regex, text):
+    """Every configuration of the parser recognizes exactly the same language."""
+    results = set()
+    for compaction in (CompactionConfig.full(), CompactionConfig.disabled()):
+        for memo in ("single", "dict"):
+            parser = DerivativeParser(
+                regex.to_language(), memo=memo, compaction=compaction
+            )
+            results.add(parser.recognize(list(text)))
+    assert len(results) == 1
+
+
+# --------------------------------------------------------------------------
+# Balanced parentheses vs a straightforward counter check.
+# --------------------------------------------------------------------------
+
+def _is_balanced(text):
+    depth = 0
+    for ch in text:
+        depth += 1 if ch == "(" else -1
+        if depth < 0:
+            return False
+    return depth == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(alphabet="()", max_size=16))
+def test_balanced_parentheses_against_counter(text):
+    grammar = Ref("S")
+    grammar.set(epsilon(()) | (token("(") + grammar + token(")") + grammar))
+    parser = DerivativeParser(grammar)
+    assert parser.recognize(list(text)) is _is_balanced(text)
+
+
+# --------------------------------------------------------------------------
+# Parse-tree round trips.
+# --------------------------------------------------------------------------
+
+def _flatten(tree, out):
+    if isinstance(tree, tuple):
+        for part in tree:
+            _flatten(part, out)
+    else:
+        out.append(tree)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tokens=st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=10))
+def test_parse_tree_leaves_reconstruct_the_input(tokens):
+    """For a token-list grammar, flattening the parse tree gives back the input."""
+    grammar = Ref("L")
+    grammar.set(any_token() | (any_token() + grammar))
+    parser = DerivativeParser(grammar)
+    tree = parser.parse(tokens)
+    leaves = []
+    _flatten(tree, leaves)
+    assert leaves == tokens
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_terms=st.integers(min_value=1, max_value=6))
+def test_ambiguity_counts_follow_catalan_numbers(n_terms):
+    """E → E + E | n over n (+n)^k has Catalan(k) parses."""
+    catalan = [1, 1, 2, 5, 14, 42, 132]
+    grammar = Ref("E")
+    grammar.set((grammar + token("+") + grammar) | token("n"))
+    tokens = ["n"] + ["+", "n"] * (n_terms - 1)
+    parser = DerivativeParser(grammar)
+    forest = parser.parse_forest(tokens)
+    assert count_trees(forest) == catalan[n_terms - 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tokens=st.lists(st.sampled_from(["a", "b"]), min_size=0, max_size=8))
+def test_every_enumerated_tree_has_the_right_number_of_leaves(tokens):
+    grammar = Ref("L")
+    grammar.set(epsilon(()) | (token("a") + grammar) | (token("b") + grammar))
+    parser = DerivativeParser(grammar)
+    if parser.recognize(tokens):
+        parser2 = DerivativeParser(grammar)
+        for tree in iter_trees(parser2.parse_forest(tokens), limit=5):
+            leaves = []
+            _flatten(tree, leaves)
+            assert [leaf for leaf in leaves if leaf != ()] == tokens
+
+
+# --------------------------------------------------------------------------
+# Naming-scheme invariants (Definition 5).
+# --------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(st.booleans(), max_size=12),
+)
+def test_node_names_accumulate_positions_in_order(steps):
+    name = NodeName("L")
+    bullet_used = False
+    position = 0
+    for wants_bullet in steps:
+        with_bullet = wants_bullet and not bullet_used
+        name = name.extend(position, with_bullet)
+        bullet_used = bullet_used or with_bullet
+        position += 1
+    assert name.positions == tuple(range(len(steps)))
+    assert name.token_part_is_contiguous()
+    assert name.bullet_count <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(length=st.integers(min_value=1, max_value=7))
+def test_naming_lemmas_hold_on_random_inputs(length):
+    """Lemmas 6 and 7 hold for the worst-case grammar on distinct-token inputs.
+
+    The paper's counting argument assumes pairwise-distinct tokens (repeated
+    tokens only make memoization reuse more nodes), so the audit is run on
+    inputs of the form c1 c2 ... cn.
+    """
+    tokens = ["c{}".format(index) for index in range(length)]
+    grammar = Ref("L")
+    grammar.set(Alt(Cat(grammar, grammar), any_token("c")))
+    parser = DerivativeParser(
+        grammar,
+        naming=True,
+        compaction=CompactionConfig.disabled(),
+        optimize_grammar=False,
+    )
+    parser.recognize(tokens)
+    audit = parser.naming.audit(len(tokens))
+    assert audit.lemma6_holds
+    assert audit.lemma7_holds
+    assert audit.within_theorem8_bound

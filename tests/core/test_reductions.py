@@ -1,0 +1,73 @@
+"""Unit tests for the named reduction functions used by compaction."""
+
+from repro.core.reductions import (
+    IDENTITY,
+    Compose,
+    Constant,
+    Identity,
+    MapFirst,
+    MapSecond,
+    PairLeft,
+    PairRight,
+    ReassocToLeft,
+    compose,
+)
+
+
+class TestBehaviour:
+    def test_identity(self):
+        assert IDENTITY("x") == "x"
+
+    def test_constant(self):
+        assert Constant(42)("anything") == 42
+
+    def test_compose_applies_inner_then_outer(self):
+        fn = Compose(lambda t: ("outer", t), lambda t: ("inner", t))
+        assert fn("x") == ("outer", ("inner", "x"))
+
+    def test_pair_left(self):
+        assert PairLeft("s")("u") == ("s", "u")
+
+    def test_pair_right(self):
+        assert PairRight("s")("u") == ("u", "s")
+
+    def test_map_first(self):
+        assert MapFirst(str.upper)(("a", "b")) == ("A", "b")
+
+    def test_map_second(self):
+        assert MapSecond(str.upper)(("a", "b")) == ("a", "B")
+
+    def test_reassoc_to_left(self):
+        assert ReassocToLeft()(("a", ("b", "c"))) == (("a", "b"), "c")
+
+
+class TestComposeHelper:
+    def test_compose_elides_identity(self):
+        inner = PairLeft("s")
+        assert compose(IDENTITY, inner) is inner
+        assert compose(inner, IDENTITY) is inner
+
+    def test_compose_builds_compose_node(self):
+        fn = compose(PairLeft("a"), PairRight("b"))
+        assert isinstance(fn, Compose)
+        assert fn("u") == ("a", ("u", "b"))
+
+
+class TestEqualityAndRepr:
+    def test_equality_by_structure(self):
+        assert PairLeft("s") == PairLeft("s")
+        assert PairLeft("s") != PairLeft("t")
+        assert PairLeft("s") != PairRight("s")
+        assert Identity() == Identity()
+
+    def test_hashable(self):
+        assert len({PairLeft("s"), PairLeft("s"), PairRight("s")}) == 2
+
+    def test_repr_contains_arguments(self):
+        assert "s" in repr(PairLeft("s"))
+        assert "ReassocToLeft" in repr(ReassocToLeft())
+
+    def test_nested_equality(self):
+        a = Compose(PairLeft("x"), MapFirst(PairRight("y")))
+        b = Compose(PairLeft("x"), MapFirst(PairRight("y")))
+        assert a == b

@@ -1,0 +1,116 @@
+"""Tests for the Earley baseline parser."""
+
+import pytest
+
+from repro.cfg import grammar_from_rules, parse_bnf
+from repro.core import DerivativeParser, ParseError
+from repro.earley import EarleyItem, EarleyParser
+
+
+ARITH = parse_bnf(
+    """
+    expr   : expr '+' term | term ;
+    term   : term '*' factor | factor ;
+    factor : '(' expr ')' | NUMBER ;
+    """
+)
+
+
+def arith_tokens(text):
+    return [("NUMBER", ch) if ch.isdigit() else (ch, ch) for ch in text]
+
+
+class TestRecognition:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", True),
+            ("1+2", True),
+            ("1+2*3", True),
+            ("(1+2)*3", True),
+            ("1+", False),
+            ("", False),
+            ("+1", False),
+            ("(1", False),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert EarleyParser(ARITH).recognize(arith_tokens(text)) is expected
+
+    def test_left_recursion(self):
+        grammar = grammar_from_rules("L", {"L": [["L", "a"], ["a"]]})
+        parser = EarleyParser(grammar)
+        assert parser.recognize(["a"] * 30) is True
+        assert parser.recognize([]) is False
+
+    def test_right_recursion(self):
+        grammar = grammar_from_rules("L", {"L": [["a", "L"], ["a"]]})
+        assert EarleyParser(grammar).recognize(["a"] * 30) is True
+
+    def test_nullable_grammar(self):
+        grammar = grammar_from_rules("S", {"S": [["(", "S", ")", "S"], []]})
+        parser = EarleyParser(grammar)
+        assert parser.recognize(list("(())()")) is True
+        assert parser.recognize(list("(()")) is False
+        assert parser.recognize([]) is True
+
+    def test_hidden_left_recursion_with_nullable_prefix(self):
+        grammar = grammar_from_rules("S", {"S": [["A", "S", "b"], ["x"]], "A": [[]]})
+        parser = EarleyParser(grammar)
+        assert parser.recognize(list("xbb")) is True
+        assert parser.recognize(list("x")) is True
+        assert parser.recognize(list("b")) is False
+
+    def test_ambiguous_grammar(self):
+        grammar = grammar_from_rules("E", {"E": [["E", "+", "E"], ["n"]]})
+        parser = EarleyParser(grammar)
+        assert parser.recognize(list("n+n+n")) is True
+        assert parser.recognize(list("n+")) is False
+
+
+class TestTrees:
+    def test_tree_matches_derivative_parser(self):
+        tokens = arith_tokens("1+2*3")
+        earley_tree = EarleyParser(ARITH).parse(tokens)
+        derivative_tree = DerivativeParser(ARITH).parse(tokens)
+        assert earley_tree == derivative_tree
+
+    def test_tree_for_epsilon_production(self):
+        grammar = grammar_from_rules("S", {"S": [["a", "S"], []]})
+        assert EarleyParser(grammar).parse(["a"]) == ("S", ("a", ("S", ())))
+
+    def test_parse_error_raised(self):
+        with pytest.raises(ParseError):
+            EarleyParser(ARITH).parse(arith_tokens("1+"))
+
+    def test_tree_for_empty_input_on_nullable_grammar(self):
+        grammar = grammar_from_rules("S", {"S": [["a", "S"], []]})
+        assert EarleyParser(grammar).parse([]) == ("S", ())
+
+
+class TestChartInternals:
+    def test_item_str_and_properties(self):
+        grammar = grammar_from_rules("S", {"S": [["a", "S"], []]})
+        production = grammar.productions_for("S")[0]
+        item = EarleyItem(production, 0, 0)
+        assert not item.is_complete
+        assert item.next_symbol == "a"
+        advanced = item.advanced()
+        assert advanced.dot == 1
+        assert "•" in str(item)
+
+    def test_chart_sizes_grow_with_input(self):
+        sizes = EarleyParser(ARITH).chart_sizes(arith_tokens("1+2+3"))
+        assert len(sizes) == 6
+        assert all(size > 0 for size in sizes)
+
+
+class TestEquivalenceWithDerivativeParser:
+    INPUTS = ["1", "1+2", "1*2+3", "(1)", "((1+2))*3", "1+", "*", "(1", "", "1+2*"]
+
+    @pytest.mark.parametrize("text", INPUTS)
+    def test_recognition_agrees(self, text):
+        tokens = arith_tokens(text)
+        assert EarleyParser(ARITH).recognize(tokens) is DerivativeParser(ARITH).recognize(
+            tokens
+        )

@@ -1,0 +1,158 @@
+"""Tests for LR-table construction and the GLR driver."""
+
+import pytest
+
+from repro.cfg import grammar_from_rules, parse_bnf
+from repro.core import DerivativeParser
+from repro.glr import Accept, GLRParser, LRItem, Reduce, Shift, build_slr_table
+
+
+ARITH = parse_bnf(
+    """
+    expr   : expr '+' term | term ;
+    term   : term '*' factor | factor ;
+    factor : '(' expr ')' | NUMBER ;
+    """
+)
+
+
+def arith_tokens(text):
+    return [("NUMBER", ch) if ch.isdigit() else (ch, ch) for ch in text]
+
+
+class TestTableConstruction:
+    def test_arith_table_is_conflict_free(self):
+        table = build_slr_table(ARITH)
+        assert table.conflicts() == (0, 0)
+        assert table.is_deterministic()
+        # The classical SLR table for this grammar has 12 states.
+        assert table.state_count == 12
+
+    def test_ambiguous_grammar_has_conflicts(self):
+        grammar = grammar_from_rules("E", {"E": [["E", "+", "E"], ["n"]]})
+        table = build_slr_table(grammar)
+        shift_reduce, reduce_reduce = table.conflicts()
+        assert shift_reduce >= 1
+        assert not table.is_deterministic()
+
+    def test_dangling_else_conflict(self):
+        grammar = grammar_from_rules(
+            "stmt",
+            {
+                "stmt": [
+                    ["if", "expr", "then", "stmt"],
+                    ["if", "expr", "then", "stmt", "else", "stmt"],
+                    ["other"],
+                ],
+                "expr": [["cond"]],
+            },
+        )
+        shift_reduce, _ = build_slr_table(grammar).conflicts()
+        assert shift_reduce >= 1
+
+    def test_describe_mentions_counts(self):
+        text = build_slr_table(ARITH).describe()
+        assert "states" in text and "conflicts" in text
+
+    def test_item_helpers(self):
+        production = ARITH.productions_for("expr")[0]
+        item = LRItem(production, 0)
+        assert not item.is_complete
+        assert item.advanced().dot == 1
+        assert "•" in str(item)
+
+    def test_action_kinds_present(self):
+        table = build_slr_table(ARITH)
+        kinds = set()
+        for row in table.action:
+            for actions in row.values():
+                for action in actions:
+                    kinds.add(type(action))
+        assert Shift in kinds and Reduce in kinds and Accept in kinds
+
+
+class TestGLRRecognition:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", True),
+            ("1+2*3", True),
+            ("(1+2)*3", True),
+            ("1+", False),
+            ("", False),
+            ("+1", False),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert GLRParser(ARITH).recognize(arith_tokens(text)) is expected
+
+    def test_ambiguous_grammar(self):
+        grammar = grammar_from_rules("E", {"E": [["E", "+", "E"], ["n"]]})
+        parser = GLRParser(grammar)
+        assert parser.recognize(list("n")) is True
+        assert parser.recognize(list("n+n+n+n")) is True
+        assert parser.recognize(list("n+")) is False
+
+    def test_nullable_grammar(self):
+        grammar = grammar_from_rules("S", {"S": [["(", "S", ")", "S"], []]})
+        parser = GLRParser(grammar)
+        assert parser.recognize(list("(())()")) is True
+        assert parser.recognize(list("(()")) is False
+        assert parser.recognize([]) is True
+
+    def test_left_and_right_recursion(self):
+        left = grammar_from_rules("L", {"L": [["L", "a"], ["a"]]})
+        right = grammar_from_rules("L", {"L": [["a", "L"], ["a"]]})
+        assert GLRParser(left).recognize(["a"] * 40) is True
+        assert GLRParser(right).recognize(["a"] * 40) is True
+
+    def test_reduce_reduce_conflict_grammar(self):
+        grammar = grammar_from_rules(
+            "s", {"s": [["a"], ["b"]], "a": [["x"]], "b": [["x"]]}
+        )
+        parser = GLRParser(grammar)
+        shift_reduce, reduce_reduce = parser.conflicts()
+        assert reduce_reduce >= 1
+        assert parser.recognize(["x"]) is True
+        assert parser.recognize(["x", "x"]) is False
+
+    def test_parser_reusable(self):
+        parser = GLRParser(ARITH)
+        assert parser.recognize(arith_tokens("1")) is True
+        assert parser.recognize(arith_tokens("1+")) is False
+        assert parser.recognize(arith_tokens("1*2")) is True
+
+    def test_table_can_be_shared(self):
+        table = build_slr_table(ARITH)
+        assert GLRParser(ARITH, table=table).recognize(arith_tokens("1+1")) is True
+
+
+class TestEquivalenceAcrossAllParsers:
+    INPUTS = ["1", "1+2", "1*2+3", "(1)", "((1+2))*3", "1+", "*", "(1", "", "1+2*", "1*(2+3)*4"]
+
+    @pytest.mark.parametrize("text", INPUTS)
+    def test_glr_agrees_with_derivative_parser(self, text):
+        tokens = arith_tokens(text)
+        assert GLRParser(ARITH).recognize(tokens) is DerivativeParser(ARITH).recognize(tokens)
+
+    @pytest.mark.parametrize("grammar_rules,alphabet", [
+        ({"S": [["(", "S", ")", "S"], []]}, "()"),
+        ({"E": [["E", "+", "E"], ["n"]]}, "n+"),
+        ({"L": [["L", "a"], ["a"]]}, "a"),
+    ])
+    def test_three_parsers_agree_on_small_inputs(self, grammar_rules, alphabet):
+        from itertools import product
+
+        from repro.earley import EarleyParser
+
+        start = next(iter(grammar_rules))
+        grammar = grammar_from_rules(start, grammar_rules)
+        glr = GLRParser(grammar)
+        earley = EarleyParser(grammar)
+        derivative = DerivativeParser(grammar)
+        for length in range(0, 5):
+            for letters in product(alphabet, repeat=length):
+                tokens = list(letters)
+                expected = derivative.recognize(tokens)
+                assert earley.recognize(tokens) is expected, tokens
+                assert glr.recognize(tokens) is expected, tokens

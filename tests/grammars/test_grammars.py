@@ -1,0 +1,133 @@
+"""Tests for the evaluation grammars."""
+
+import pytest
+
+from repro.core import CompactionConfig, DerivativeParser, count_trees
+from repro.earley import EarleyParser
+from repro.glr import GLRParser
+from repro.grammars import (
+    arithmetic_grammar,
+    balanced_parens_grammar,
+    binary_sum_grammar,
+    exponential_grammar,
+    json_grammar,
+    python_grammar,
+    sexpr_grammar,
+    worst_case_grammar,
+    worst_case_language,
+)
+from repro.lexer import Tok, tokenize_python
+from repro.workloads import ambiguous_sum_tokens, json_tokens, nested_parens_tokens, sexpr_tokens
+
+
+class TestClassicGrammars:
+    def test_arithmetic(self):
+        parser = DerivativeParser(arithmetic_grammar())
+        tokens = [Tok("NUMBER", "1"), Tok("+"), Tok("NAME", "x"), Tok("*"), Tok("NUMBER", "2")]
+        assert parser.recognize(tokens) is True
+        assert parser.recognize(tokens[:-1]) is False
+
+    def test_balanced_parens(self):
+        parser = DerivativeParser(balanced_parens_grammar())
+        assert parser.recognize(nested_parens_tokens(10)) is True
+        assert parser.recognize([Tok("(")]) is False
+
+    def test_sexpr(self):
+        parser = DerivativeParser(sexpr_grammar())
+        assert parser.recognize(sexpr_tokens(30, seed=3)) is True
+        assert parser.recognize([Tok("(")]) is False
+
+    def test_json(self):
+        parser = DerivativeParser(json_grammar())
+        assert parser.recognize(json_tokens(40, seed=3)) is True
+        assert parser.recognize([Tok("{"), Tok("}")]) is True
+        assert parser.recognize([Tok("{"), Tok(",")]) is False
+
+
+class TestAmbiguousGrammars:
+    def test_exponential_grammar_counts(self):
+        parser = DerivativeParser(exponential_grammar())
+        forest = parser.parse_forest([Tok("a")] * 4)
+        # Catalan(3) = 5 binary trees over 4 leaves.
+        assert count_trees(forest) == 5
+
+    def test_binary_sum_catalan(self):
+        parser = DerivativeParser(binary_sum_grammar())
+        forest = parser.parse_forest(ambiguous_sum_tokens(5))
+        assert count_trees(forest) == 14
+
+    def test_worst_case_grammar_cfg_and_language_agree(self):
+        cfg_parser = DerivativeParser(worst_case_grammar())
+        raw_parser = DerivativeParser(worst_case_language())
+        tokens = [Tok("c")] * 5
+        assert cfg_parser.recognize(tokens) is raw_parser.recognize(tokens) is True
+        assert cfg_parser.recognize([]) is raw_parser.recognize([]) is False
+
+
+class TestPythonGrammar:
+    def test_size_is_substantial(self):
+        grammar = python_grammar()
+        assert grammar.production_count() >= 100
+        assert len(grammar.nonterminals) >= 40
+
+    def test_validates(self):
+        python_grammar().validate()
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1\n",
+            "x = y + 2 * z\n",
+            "def f(a, b=1):\n    return a + b\n",
+            "if x < 1:\n    y = 2\nelse:\n    y = 3\n",
+            "while x > 0:\n    x -= 1\n",
+            "for item in items:\n    total += item\n",
+            "class C:\n    def m(self):\n        pass\n",
+            "import os\n",
+            "from os import path\n",
+            "assert x == 1, 'message'\n",
+            "data = {'a': 1, 'b': [1, 2, 3]}\n",
+            "result = f(x)(y)[0].attr\n",
+            "x = lambda a: a + 1\n",
+            "y = a if b else c\n",
+            "with open(name) as handle:\n    data = handle.read()\n",
+            "del x\n",
+            "raise ValueError(msg)\n",
+            "print('hello', 'world')\n",
+        ],
+    )
+    def test_accepts_common_python(self, source):
+        parser = DerivativeParser(python_grammar())
+        assert parser.recognize(tokenize_python(source)) is True, source
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(:\n    pass\n",
+            "x = = 1\n",
+            "if:\n    pass\n",
+            "return\n1 +\n",
+        ],
+    )
+    def test_rejects_malformed_python(self, source):
+        from repro.core.errors import LexError
+
+        parser = DerivativeParser(python_grammar())
+        try:
+            tokens = tokenize_python(source)
+        except LexError:
+            return  # rejected even before parsing
+        assert parser.recognize(tokens) is False, source
+
+    def test_all_parsers_agree_on_a_small_program(self):
+        source = "def f(x):\n    if x > 0:\n        return x\n    return 0 - x\n"
+        tokens = tokenize_python(source)
+        grammar = python_grammar()
+        assert DerivativeParser(grammar).recognize(tokens) is True
+        assert EarleyParser(grammar).recognize(tokens) is True
+        assert GLRParser(grammar).recognize(tokens) is True
+
+    def test_parse_tree_root_is_file_input(self):
+        parser = DerivativeParser(python_grammar())
+        tree = parser.parse(tokenize_python("x = 1\n"))
+        assert tree[0] == "file_input"

@@ -1,0 +1,108 @@
+"""Tests for the derivative-based lexer and the Python tokenizer bridge."""
+
+import pytest
+
+from repro.core import DerivativeParser, LexError
+from repro.grammars import python_grammar
+from repro.lexer import Lexer, Tok, tokenize_python
+from repro.regex import char, char_range, chars, literal, plus, seq, star
+
+
+def simple_lexer():
+    name = seq(char_range("a", "z"), star(char_range("a", "z")))
+    number = plus(char_range("0", "9"))
+    whitespace = plus(chars(" \t\n"))
+    return Lexer(
+        [
+            ("NUMBER", number),
+            ("NAME", name),
+            ("WS", whitespace),
+            ("+", literal("+")),
+            ("==", literal("==")),
+            ("=", literal("=")),
+        ],
+        skip=["WS"],
+        keywords={"if": "if", "else": "else"},
+    )
+
+
+class TestTok:
+    def test_value_defaults_to_kind(self):
+        assert Tok("+").value == "+"
+
+    def test_equality_ignores_position(self):
+        assert Tok("NAME", "x", line=1, column=1) == Tok("NAME", "x", line=9, column=9)
+
+    def test_str(self):
+        assert str(Tok("+")) == "+"
+        assert "x" in str(Tok("NAME", "x"))
+
+
+class TestLexer:
+    def test_basic_tokenization(self):
+        tokens = simple_lexer().tokens("abc + 12")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("NAME", "abc"),
+            ("+", "+"),
+            ("NUMBER", "12"),
+        ]
+
+    def test_longest_match_wins(self):
+        tokens = simple_lexer().tokens("a == 1")
+        assert [t.kind for t in tokens] == ["NAME", "==", "NUMBER"]
+
+    def test_keywords_override_names(self):
+        tokens = simple_lexer().tokens("if x else y")
+        assert [t.kind for t in tokens] == ["if", "NAME", "else", "NAME"]
+
+    def test_line_and_column_tracking(self):
+        tokens = simple_lexer().tokens("a\nbb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 1
+
+    def test_lex_error_on_unknown_character(self):
+        with pytest.raises(LexError):
+            simple_lexer().tokens("a @ b")
+
+    def test_empty_input(self):
+        assert simple_lexer().tokens("") == []
+
+
+class TestPythonTokenBridge:
+    SOURCE = "def f(x):\n    return x + 1\n"
+
+    def test_kinds_match_grammar_vocabulary(self):
+        kinds = [tok.kind for tok in tokenize_python(self.SOURCE)]
+        assert kinds == [
+            "def",
+            "NAME",
+            "(",
+            "NAME",
+            ")",
+            ":",
+            "NEWLINE",
+            "INDENT",
+            "return",
+            "NAME",
+            "+",
+            "NUMBER",
+            "NEWLINE",
+            "DEDENT",
+        ]
+
+    def test_keywords_are_their_own_kinds(self):
+        kinds = {tok.kind for tok in tokenize_python("while True:\n    pass\n")}
+        assert "while" in kinds and "True" in kinds and "pass" in kinds
+
+    def test_comments_and_blank_lines_dropped(self):
+        tokens = tokenize_python("# comment\n\nx = 1\n")
+        assert [tok.kind for tok in tokens] == ["NAME", "=", "NUMBER", "NEWLINE"]
+
+    def test_tokenized_source_parses_with_python_grammar(self):
+        parser = DerivativeParser(python_grammar())
+        assert parser.recognize(tokenize_python(self.SOURCE)) is True
+
+    def test_bad_source_raises_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize_python("def f(:\n  (")

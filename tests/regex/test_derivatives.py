@@ -1,0 +1,130 @@
+"""Tests for the Brzozowski regular-expression derivative engine."""
+
+import re as stdlib_re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import (
+    EPSILON,
+    NULL,
+    alt,
+    any_char,
+    char,
+    char_range,
+    chars,
+    derive,
+    literal,
+    matches,
+    nullable,
+    optional,
+    plus,
+    seq,
+    star,
+    to_dfa,
+)
+
+
+class TestBasics:
+    def test_null_matches_nothing(self):
+        assert not matches(NULL, "")
+        assert not matches(NULL, "a")
+
+    def test_epsilon_matches_only_empty(self):
+        assert matches(EPSILON, "")
+        assert not matches(EPSILON, "a")
+
+    def test_char(self):
+        assert matches(char("a"), "a")
+        assert not matches(char("a"), "b")
+        assert not matches(char("a"), "aa")
+
+    def test_char_requires_single_character(self):
+        with pytest.raises(ValueError):
+            char("ab")
+
+    def test_literal_and_paper_example(self):
+        # The paper's Section 2.1 example: {foo, frak, bar} derived by 'f'.
+        language = alt(literal("foo"), literal("frak"), literal("bar"))
+        derivative = derive(language, "f")
+        assert matches(derivative, "oo")
+        assert matches(derivative, "rak")
+        assert not matches(derivative, "ar")
+
+    def test_char_range_and_sets(self):
+        digit = char_range("0", "9")
+        assert matches(digit, "5")
+        assert not matches(digit, "a")
+        assert matches(chars("abc"), "b")
+        assert matches(chars("abc", negated=True), "z")
+        assert matches(any_char(), "!")
+
+    def test_seq_alt_star(self):
+        pattern = seq(char("a"), star(char("b")), char("c"))
+        assert matches(pattern, "ac")
+        assert matches(pattern, "abbbc")
+        assert not matches(pattern, "abb")
+
+    def test_plus_and_optional(self):
+        assert matches(plus(char("a")), "aaa")
+        assert not matches(plus(char("a")), "")
+        assert matches(optional(char("a")), "")
+        assert matches(optional(char("a")), "a")
+
+
+class TestSmartConstructors:
+    def test_alt_drops_null_and_duplicates(self):
+        assert alt(NULL, char("a")) == char("a")
+        assert alt(char("a"), char("a")) == char("a")
+
+    def test_seq_simplifications(self):
+        assert seq(EPSILON, char("a")) == char("a")
+        assert seq(NULL, char("a")) == NULL
+        assert seq() == EPSILON
+
+    def test_star_simplifications(self):
+        assert star(EPSILON) == EPSILON
+        assert star(NULL) == EPSILON
+        inner = star(char("a"))
+        assert star(inner) == inner
+
+    def test_nullable(self):
+        assert nullable(star(char("a")))
+        assert not nullable(char("a"))
+        assert nullable(seq(star(char("a")), optional(char("b"))))
+
+
+class TestDFA:
+    def test_dfa_accepts_same_language(self):
+        pattern = seq(plus(char_range("0", "9")), optional(seq(char("."), plus(char_range("0", "9")))))
+        dfa = to_dfa(pattern, "0123456789.")
+        for text in ("1", "123", "3.14", "0.5"):
+            assert dfa.accepts(text), text
+        for text in ("", ".", "1.", "a", "1a"):
+            assert not dfa.accepts(text), text
+
+    def test_dfa_is_finite_for_star_heavy_regexes(self):
+        pattern = star(alt(literal("ab"), literal("ba")))
+        dfa = to_dfa(pattern, "ab")
+        assert dfa.state_count < 32
+
+    def test_symbols_outside_alphabet_rejected(self):
+        dfa = to_dfa(star(char("a")), "a")
+        assert not dfa.accepts("b")
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(alphabet="ab", max_size=10))
+def test_matches_agrees_with_python_re(text):
+    """(a|b)*abb — the classic example — derivative matching vs stdlib re."""
+    pattern = seq(star(chars("ab")), literal("abb"))
+    expected = stdlib_re.fullmatch("[ab]*abb", text) is not None
+    assert matches(pattern, text) is expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(alphabet="abc", max_size=8))
+def test_dfa_agrees_with_derivative_matching(text):
+    pattern = alt(seq(char("a"), star(char("b"))), literal("cab"))
+    dfa = to_dfa(pattern, "abc")
+    assert dfa.accepts(text) is matches(pattern, text)
