@@ -1,0 +1,204 @@
+"""Deep-input scaling: the iterative engine versus the recursive formulation.
+
+The seed implementation recursed over the grammar graph in ``derive`` and
+``parse-null`` and papered over the resulting depth limit with
+``sys.setrecursionlimit(200_000)`` — capping input length by stack budget and
+making every deep parse one C-frame away from a hard crash.  The engine is
+now fully iterative (explicit work stacks in :mod:`repro.core.derivative`,
+:mod:`repro.core.parse`, :mod:`repro.core.forest`), so this benchmark
+
+1. parses a 100 000-token chain on the classic expression grammar and a
+   100 000-token right-recursive list *under the default interpreter
+   recursion limit*, and
+2. races the iterative engine against a faithful replica of the seed's
+   recursive ``derive`` at small sizes, recording where the recursive
+   formulation falls off the stack.
+
+The recursive replica below is the textbook formulation (memoized, with
+placeholder-based cycle breaking, no compaction) — exactly the shape of the
+seed's hot path, kept here only as the measurement baseline.
+"""
+
+import sys
+import time
+from contextlib import contextmanager
+
+from repro.core import DerivativeParser, Ref, token
+from repro.core.languages import (
+    EMPTY,
+    Alt,
+    Cat,
+    Delta,
+    Empty,
+    Epsilon,
+    Language,
+    Reduce,
+    Token,
+    token_value,
+)
+from repro.core.nullability import NullabilityAnalyzer
+from repro.bench import format_table
+from repro.workloads import chain_expression_tokens
+
+SIZES_RECURSIVE_RACE = [100, 300, 900, 2_700]
+DEEP_SIZE = 100_000
+#: CPython's out-of-the-box recursion limit; the whole point of the iterative
+#: engine is that parsing never needs more than this.
+DEFAULT_INTERPRETER_LIMIT = 1_000
+
+
+@contextmanager
+def default_recursion_limit():
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(DEFAULT_INTERPRETER_LIMIT)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+def right_recursive_list() -> Ref:
+    """``L = a L | a`` — every token deepens the derived grammar."""
+    lst = Ref("L")
+    lst.set((token("a") + lst) | token("a"))
+    return lst
+
+
+def classic_expression_grammar() -> Ref:
+    """``E = E + T | T``, ``T = T * F | F``, ``F = ( E ) | NAME``."""
+    e, t, f = Ref("E"), Ref("T"), Ref("F")
+    e.set((e + token("+") + t) | t)
+    t.set((t + token("*") + f) | f)
+    f.set((token("(") + e + token(")")) | token("NAME"))
+    return e
+
+
+class RecursiveSeedDeriver:
+    """The seed's recursive ``derive`` (memo + placeholders, host-stack DFS)."""
+
+    def __init__(self) -> None:
+        self.nullability = NullabilityAnalyzer()
+        self.memo = {}
+
+    def derive(self, node: Language, tok) -> Language:
+        key = (id(node), tok)
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, (Empty, Epsilon, Delta)):
+            result = EMPTY
+            self.memo[key] = result
+            return result
+        if isinstance(node, Token):
+            result = Epsilon((token_value(tok),)) if node.matches(tok) else EMPTY
+            self.memo[key] = result
+            return result
+        if isinstance(node, Alt):
+            placeholder = Alt(None, None)
+            self.memo[key] = placeholder
+            placeholder.left = self.derive(node.left, tok)
+            placeholder.right = self.derive(node.right, tok)
+            return placeholder
+        if isinstance(node, Cat):
+            if not self.nullability.nullable(node.left):
+                placeholder = Cat(None, node.right)
+                self.memo[key] = placeholder
+                placeholder.left = self.derive(node.left, tok)
+                return placeholder
+            placeholder = Alt(None, None)
+            self.memo[key] = placeholder
+            placeholder.left = Cat(self.derive(node.left, tok), node.right)
+            placeholder.right = Cat(Delta(node.left), self.derive(node.right, tok))
+            return placeholder
+        if isinstance(node, Reduce):
+            placeholder = Reduce(None, node.fn)
+            self.memo[key] = placeholder
+            placeholder.lang = self.derive(node.lang, tok)
+            return placeholder
+        # Ref
+        placeholder = type(node)(node.ref_name, None)
+        self.memo[key] = placeholder
+        placeholder.target = self.derive(node.target, tok)
+        return placeholder
+
+    def recognize(self, root: Language, tokens) -> bool:
+        language = root
+        for tok in tokens:
+            language = self.derive(language, tok)
+            if isinstance(language, Empty):
+                return False
+        return self.nullability.nullable(language)
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_deep_recursion_race(run_once):
+    """Iterative engine vs. the seed's recursive formulation, default limit."""
+    rows = []
+    with default_recursion_limit():
+        for size in SIZES_RECURSIVE_RACE:
+            tokens = ["a"] * size
+            accepted, iterative_s = _time(
+                lambda: DerivativeParser(right_recursive_list()).recognize(tokens)
+            )
+            assert accepted is True
+            try:
+                grammar = right_recursive_list()
+                ok, recursive_s = _time(
+                    lambda: RecursiveSeedDeriver().recognize(grammar, tokens)
+                )
+                assert ok is True
+                recursive_cell = "{:.4f}".format(recursive_s)
+            except RecursionError:
+                recursive_cell = "RecursionError"
+            rows.append([size, "{:.4f}".format(iterative_s), recursive_cell])
+
+    print()
+    print(
+        format_table(
+            ["tokens", "iterative (s)", "recursive seed (s)"],
+            rows,
+            title="Deep right-recursion under the default interpreter limit",
+        )
+    )
+    # The recursive formulation must have died somewhere in this range; the
+    # iterative engine must have survived everywhere.
+    assert any(row[2] == "RecursionError" for row in rows)
+
+    run_once(
+        lambda: DerivativeParser(right_recursive_list()).recognize(["a"] * 10_000)
+    )
+
+
+def test_100k_tokens_under_default_limit(run_once):
+    """The ISSUE acceptance workload: 100k tokens, no recursion-limit games."""
+    with default_recursion_limit():
+        tokens = ["a"] * DEEP_SIZE
+        accepted, right_s = _time(
+            lambda: DerivativeParser(right_recursive_list()).recognize(tokens)
+        )
+        assert accepted is True
+
+        chain = chain_expression_tokens(10_001)
+        accepted, expr_s = _time(
+            lambda: DerivativeParser(classic_expression_grammar()).recognize(chain)
+        )
+        assert accepted is True
+
+    print()
+    print(
+        format_table(
+            ["workload", "tokens", "seconds"],
+            [
+                ["right-recursive list", DEEP_SIZE, "{:.3f}".format(right_s)],
+                ["classic expression chain", len(chain), "{:.3f}".format(expr_s)],
+            ],
+            title="Deep inputs at the default interpreter recursion limit",
+        )
+    )
+
+    run_once(lambda: DerivativeParser(right_recursive_list()).recognize(["a"] * DEEP_SIZE))

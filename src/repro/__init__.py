@@ -39,6 +39,7 @@ from .core import (
     Language,
     Metrics,
     ParseError,
+    ParserState,
     Reduce,
     Ref,
     ReproError,
@@ -58,6 +59,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "DerivativeParser",
+    "ParserState",
     "parse",
     "recognize",
     "CompactionConfig",

@@ -23,11 +23,17 @@ The grammar representation (``repro.core.languages`` nodes) and the parse
 forest machinery are shared with the improved implementation so that the
 comparison isolates the algorithmic differences, exactly as the paper's
 evaluation does by writing both parsers in Racket.
+
+Like the improved parser, the traversals here are iterative (explicit
+worklists rather than interpreter recursion) so no ``sys.setrecursionlimit``
+escape hatch is needed; recursion-versus-iteration is a host-language detail
+that the paper's comparison deliberately does not measure.  The
+``recursion_limit`` constructor argument is retained as a deprecated no-op.
 """
 
 from __future__ import annotations
 
-import sys
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.compaction import CompactionConfig, Compactor, optimize_initial_grammar
@@ -59,7 +65,7 @@ from ..core.languages import (
     token_value,
 )
 from ..core.metrics import Metrics
-from ..core.parse import DEFAULT_RECURSION_LIMIT, validate_grammar
+from ..core.parse import validate_grammar
 
 __all__ = ["OriginalParser", "NaiveNullability"]
 
@@ -121,7 +127,7 @@ class OriginalParser:
         grammar: Union[Language, Any],
         compaction: bool = True,
         metrics: Optional[Metrics] = None,
-        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
+        recursion_limit: Optional[int] = None,
     ) -> None:
         if hasattr(grammar, "to_language"):
             grammar = grammar.to_language()
@@ -132,8 +138,13 @@ class OriginalParser:
                 )
             )
         validate_grammar(grammar)
-        if recursion_limit and sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        if recursion_limit is not None:
+            warnings.warn(
+                "recursion_limit is deprecated and ignored: the traversals "
+                "are iterative and never call sys.setrecursionlimit",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
         self.metrics = metrics if metrics is not None else Metrics()
         self.compaction_enabled = compaction
@@ -209,70 +220,102 @@ class OriginalParser:
 
     # ------------------------------------------------------------ derivative
     def derive(self, node: Language, token: Any) -> Language:
-        """Memoized derivative with laziness-by-placeholder, no inline compaction."""
-        self.metrics.derive_calls += 1
-        inner = self._memo.get(node)
-        if inner is not None and token in inner:
-            self.metrics.derive_cache_hits += 1
-            return inner[token]
-        self.metrics.derive_uncached += 1
+        """Memoized derivative with laziness-by-placeholder, no inline compaction.
 
-        if isinstance(node, (Empty, Epsilon, Delta)):
-            return self._memoize(node, token, EMPTY)
+        Because the 2011 algorithm *always* memoizes a placeholder before
+        visiting a node's children (laziness is the cycle-breaking device,
+        not an optimization), the derivative of the whole graph can be built
+        iteratively in two phases: a discovery pass allocates and memoizes
+        the skeleton of every needed derivative, then a wiring pass fills
+        each skeleton's children from the memo table.  This reproduces the
+        recursive formulation exactly — node counts included — without
+        bounding the derivable graph depth by the interpreter stack.
+        """
+        # Phase 1: allocate (and memoize) a skeleton per reachable node.
+        filled: List[Language] = []
+        stack: List[Language] = [node]
+        while stack:
+            current = stack.pop()
+            self.metrics.derive_calls += 1
+            inner = self._memo.get(current)
+            if inner is not None and token in inner:
+                self.metrics.derive_cache_hits += 1
+                continue
+            self.metrics.derive_uncached += 1
 
-        if isinstance(node, Token):
-            if node.matches(token):
-                result: Language = Epsilon((token_value(token),))
+            if isinstance(current, (Empty, Epsilon, Delta)):
+                self._memoize(current, token, EMPTY)
+            elif isinstance(current, Token):
+                if current.matches(token):
+                    result: Language = Epsilon((token_value(token),))
+                    self.metrics.nodes_created += 1
+                else:
+                    result = EMPTY
+                self._memoize(current, token, result)
+            elif isinstance(current, Alt):
+                placeholder: Language = Alt(None, None)
                 self.metrics.nodes_created += 1
+                self._memoize(current, token, placeholder)
+                filled.append(current)
+                stack.append(current.left)
+                stack.append(current.right)
+            elif isinstance(current, Cat):
+                if not self.nullability.nullable(current.left):
+                    placeholder = Cat(None, current.right)
+                    self.metrics.nodes_created += 1
+                    self._memoize(current, token, placeholder)
+                    filled.append(current)
+                    stack.append(current.left)
+                else:
+                    placeholder = Alt(None, None)
+                    left_cat = Cat(None, current.right)
+                    delta_cat = Cat(Delta(current.left), None)
+                    self.metrics.nodes_created += 4
+                    placeholder.left = left_cat
+                    placeholder.right = delta_cat
+                    self._memoize(current, token, placeholder)
+                    filled.append(current)
+                    stack.append(current.left)
+                    stack.append(current.right)
+            elif isinstance(current, Reduce):
+                placeholder = Reduce(None, current.fn)
+                self.metrics.nodes_created += 1
+                self._memoize(current, token, placeholder)
+                filled.append(current)
+                stack.append(current.lang)
+            elif isinstance(current, Ref):
+                if current.target is None:
+                    raise GrammarError(
+                        "unresolved non-terminal <{}>".format(current.ref_name)
+                    )
+                placeholder = Ref(current.ref_name, None)
+                self.metrics.nodes_created += 1
+                self._memoize(current, token, placeholder)
+                filled.append(current)
+                stack.append(current.target)
             else:
-                result = EMPTY
-            return self._memoize(node, token, result)
+                raise GrammarError(
+                    "cannot derive unknown node type: {!r}".format(current)
+                )
 
-        if isinstance(node, Alt):
-            placeholder = Alt(None, None)
-            self.metrics.nodes_created += 1
-            self._memoize(node, token, placeholder)
-            placeholder.left = self.derive(node.left, token)
-            placeholder.right = self.derive(node.right, token)
-            return placeholder
+        # Phase 2: wire each skeleton's children from the memo table.
+        for current in filled:
+            skeleton = self._memo[current][token]
+            if isinstance(current, Alt):
+                skeleton.left = self._memo[current.left][token]
+                skeleton.right = self._memo[current.right][token]
+            elif isinstance(current, Cat):
+                if isinstance(skeleton, Cat):  # non-nullable left child
+                    skeleton.left = self._memo[current.left][token]
+                else:  # the (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2)) union
+                    skeleton.left.left = self._memo[current.left][token]
+                    skeleton.right.right = self._memo[current.right][token]
+            elif isinstance(current, Reduce):
+                skeleton.lang = self._memo[current.lang][token]
+            else:  # Ref
+                skeleton.target = self._memo[current.target][token]
 
-        if isinstance(node, Cat):
-            if not self.nullability.nullable(node.left):
-                placeholder = Cat(None, node.right)
-                self.metrics.nodes_created += 1
-                self._memoize(node, token, placeholder)
-                placeholder.left = self.derive(node.left, token)
-                return placeholder
-            placeholder = Alt(None, None)
-            self.metrics.nodes_created += 1
-            self._memoize(node, token, placeholder)
-            left_cat = Cat(None, node.right)
-            self.metrics.nodes_created += 1
-            left_cat.left = self.derive(node.left, token)
-            delta_cat = Cat(Delta(node.left), None)
-            self.metrics.nodes_created += 2
-            delta_cat.right = self.derive(node.right, token)
-            placeholder.left = left_cat
-            placeholder.right = delta_cat
-            return placeholder
-
-        if isinstance(node, Reduce):
-            placeholder = Reduce(None, node.fn)
-            self.metrics.nodes_created += 1
-            self._memoize(node, token, placeholder)
-            placeholder.lang = self.derive(node.lang, token)
-            return placeholder
-
-        if isinstance(node, Ref):
-            if node.target is None:
-                raise GrammarError("unresolved non-terminal <{}>".format(node.ref_name))
-            placeholder = Ref(node.ref_name, None)
-            self.metrics.nodes_created += 1
-            self._memoize(node, token, placeholder)
-            placeholder.target = self.derive(node.target, token)
-            return placeholder
-
-        raise GrammarError("cannot derive unknown node type: {!r}".format(node))
+        return self._memo[node][token]
 
     def _memoize(self, node: Language, token: Any, result: Language) -> Language:
         inner = self._memo.get(node)
@@ -293,39 +336,65 @@ class OriginalParser:
         return distribution
 
     # ------------------------------------------------------------ parse-null
-    def _parse_null(self, node: Language) -> ForestNode:
-        cached = self._null_parse_memo.get(id(node))
-        if cached is not None:
-            return cached
-        self.metrics.parse_null_calls += 1
+    def _parse_null(self, root: Language) -> ForestNode:
+        """Iterative two-phase ``parse-null`` (skeletons, then wiring).
 
-        if isinstance(node, (Empty, Token)):
-            result: ForestNode = FOREST_EMPTY
-            self._null_parse_memo[id(node)] = result
-            return result
-        if isinstance(node, Epsilon):
-            result = ForestLeaf(node.trees)
-            self._null_parse_memo[id(node)] = result
-            return result
-        if not self.nullability.nullable(node):
-            result = FOREST_EMPTY
-            self._null_parse_memo[id(node)] = result
-            return result
+        Mirrors :meth:`repro.core.parse.DerivativeParser._parse_null`: cycles
+        in the grammar become cycles in the forest graph directly.
+        """
+        memo = self._null_parse_memo
+        pending: List[Language] = []
+        stack: List[Language] = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in memo:
+                continue
+            self.metrics.parse_null_calls += 1
 
-        placeholder = ForestRef()
-        self._null_parse_memo[id(node)] = placeholder
-        if isinstance(node, Alt):
-            result = ForestAmb([self._parse_null(node.left), self._parse_null(node.right)])
-        elif isinstance(node, Cat):
-            result = ForestPair(self._parse_null(node.left), self._parse_null(node.right))
-        elif isinstance(node, Reduce):
-            result = ForestMap(node.fn, self._parse_null(node.lang))
-        elif isinstance(node, Delta):
-            result = self._parse_null(node.lang)
-        elif isinstance(node, Ref):
-            result = self._parse_null(node.target)
-        else:  # pragma: no cover - defensive
-            raise GrammarError("cannot parse-null {!r}".format(node))
-        placeholder.target = result
-        self._null_parse_memo[id(node)] = result
-        return result
+            if isinstance(node, (Empty, Token)):
+                memo[id(node)] = FOREST_EMPTY
+                continue
+            if isinstance(node, Epsilon):
+                memo[id(node)] = ForestLeaf(node.trees)
+                continue
+            if not self.nullability.nullable(node):
+                memo[id(node)] = FOREST_EMPTY
+                continue
+
+            if isinstance(node, Alt):
+                skeleton: ForestNode = ForestAmb([])
+                children = (node.right, node.left)
+            elif isinstance(node, Cat):
+                skeleton = ForestPair(FOREST_EMPTY, FOREST_EMPTY)
+                children = (node.right, node.left)
+            elif isinstance(node, Reduce):
+                skeleton = ForestMap(node.fn, FOREST_EMPTY)
+                children = (node.lang,)
+            elif isinstance(node, Delta):
+                skeleton = ForestRef()
+                children = (node.lang,)
+            elif isinstance(node, Ref):
+                skeleton = ForestRef()
+                children = (node.target,)
+            else:  # pragma: no cover - defensive
+                raise GrammarError("cannot parse-null {!r}".format(node))
+            memo[id(node)] = skeleton
+            pending.append(node)
+            stack.extend(children)
+
+        for node in pending:
+            skeleton = memo[id(node)]
+            if isinstance(node, Alt):
+                skeleton.alternatives.append(memo[id(node.left)])
+                skeleton.alternatives.append(memo[id(node.right)])
+            elif isinstance(node, Cat):
+                skeleton.left = memo[id(node.left)]
+                skeleton.right = memo[id(node.right)]
+            elif isinstance(node, Reduce):
+                skeleton.child = memo[id(node.lang)]
+            elif isinstance(node, Delta):
+                skeleton.target = memo[id(node.lang)]
+            else:  # Ref
+                skeleton.target = memo[id(node.target)]
+
+        return memo[id(root)]

@@ -63,6 +63,7 @@ from .productivity import ProductivityAnalyzer
 from .parse import (
     DEFAULT_RECURSION_LIMIT,
     DerivativeParser,
+    ParserState,
     parse,
     recognize,
     validate_grammar,
@@ -102,6 +103,7 @@ __all__ = [
     "graph_size",
     # parsing
     "DerivativeParser",
+    "ParserState",
     "parse",
     "recognize",
     "validate_grammar",

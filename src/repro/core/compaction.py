@@ -40,6 +40,7 @@ from .languages import (
     Ref,
     reachable_nodes,
 )
+from .forest import trees_equal
 from .metrics import Metrics
 from .reductions import (
     IDENTITY,
@@ -296,10 +297,14 @@ class Compactor:
 
 
 def _merge_trees(left: tuple, right: tuple) -> tuple:
-    """Union two tree tuples, preserving order and dropping duplicates."""
+    """Union two tree tuples, preserving order and dropping duplicates.
+
+    Uses depth-safe structural equality: the merged trees come from parses
+    of arbitrarily long inputs, so ``==`` on them could blow the C stack.
+    """
     merged = list(left)
     for tree in right:
-        if not any(tree == existing for existing in merged):
+        if not any(trees_equal(tree, existing) for existing in merged):
             merged.append(tree)
     return tuple(merged)
 

@@ -11,17 +11,24 @@ rules of Figure 2:
 * ``Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ Dc(L2)``           when ``L1`` is nullable
 * ``Dc(L ↪→ f) = Dc(L) ↪→ f``
 
-Cycles are handled exactly as described in Section 2.5.2: before recurring
+Cycles are handled exactly as described in Section 2.5.2: before descending
 into a node's children, ``derive`` installs a *partially constructed* result
-node in the memo table; any recursive call caused by a cycle finds and uses
-that placeholder.  After the children's derivatives return, either
+node in the memo table; any child lookup caused by a cycle finds and uses
+that placeholder.  After the children's derivatives are available, either
 
-* the placeholder was **observed** by a recursive call (there really was a
+* the placeholder was **observed** by a cyclic lookup (there really was a
   cycle) — its children are filled in place and no compaction is attempted
   (the "punt on cycle" rule of Section 4.3.3), or
 * the placeholder was **not observed** — it is discarded, the result is built
   through the compaction smart constructors (Section 4.3), and the memo entry
   is replaced by the compacted node.
+
+The traversal itself is **iterative**: grammar graphs derived from long
+inputs can be as deep as the input (hundreds of thousands of nodes on a
+right-recursive chain), so ``derive`` runs a small virtual machine over an
+explicit stack of pending nodes and suspended continuations instead of
+recursing on the interpreter stack.  No ``sys.setrecursionlimit`` escape
+hatch is needed at any input length.
 
 Memoization is pluggable (:mod:`repro.core.memo`); the default single-entry
 strategy is the improvement of Section 4.4.
@@ -29,7 +36,7 @@ strategy is the improvement of Section 4.4.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from .compaction import Compactor
 from .errors import GrammarError
@@ -52,6 +59,20 @@ from .naming import NamingScheme
 from .nullability import NullabilityAnalyzer
 
 __all__ = ["Deriver"]
+
+
+# Opcodes for the explicit-stack derive machine.  A _DERIVE entry asks for the
+# derivative of one node (the recursive call); a _FINISH_* entry resumes a
+# suspended composite node once its children's derivatives are in its result
+# slots (the code after the recursive calls in the textbook presentation).
+(
+    _DERIVE,
+    _FINISH_ALT,
+    _FINISH_CAT,
+    _FINISH_CAT_NULLABLE,
+    _FINISH_REDUCE,
+    _FINISH_REF,
+) = range(6)
 
 
 class Deriver:
@@ -80,128 +101,223 @@ class Deriver:
         ``position`` is the index of ``token`` in the input; it is used only
         by the optional naming instrumentation (Definition 5) and does not
         affect the computed language.
+
+        The computation is fully iterative: an explicit stack holds, for each
+        suspended composite node, its installed placeholder and the result
+        slots its children's derivatives are delivered into.  Left children
+        are always expanded to completion before right children, matching the
+        order (and therefore the memoization, naming and metrics behaviour)
+        of the recursive formulation.
         """
-        self.metrics.derive_calls += 1
-        cached = self.memo.get(node, token)
-        if cached is not MISS:
-            self.metrics.derive_cache_hits += 1
-            if isinstance(cached, Language) and cached.under_construction:
-                cached.observed = True
-            return cached
-        self.metrics.derive_uncached += 1
+        memo = self.memo
+        metrics = self.metrics
+        root_slot: List[Optional[Language]] = [None]
+        # Each stack entry is (opcode, node, out, slot) for _DERIVE or
+        # (opcode, node, placeholder, results, out, slot) for _FINISH_*.
+        stack: List[Tuple] = [(_DERIVE, node, root_slot, 0)]
 
-        if isinstance(node, (Empty, Epsilon, Delta)):
-            # Dc(∅) = Dc(ε) = Dc(δ(L)) = ∅ — none of these accept a first token.
-            result = EMPTY
-            self.memo.put(node, token, result)
-            return result
+        while stack:
+            entry = stack.pop()
+            op = entry[0]
 
-        if isinstance(node, Token):
-            return self._derive_token(node, token, position)
+            if op == _DERIVE:
+                _, current, out, slot = entry
+                metrics.derive_calls += 1
+                cached = memo.get(current, token)
+                if cached is not MISS:
+                    metrics.derive_cache_hits += 1
+                    if isinstance(cached, Language) and cached.under_construction:
+                        # A lookup that finds a partially constructed result
+                        # is exactly the cycle case of Section 2.5.2.
+                        cached.observed = True
+                    out[slot] = cached
+                    continue
+                metrics.derive_uncached += 1
 
-        if isinstance(node, Alt):
-            return self._derive_alt(node, token, position)
+                if isinstance(current, (Empty, Epsilon, Delta)):
+                    # Dc(∅) = Dc(ε) = Dc(δ(L)) = ∅ — no first token accepted.
+                    memo.put(current, token, EMPTY)
+                    out[slot] = EMPTY
+                    continue
 
-        if isinstance(node, Cat):
-            return self._derive_cat(node, token, position)
+                if isinstance(current, Token):
+                    if current.matches(token):
+                        result: Language = self.compactor.make_epsilon((token_value(token),))
+                        self._name(current, result, position, with_bullet=False)
+                    else:
+                        result = EMPTY
+                    memo.put(current, token, result)
+                    out[slot] = result
+                    continue
 
-        if isinstance(node, Reduce):
-            return self._derive_reduce(node, token, position)
+                if isinstance(current, Alt):
+                    if current.left is None or current.right is None:
+                        raise GrammarError(
+                            "derivative of an incomplete ∪ node: {!r}".format(current)
+                        )
+                    placeholder = self.compactor.raw_alt()
+                    placeholder.under_construction = True
+                    memo.put(current, token, placeholder)
+                    results: List[Optional[Language]] = [None, None]
+                    stack.append((_FINISH_ALT, current, placeholder, results, out, slot))
+                    stack.append((_DERIVE, current.right, results, 1))
+                    stack.append((_DERIVE, current.left, results, 0))
+                    continue
 
-        if isinstance(node, Ref):
-            return self._derive_ref(node, token, position)
+                if isinstance(current, Cat):
+                    if current.left is None or current.right is None:
+                        raise GrammarError(
+                            "derivative of an incomplete ◦ node: {!r}".format(current)
+                        )
+                    if not self.nullability.nullable(current.left):
+                        # Dc(L1 ◦ L2) = Dc(L1) ◦ L2
+                        cat_placeholder = self.compactor.raw_cat()
+                        cat_placeholder.under_construction = True
+                        cat_placeholder.right = current.right
+                        memo.put(current, token, cat_placeholder)
+                        results = [None]
+                        stack.append(
+                            (_FINISH_CAT, current, cat_placeholder, results, out, slot)
+                        )
+                        stack.append((_DERIVE, current.left, results, 0))
+                        continue
+                    # Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2)) — the
+                    # duplication case tracked by the naming argument (Rule
+                    # 5b) with the • symbol.  The δ(L1) factor keeps L1's
+                    # null-parse trees; Figure 2 presents the recognizer form,
+                    # which drops it.
+                    placeholder = self.compactor.raw_alt()
+                    placeholder.under_construction = True
+                    memo.put(current, token, placeholder)
+                    results = [None, None]
+                    stack.append(
+                        (_FINISH_CAT_NULLABLE, current, placeholder, results, out, slot)
+                    )
+                    stack.append((_DERIVE, current.right, results, 1))
+                    stack.append((_DERIVE, current.left, results, 0))
+                    continue
 
-        raise GrammarError("cannot derive unknown node type: {!r}".format(node))
+                if isinstance(current, Reduce):
+                    if current.lang is None:
+                        raise GrammarError(
+                            "derivative of an incomplete ↪→ node: {!r}".format(current)
+                        )
+                    reduce_placeholder = self.compactor.raw_reduce(current.fn)
+                    reduce_placeholder.under_construction = True
+                    memo.put(current, token, reduce_placeholder)
+                    results = [None]
+                    stack.append(
+                        (_FINISH_REDUCE, current, reduce_placeholder, results, out, slot)
+                    )
+                    stack.append((_DERIVE, current.lang, results, 0))
+                    continue
 
-    # ------------------------------------------------------------ terminals
-    def _derive_token(self, node: Token, token: Any, position: int) -> Language:
-        if node.matches(token):
-            result: Language = self.compactor.make_epsilon((token_value(token),))
-            self._name(node, result, position, with_bullet=False)
-        else:
-            result = EMPTY
-        self.memo.put(node, token, result)
-        return result
+                if isinstance(current, Ref):
+                    if current.target is None:
+                        raise GrammarError(
+                            "non-terminal <{}> was never resolved (Ref.set was not called)".format(
+                                current.ref_name
+                            )
+                        )
+                    ref_placeholder = self.compactor.raw_ref(current.ref_name)
+                    ref_placeholder.under_construction = True
+                    memo.put(current, token, ref_placeholder)
+                    results = [None]
+                    stack.append(
+                        (_FINISH_REF, current, ref_placeholder, results, out, slot)
+                    )
+                    stack.append((_DERIVE, current.target, results, 0))
+                    continue
 
-    # ----------------------------------------------------------- alternation
-    def _derive_alt(self, node: Alt, token: Any, position: int) -> Language:
-        if node.left is None or node.right is None:
-            raise GrammarError("derivative of an incomplete ∪ node: {!r}".format(node))
-        placeholder = self.compactor.raw_alt()
-        placeholder.under_construction = True
-        self.memo.put(node, token, placeholder)
+                raise GrammarError("cannot derive unknown node type: {!r}".format(current))
 
-        left = self.derive(node.left, token, position)
-        right = self.derive(node.right, token, position)
+            # ---------------------------------------------------- _FINISH_*
+            _, current, placeholder, results, out, slot = entry
 
-        if placeholder.observed:
-            placeholder.left = left
-            placeholder.right = right
-            placeholder.under_construction = False
-            self._name(node, placeholder, position, with_bullet=False)
-            return placeholder
+            if op == _FINISH_ALT:
+                left, right = results
+                if placeholder.observed:
+                    placeholder.left = left
+                    placeholder.right = right
+                    placeholder.under_construction = False
+                    self._name(current, placeholder, position, with_bullet=False)
+                    out[slot] = placeholder
+                    continue
+                metrics.placeholders_discarded += 1
+                result = self.compactor.make_alt(left, right)
+                self._name(current, result, position, with_bullet=False)
+                memo.put(current, token, result)
+                out[slot] = result
+                continue
 
-        self.metrics.placeholders_discarded += 1
-        result = self.compactor.make_alt(left, right)
-        self._name(node, result, position, with_bullet=False)
-        self.memo.put(node, token, result)
-        return result
+            if op == _FINISH_CAT:
+                left = results[0]
+                if placeholder.observed:
+                    placeholder.left = left
+                    placeholder.under_construction = False
+                    self._name(current, placeholder, position, with_bullet=False)
+                    out[slot] = placeholder
+                    continue
+                metrics.placeholders_discarded += 1
+                result = self.compactor.make_cat(left, current.right)
+                self._name(current, result, position, with_bullet=False)
+                memo.put(current, token, result)
+                out[slot] = result
+                continue
 
-    # --------------------------------------------------------- concatenation
-    def _derive_cat(self, node: Cat, token: Any, position: int) -> Language:
-        if node.left is None or node.right is None:
-            raise GrammarError("derivative of an incomplete ◦ node: {!r}".format(node))
+            if op == _FINISH_CAT_NULLABLE:
+                left_derivative, right_derivative = results
+                if placeholder.observed:
+                    cat_node = self.compactor.make_cat(left_derivative, current.right)
+                    self._name(current, cat_node, position, with_bullet=False)
+                    null_branch = self._null_branch(current.left, right_derivative)
+                    placeholder.left = cat_node
+                    placeholder.right = null_branch
+                    placeholder.under_construction = False
+                    self._name(current, placeholder, position, with_bullet=True)
+                    out[slot] = placeholder
+                    continue
+                metrics.placeholders_discarded += 1
+                cat_node = self.compactor.make_cat(left_derivative, current.right)
+                self._name(current, cat_node, position, with_bullet=False)
+                null_branch = self._null_branch(current.left, right_derivative)
+                result = self.compactor.make_alt(cat_node, null_branch)
+                self._name(current, result, position, with_bullet=True)
+                memo.put(current, token, result)
+                out[slot] = result
+                continue
 
-        if not self.nullability.nullable(node.left):
-            # Dc(L1 ◦ L2) = Dc(L1) ◦ L2
-            placeholder = self.compactor.raw_cat()
-            placeholder.under_construction = True
-            placeholder.right = node.right
-            self.memo.put(node, token, placeholder)
+            if op == _FINISH_REDUCE:
+                child = results[0]
+                if placeholder.observed:
+                    placeholder.lang = child
+                    placeholder.under_construction = False
+                    self._name(current, placeholder, position, with_bullet=False)
+                    out[slot] = placeholder
+                    continue
+                metrics.placeholders_discarded += 1
+                result = self.compactor.make_reduce(child, current.fn)
+                self._name(current, result, position, with_bullet=False)
+                memo.put(current, token, result)
+                out[slot] = result
+                continue
 
-            left = self.derive(node.left, token, position)
-
+            # _FINISH_REF
+            target = results[0]
             if placeholder.observed:
-                placeholder.left = left
+                placeholder.target = target
                 placeholder.under_construction = False
-                self._name(node, placeholder, position, with_bullet=False)
-                return placeholder
+                self._name(current, placeholder, position, with_bullet=False)
+                out[slot] = placeholder
+                continue
+            # No cycle went through the reference itself: drop the wrapper
+            # and memoize the target's derivative directly.
+            metrics.placeholders_discarded += 1
+            self._name(current, target, position, with_bullet=False)
+            memo.put(current, token, target)
+            out[slot] = target
 
-            self.metrics.placeholders_discarded += 1
-            result = self.compactor.make_cat(left, node.right)
-            self._name(node, result, position, with_bullet=False)
-            self.memo.put(node, token, result)
-            return result
-
-        # Dc(L1 ◦ L2) = (Dc(L1) ◦ L2) ∪ (δ(L1) ◦ Dc(L2)) — the duplication case
-        # that the naming argument (Rule 5b) tracks with the • symbol.  The
-        # δ(L1) factor keeps L1's null-parse trees; Figure 2 of the paper
-        # presents the recognizer form, which drops it.
-        placeholder = self.compactor.raw_alt()
-        placeholder.under_construction = True
-        self.memo.put(node, token, placeholder)
-
-        left_derivative = self.derive(node.left, token, position)
-        right_derivative = self.derive(node.right, token, position)
-
-        if placeholder.observed:
-            cat_node = self.compactor.make_cat(left_derivative, node.right)
-            self._name(node, cat_node, position, with_bullet=False)
-            null_branch = self._null_branch(node.left, right_derivative)
-            placeholder.left = cat_node
-            placeholder.right = null_branch
-            placeholder.under_construction = False
-            self._name(node, placeholder, position, with_bullet=True)
-            return placeholder
-
-        self.metrics.placeholders_discarded += 1
-        cat_node = self.compactor.make_cat(left_derivative, node.right)
-        self._name(node, cat_node, position, with_bullet=False)
-        null_branch = self._null_branch(node.left, right_derivative)
-        result = self.compactor.make_alt(cat_node, null_branch)
-        self._name(node, result, position, with_bullet=True)
-        self.memo.put(node, token, result)
-        return result
+        return root_slot[0]
 
     def _null_branch(self, left: Language, right_derivative: Language) -> Language:
         """Build ``δ(left) ◦ Dc(right)`` for the nullable-left sequence case."""
@@ -212,55 +328,6 @@ class Deriver:
             # pre-existing grammar node is involved).
             return EMPTY
         return self.compactor.make_cat(self.compactor.make_delta(left), right_derivative)
-
-    # -------------------------------------------------------------- reduction
-    def _derive_reduce(self, node: Reduce, token: Any, position: int) -> Language:
-        if node.lang is None:
-            raise GrammarError("derivative of an incomplete ↪→ node: {!r}".format(node))
-        placeholder = self.compactor.raw_reduce(node.fn)
-        placeholder.under_construction = True
-        self.memo.put(node, token, placeholder)
-
-        child = self.derive(node.lang, token, position)
-
-        if placeholder.observed:
-            placeholder.lang = child
-            placeholder.under_construction = False
-            self._name(node, placeholder, position, with_bullet=False)
-            return placeholder
-
-        self.metrics.placeholders_discarded += 1
-        result = self.compactor.make_reduce(child, node.fn)
-        self._name(node, result, position, with_bullet=False)
-        self.memo.put(node, token, result)
-        return result
-
-    # ------------------------------------------------------------- reference
-    def _derive_ref(self, node: Ref, token: Any, position: int) -> Language:
-        if node.target is None:
-            raise GrammarError(
-                "non-terminal <{}> was never resolved (Ref.set was not called)".format(
-                    node.ref_name
-                )
-            )
-        placeholder = self.compactor.raw_ref(node.ref_name)
-        placeholder.under_construction = True
-        self.memo.put(node, token, placeholder)
-
-        target = self.derive(node.target, token, position)
-
-        if placeholder.observed:
-            placeholder.target = target
-            placeholder.under_construction = False
-            self._name(node, placeholder, position, with_bullet=False)
-            return placeholder
-
-        # No cycle went through the reference itself: drop the wrapper and
-        # memoize the target's derivative directly.
-        self.metrics.placeholders_discarded += 1
-        self._name(node, target, position, with_bullet=False)
-        self.memo.put(node, token, target)
-        return target
 
     # ----------------------------------------------------------------- naming
     def _name(self, parent: Language, child: Language, position: int, with_bullet: bool) -> None:

@@ -15,6 +15,13 @@ share structure).  This module provides that representation:
 
 Forests are produced by ``parse_null`` (:mod:`repro.core.parse`) and consumed
 through :func:`iter_trees`, :func:`count_trees` and :func:`first_tree`.
+
+Tree extraction is **iterative**: forests produced by long inputs are as deep
+as the input (a 100 000-token parse yields a forest nested 100 000 levels
+deep), so enumeration runs on an explicit stack of resumable frames instead
+of the interpreter call stack.  Cycles are cut by tracking the identity of
+every forest node on the current enumeration path, which also guarantees
+termination without any depth cap.
 """
 
 from __future__ import annotations
@@ -35,7 +42,37 @@ __all__ = [
     "count_trees",
     "first_tree",
     "is_empty_forest",
+    "trees_equal",
 ]
+
+
+def trees_equal(a: Any, b: Any) -> bool:
+    """Structural equality of parse trees, safe for arbitrarily deep nesting.
+
+    Parse trees from long inputs are tuples nested as deep as the input, and
+    comparing those with ``==`` recurses in C — a ``RecursionError`` the
+    iterative engine must not reintroduce through its deduplication checks.
+    Tuple spines are therefore compared with an explicit stack; non-tuple
+    leaves fall back to ``==``, with a recursion blow-up in an exotic
+    user-defined tree type conservatively treated as "not equal" (at worst a
+    duplicate tree is reported twice).
+    """
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        if isinstance(x, tuple) and isinstance(y, tuple):
+            if len(x) != len(y):
+                return False
+            stack.extend(zip(x, y))
+            continue
+        try:
+            if x != y:
+                return False
+        except RecursionError:
+            return False
+    return True
 
 
 class ForestNode:
@@ -124,80 +161,282 @@ def is_empty_forest(forest: ForestNode) -> bool:
 
     A :class:`ForestRef` or :class:`ForestAmb` with no resolved alternatives is
     treated as empty; deeper emptiness (e.g. a pair with an empty side) is
-    discovered during enumeration.
+    discovered during enumeration.  Chains of references are followed
+    iteratively (``parse_null`` can produce reference chains as long as the
+    input).
     """
+    seen: set = set()
+    while isinstance(forest, ForestRef):
+        if forest.target is None or id(forest) in seen:
+            return True
+        seen.add(id(forest))
+        forest = forest.target
     if isinstance(forest, ForestEmpty):
         return True
     if isinstance(forest, ForestLeaf):
         return len(forest.trees) == 0
     if isinstance(forest, ForestAmb):
         return len(forest.alternatives) == 0
-    if isinstance(forest, ForestRef):
-        return forest.target is None or is_empty_forest(forest.target)
     return False
+
+
+# --------------------------------------------------------------------------
+# Iterative tree enumeration.
+#
+# Each forest node on the current enumeration path is represented by a
+# resumable frame.  A driver loop moves a cursor up and down the chain of
+# frames: a frame may PUSH a new child enumeration, PULL the next tree from a
+# suspended child, EMIT a tree to its parent (or to the consumer) or report
+# DONE.  The set of forest-node ids on the *active* chain is maintained
+# incrementally and consulted before each PUSH, so cyclic forests terminate
+# by skipping alternatives that would revisit a node already being expanded —
+# exactly the finite trees of the forest.
+# --------------------------------------------------------------------------
+
+_START, _MORE, _TREE, _CHILD_DONE = range(4)
+_PUSH, _PULL, _EMIT, _DONE = range(4)
+
+
+class _Frame:
+    """A resumable enumeration state for one forest node."""
+
+    __slots__ = ("forest", "parent")
+
+    def __init__(self, forest: ForestNode, parent: Optional["_Frame"]) -> None:
+        self.forest = forest
+        self.parent = parent
+
+
+class _EmptyFrame(_Frame):
+    __slots__ = ()
+
+    def resume(self, msg: int, arg: Any):
+        return _DONE, None
+
+
+class _LeafFrame(_Frame):
+    __slots__ = ("index",)
+
+    def __init__(self, forest: ForestLeaf, parent: Optional[_Frame]) -> None:
+        super().__init__(forest, parent)
+        self.index = 0
+
+    def resume(self, msg: int, arg: Any):
+        trees = self.forest.trees
+        if self.index < len(trees):
+            tree = trees[self.index]
+            self.index += 1
+            return _EMIT, tree
+        return _DONE, None
+
+
+class _RefFrame(_Frame):
+    __slots__ = ("child",)
+
+    def __init__(self, forest: ForestRef, parent: Optional[_Frame]) -> None:
+        super().__init__(forest, parent)
+        self.child: Optional[_Frame] = None
+
+    def resume(self, msg: int, arg: Any):
+        if msg == _START:
+            if self.forest.target is None:
+                return _DONE, None
+            return _PUSH, self.forest.target
+        if msg == _TREE:
+            return _EMIT, arg
+        if msg == _MORE:
+            return _PULL, self.child
+        return _DONE, None  # child exhausted
+
+
+class _MapFrame(_Frame):
+    __slots__ = ("child",)
+
+    def __init__(self, forest: ForestMap, parent: Optional[_Frame]) -> None:
+        super().__init__(forest, parent)
+        self.child: Optional[_Frame] = None
+
+    def resume(self, msg: int, arg: Any):
+        if msg == _START:
+            return _PUSH, self.forest.child
+        if msg == _TREE:
+            return _EMIT, self.forest.fn(arg)
+        if msg == _MORE:
+            return _PULL, self.child
+        return _DONE, None
+
+
+class _AmbFrame(_Frame):
+    __slots__ = ("child", "index", "seen")
+
+    def __init__(self, forest: ForestAmb, parent: Optional[_Frame]) -> None:
+        super().__init__(forest, parent)
+        self.child: Optional[_Frame] = None
+        self.index = 0
+        self.seen: List[Any] = []
+
+    def resume(self, msg: int, arg: Any):
+        if msg == _TREE:
+            # The same tree can arrive through several alternatives; only the
+            # first derivation is reported (enumeration-time deduplication).
+            if any(trees_equal(arg, prior) for prior in self.seen):
+                return _PULL, self.child
+            self.seen.append(arg)
+            return _EMIT, arg
+        if msg == _MORE:
+            return _PULL, self.child
+        if msg == _CHILD_DONE:
+            self.index += 1
+        alternatives = self.forest.alternatives
+        if self.index < len(alternatives):
+            return _PUSH, alternatives[self.index]
+        return _DONE, None
+
+
+class _PairFrame(_Frame):
+    """Nested-loop cross product: a fresh right enumeration per left tree."""
+
+    __slots__ = ("left_frame", "right_frame", "left_tree", "in_right")
+
+    def __init__(self, forest: ForestPair, parent: Optional[_Frame]) -> None:
+        super().__init__(forest, parent)
+        self.left_frame: Optional[_Frame] = None
+        self.right_frame: Optional[_Frame] = None
+        self.left_tree: Any = None
+        self.in_right = False
+
+    def resume(self, msg: int, arg: Any):
+        if msg == _START:
+            return _PUSH, self.forest.left
+        if msg == _TREE:
+            if self.in_right:
+                return _EMIT, (self.left_tree, arg)
+            self.left_tree = arg
+            self.in_right = True
+            return _PUSH, self.forest.right
+        if msg == _MORE:
+            return _PULL, self.right_frame
+        # _CHILD_DONE
+        if self.in_right:
+            self.in_right = False
+            self.right_frame = None
+            return _PULL, self.left_frame
+        return _DONE, None
+
+
+_FRAME_TYPES = {
+    ForestEmpty: _EmptyFrame,
+    ForestLeaf: _LeafFrame,
+    ForestRef: _RefFrame,
+    ForestMap: _MapFrame,
+    ForestAmb: _AmbFrame,
+    ForestPair: _PairFrame,
+}
+
+
+def _make_frame(forest: ForestNode, parent: Optional[_Frame]) -> _Frame:
+    frame_type = _FRAME_TYPES.get(type(forest))
+    if frame_type is None:
+        raise TypeError("unknown forest node: {!r}".format(forest))
+    return frame_type(forest, parent)
+
+
+def _attach_child(parent: _Frame, child: _Frame) -> None:
+    """Record ``child`` as the parent frame's resumable active child."""
+    if isinstance(parent, _PairFrame):
+        if parent.in_right:
+            parent.right_frame = child
+        else:
+            parent.left_frame = child
+    elif isinstance(parent, (_RefFrame, _MapFrame, _AmbFrame)):
+        parent.child = child
+
+
+def _enumerate(root: ForestNode, max_depth: Optional[int]) -> Iterator[Any]:
+    """Drive the frame machine, yielding every finite tree of ``root``."""
+    on_path: set = set()
+    depth = 0
+
+    current: Optional[_Frame] = _make_frame(root, None)
+    on_path.add(id(root))
+    depth += 1
+    msg, arg = _START, None
+
+    while current is not None:
+        action, value = current.resume(msg, arg)
+
+        if action == _PUSH:
+            # Skip children already being expanded on this path (cycles) and
+            # children beyond the depth cap: both "contain no finite trees".
+            if id(value) in on_path or (max_depth is not None and depth >= max_depth):
+                msg, arg = _CHILD_DONE, None
+                continue
+            child = _make_frame(value, current)
+            _attach_child(current, child)
+            on_path.add(id(value))
+            depth += 1
+            current = child
+            msg, arg = _START, None
+        elif action == _PULL:
+            # Re-descend into a suspended child enumeration.
+            child = value
+            on_path.add(id(child.forest))
+            depth += 1
+            current = child
+            msg, arg = _MORE, None
+        elif action == _EMIT:
+            # Hand the tree to the parent (or the consumer); the emitting
+            # frame suspends and leaves the active path.
+            on_path.discard(id(current.forest))
+            depth -= 1
+            if current.parent is None:
+                yield value
+                # The consumer asked for another tree: re-enter the root.
+                on_path.add(id(current.forest))
+                depth += 1
+                msg, arg = _MORE, None
+            else:
+                current = current.parent
+                msg, arg = _TREE, value
+        else:  # _DONE
+            on_path.discard(id(current.forest))
+            depth -= 1
+            current = current.parent
+            msg, arg = _CHILD_DONE, None
 
 
 def iter_trees(
     forest: ForestNode,
     limit: Optional[int] = None,
-    max_depth: int = 10_000,
+    max_depth: Optional[int] = None,
 ) -> Iterator[Any]:
-    """Enumerate concrete parse trees from a forest.
+    """Enumerate concrete parse trees from a forest, without recursion.
 
     ``limit`` bounds the number of trees yielded (ambiguous grammars can have
-    exponentially or infinitely many), and ``max_depth`` bounds recursion
-    through cyclic forests: alternatives that would require revisiting a node
-    already on the current path are skipped, which yields exactly the finite
-    trees of the forest.
+    exponentially or infinitely many).  Cycles terminate on their own: an
+    alternative that would revisit a forest node already on the current
+    enumeration path is skipped, which yields exactly the finite trees of the
+    forest.  ``max_depth`` optionally bounds the enumeration path length as
+    well (``None`` — the default — means unbounded; deep forests from long
+    inputs are handled iteratively, so no interpreter limit applies).
     """
     emitted = 0
-    for tree in _iter_trees(forest, set(), max_depth):
+    for tree in _enumerate(forest, max_depth):
         yield tree
         emitted += 1
         if limit is not None and emitted >= limit:
             return
 
 
-def _iter_trees(forest: ForestNode, on_path: set, depth: int) -> Iterator[Any]:
-    if depth <= 0 or id(forest) in on_path:
-        return
-    if isinstance(forest, ForestEmpty):
-        return
-    if isinstance(forest, ForestLeaf):
-        yield from forest.trees
-        return
-    on_path = on_path | {id(forest)}
-    if isinstance(forest, ForestRef):
-        if forest.target is not None:
-            yield from _iter_trees(forest.target, on_path, depth - 1)
-        return
-    if isinstance(forest, ForestAmb):
-        seen = []
-        for alternative in forest.alternatives:
-            for tree in _iter_trees(alternative, on_path, depth - 1):
-                if not any(tree == prior for prior in seen):
-                    seen.append(tree)
-                    yield tree
-        return
-    if isinstance(forest, ForestMap):
-        for tree in _iter_trees(forest.child, on_path, depth - 1):
-            yield forest.fn(tree)
-        return
-    if isinstance(forest, ForestPair):
-        # Materialize the right side lazily per left tree; both sides may be
-        # large, so trees stream out in a nested-loop order.
-        for left_tree in _iter_trees(forest.left, on_path, depth - 1):
-            for right_tree in _iter_trees(forest.right, on_path, depth - 1):
-                yield (left_tree, right_tree)
-        return
-    raise TypeError("unknown forest node: {!r}".format(forest))
-
-
-def first_tree(forest: ForestNode, max_depth: int = 10_000) -> Any:
+def first_tree(forest: ForestNode, max_depth: Optional[int] = None) -> Any:
     """Return one parse tree from the forest, or raise ``ValueError`` if empty."""
     for tree in iter_trees(forest, limit=1, max_depth=max_depth):
         return tree
     raise ValueError("the parse forest contains no trees")
+
+
+# Opcodes for the iterative count_trees walker.
+_CNT_ENTER, _CNT_EXIT, _CNT_PAIR_RIGHT = range(3)
 
 
 def count_trees(forest: ForestNode) -> float:
@@ -205,44 +444,84 @@ def count_trees(forest: ForestNode) -> float:
 
     The count treats shared sub-forests correctly (each distinct combination
     is counted once per context, which is the number of distinct parse trees).
+    The walk is an explicit-stack post-order traversal, so forests of any
+    depth are counted without touching the interpreter recursion limit.
     """
-    cache: dict[int, float] = {}
-    on_path: set[int] = set()
+    cache: dict = {}
+    on_path: set = set()
+    stack: list = [(_CNT_ENTER, forest)]
+    values: List[float] = []
 
-    def visit(node: ForestNode) -> float:
-        key = id(node)
-        if key in cache:
-            return cache[key]
-        if key in on_path:
-            return math.inf
-        on_path.add(key)
-        try:
+    while stack:
+        op, node = stack.pop()
+
+        if op == _CNT_ENTER:
+            key = id(node)
+            if key in cache:
+                values.append(cache[key])
+                continue
+            if key in on_path:
+                values.append(math.inf)
+                continue
             if isinstance(node, ForestEmpty):
-                result: float = 0
-            elif isinstance(node, ForestLeaf):
-                result = len(node.trees)
-            elif isinstance(node, ForestRef):
-                result = visit(node.target) if node.target is not None else 0
-            elif isinstance(node, ForestMap):
-                result = visit(node.child)
-            elif isinstance(node, ForestAmb):
-                result = sum(visit(alt) for alt in node.alternatives)
-            elif isinstance(node, ForestPair):
-                left_count = visit(node.left)
-                if left_count == 0:
-                    result = 0
+                values.append(0)
+                continue
+            if isinstance(node, ForestLeaf):
+                values.append(len(node.trees))
+                continue
+            on_path.add(key)
+            if isinstance(node, ForestRef):
+                stack.append((_CNT_EXIT, node))
+                if node.target is not None:
+                    stack.append((_CNT_ENTER, node.target))
                 else:
-                    right_count = visit(node.right)
-                    # Guard the inf * 0 = nan corner explicitly.
-                    result = 0 if right_count == 0 else left_count * right_count
+                    values.append(0)
+            elif isinstance(node, ForestMap):
+                stack.append((_CNT_EXIT, node))
+                stack.append((_CNT_ENTER, node.child))
+            elif isinstance(node, ForestAmb):
+                stack.append((_CNT_EXIT, node))
+                for alternative in reversed(node.alternatives):
+                    stack.append((_CNT_ENTER, alternative))
+            elif isinstance(node, ForestPair):
+                # Evaluate the left side first; the right side is visited only
+                # when the left count is non-zero (mirrors the 0-guard below).
+                stack.append((_CNT_PAIR_RIGHT, node))
+                stack.append((_CNT_ENTER, node.left))
             else:
                 raise TypeError("unknown forest node: {!r}".format(node))
-        finally:
-            on_path.discard(key)
-        # Only cache values computed without hitting the current path; a value
-        # involving a back edge is context-dependent, so it is not cached.
-        if result != math.inf:
-            cache[key] = result
-        return result
 
-    return visit(forest)
+        elif op == _CNT_PAIR_RIGHT:
+            left_count = values.pop()
+            if left_count == 0:
+                result: float = 0
+                on_path.discard(id(node))
+                if result != math.inf:
+                    cache[id(node)] = result
+                values.append(result)
+            else:
+                stack.append((_CNT_EXIT, (node, left_count)))
+                stack.append((_CNT_ENTER, node.right))
+
+        else:  # _CNT_EXIT
+            if isinstance(node, tuple):  # a pair with its left count
+                pair, left_count = node
+                right_count = values.pop()
+                # Guard the inf * 0 = nan corner explicitly.
+                result = 0 if right_count == 0 else left_count * right_count
+                node = pair
+            elif isinstance(node, (ForestRef, ForestMap)):
+                result = values.pop()
+            else:  # ForestAmb
+                total: float = 0
+                for _ in node.alternatives:
+                    total += values.pop()
+                result = total
+            on_path.discard(id(node))
+            # Only cache values computed without hitting the current path; a
+            # value involving a back edge is context-dependent.
+            if result != math.inf:
+                cache[id(node)] = result
+            values.append(result)
+
+    return values[-1] if values else 0

@@ -77,7 +77,9 @@ class Language:
         "memo_epoch",
         "memo_token",
         "memo_result",
-        # per-node dict memo (the "full hash table" strategy of Section 4.4)
+        # per-node dict memo (the "full hash table" strategy of Section 4.4);
+        # holds an owner→table dict so memo instances sharing the graph keep
+        # disjoint entries and never evict each other
         "memo_table",
         # nullability cache (Section 4.2)
         "null_state",
@@ -418,8 +420,10 @@ def iter_children(node: Language) -> Iterator[Language]:
 def reachable_nodes(root: Language) -> list[Language]:
     """Return every node reachable from ``root`` (including ``root``).
 
-    The traversal is iterative (grammar graphs can be deep and cyclic) and
-    the result is in a deterministic depth-first discovery order.
+    The traversal is iterative — derived grammar graphs can be as deep as
+    the input that produced them, far beyond the interpreter recursion
+    limit, as well as cyclic — and the result is in a deterministic
+    depth-first discovery order.
     """
     seen: set[int] = set()
     order: list[Language] = []

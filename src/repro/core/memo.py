@@ -24,7 +24,9 @@ benchmark.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+import itertools
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
 
 from .languages import Language
 from .metrics import Metrics
@@ -93,13 +95,23 @@ class SingleEntryMemo(DeriveMemo):
     Each node stores at most one ``(token, result)`` pair directly in its
     ``memo_token`` / ``memo_result`` fields.  An ``epoch`` counter implements
     ``clear`` in O(1): entries written under an older epoch are ignored.
+
+    Because the entries live on the grammar nodes themselves — which may be
+    shared by several parsers — epochs are drawn from a **class-level
+    monotonic counter**: every instance (and every ``clear``) gets an epoch
+    no other instance has ever used, so a second parser built over the same
+    grammar graph can never read derivatives memoized by the first.
     """
 
     name = "single"
 
+    #: Class-level epoch source.  Node fields default to epoch -1, so the
+    #: counter starts at 1 and only ever moves forward.
+    _epochs = itertools.count(1)
+
     def __init__(self, metrics: Optional[Metrics] = None) -> None:
         super().__init__(metrics)
-        self.epoch = 0
+        self.epoch = next(SingleEntryMemo._epochs)
 
     def get(self, node: Language, token: Any) -> Any:
         if node.memo_epoch == self.epoch and node.memo_token == token:
@@ -114,7 +126,7 @@ class SingleEntryMemo(DeriveMemo):
         node.memo_result = result
 
     def clear(self) -> None:
-        self.epoch += 1
+        self.epoch = next(SingleEntryMemo._epochs)
 
 
 class PerNodeDictMemo(DeriveMemo):
@@ -123,37 +135,97 @@ class PerNodeDictMemo(DeriveMemo):
     This is the strategy the paper compares the single-entry memo against in
     Figures 11 and 12: it never recomputes a derivative but pays a dictionary
     lookup and insertion per call.
+
+    The per-node storage is **owner-keyed**: ``memo_table`` holds a small
+    mapping from an owner token — unique to each memo instance since its
+    last ``clear`` — to that owner's private token→result table.  A node's
+    entries are only ever read by the memo that wrote them, so when two
+    dict-memo parsers share one grammar graph each sees only its own
+    derivatives, neither evicts the other's tables on interleaved use, and
+    clearing one memo can neither drop nor resurrect entries belonging to
+    the other.
+
+    The hot path uses only plain dictionaries — no weak containers — but the
+    owner indirection does add one small-dict lookup per get/put compared to
+    the pre-isolation layout (node field → token table directly).  That is a
+    deliberate trade: collapsing the indirection either re-introduces
+    whole-table eviction when two dict-memo parsers interleave on one
+    grammar (single owner slot per node) or moves the tables into the memo
+    keyed by node — which is structurally the :class:`NestedDictMemo`
+    "global table of tables" layout and would erase the node-field-vs-global
+    distinction Section 4.4 compares.  Readers of the Figure 11/12 numbers
+    should know the dict strategy carries this one extra lookup.
+
+    Leak safety comes from a ``weakref.finalize`` registered per owner
+    generation: grammar nodes are long-lived and shared, so a parser dropped
+    without calling ``clear`` must not pin its derivative tables — and
+    through them its entire derived grammar — on the shared nodes forever.
+    When the memo dies, the finalizer sweeps its entries off every node it
+    touched.
     """
 
     name = "dict"
 
     def __init__(self, metrics: Optional[Metrics] = None) -> None:
         super().__init__(metrics)
-        self._touched: list[Language] = []
+        self._owner: object = object()
+        self._touched: List[Language] = []
+        self._finalizer = weakref.finalize(
+            self, PerNodeDictMemo._sweep, self._owner, self._touched
+        )
+
+    @staticmethod
+    def _sweep(owner: object, touched: List[Language]) -> None:
+        """Remove one owner generation's tables from every touched node."""
+        for node in touched:
+            tables = node.memo_table
+            if tables is not None:
+                tables.pop(owner, None)
+                if not tables:
+                    node.memo_table = None
+        touched.clear()
 
     def get(self, node: Language, token: Any) -> Any:
-        table = node.memo_table
+        tables = node.memo_table
+        if tables is None:
+            return MISS
+        table = tables.get(self._owner)
         if table is None:
             return MISS
         return table.get(token, MISS)
 
     def put(self, node: Language, token: Any, result: Language) -> None:
-        table = node.memo_table
+        tables = node.memo_table
+        if tables is None:
+            tables = {}
+            node.memo_table = tables
+        table = tables.get(self._owner)
         if table is None:
+            # First write to this node since construction/clear: one
+            # _touched entry per (node, owner generation), no duplicates.
             table = {}
-            node.memo_table = table
+            tables[self._owner] = table
             self._touched.append(node)
         table[token] = result
 
     def clear(self) -> None:
-        for node in self._touched:
-            node.memo_table = None
+        # Drop only this memo's tables; co-owners of a node are untouched.
+        self._finalizer.detach()
+        PerNodeDictMemo._sweep(self._owner, self._touched)
         self._touched = []
+        # A fresh owner token guarantees any table that escaped the sweep can
+        # never be read (or silently extended) by this memo again; its
+        # finalizer releases them when this memo (or the next clear) retires.
+        self._owner = object()
+        self._finalizer = weakref.finalize(
+            self, PerNodeDictMemo._sweep, self._owner, self._touched
+        )
 
     def entry_distribution(self) -> Dict[int, int]:
         distribution: Dict[int, int] = {}
         for node in self._touched:
-            table = node.memo_table
+            tables = node.memo_table
+            table = tables.get(self._owner) if tables is not None else None
             if not table:
                 continue
             size = len(table)

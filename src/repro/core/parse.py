@@ -12,11 +12,34 @@ paper calls them ``derive``, ``nullable?`` and ``parse-null``):
 strategy, compaction configuration, nullability analyzer and the optional
 naming instrumentation — and exposes ``recognize``, ``parse``,
 ``parse_forest`` and a few inspection helpers used by the benchmarks.
+
+Two engineering properties of this module are worth calling out:
+
+* **No recursion-limit games.**  Earlier revisions raised
+  ``sys.setrecursionlimit`` to 200 000 because ``derive`` and ``parse-null``
+  recursed over grammar graphs whose depth grows with the input.  Every hot
+  traversal is now iterative (:mod:`repro.core.derivative`,
+  :meth:`DerivativeParser.parse_null`, :mod:`repro.core.forest`,
+  :mod:`repro.core.prune`, :mod:`repro.core.nullability`), so inputs of any
+  length parse under the default interpreter limit.  The old
+  ``recursion_limit`` constructor argument is retained as a deprecated no-op.
+
+* **Streaming.**  :meth:`DerivativeParser.start` returns a
+  :class:`ParserState` whose ``feed(token)`` / ``feed_all(tokens)`` methods
+  drive the grammar incrementally, so unbounded token streams can be parsed
+  without materializing the input (and recognition status can be queried
+  between tokens).
+
+Several parsers may share one grammar graph.  Memo entries and ``parse-null``
+results live in fields *on the shared nodes*, so every epoch used to tag them
+is drawn from module/class-level monotonic counters — a fresh parser can
+never mistake another parser's cached results for its own.
 """
 
 from __future__ import annotations
 
-import sys
+import itertools
+import warnings
 from typing import Any, Iterable, List, Optional, Sequence, Union
 
 from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
@@ -56,6 +79,7 @@ from .prune import live_nodes, prune_empty
 
 __all__ = [
     "DerivativeParser",
+    "ParserState",
     "parse",
     "recognize",
     "validate_grammar",
@@ -63,11 +87,17 @@ __all__ = [
 ]
 
 
-#: Derivative computations recurse over grammar graphs whose depth grows with
-#: the input, so the interpreter recursion limit is raised to this value by
-#: default (CPython ≥ 3.11 keeps pure-Python recursion on the heap, so a large
-#: limit is safe).
+#: Deprecated.  Earlier revisions raised ``sys.setrecursionlimit`` to this
+#: value because the core traversals were recursive.  They are now iterative,
+#: no interpreter limit is ever touched, and this constant is kept only so
+#: that code importing it keeps working.
 DEFAULT_RECURSION_LIMIT = 200_000
+
+
+#: ``parse-null`` results are cached on (possibly shared) grammar nodes; the
+#: epoch tagging each extraction is global and monotonic so results written by
+#: one parser — or one earlier extraction — are never misread by another.
+_NULL_PARSE_EPOCHS = itertools.count(1)
 
 
 def validate_grammar(root: Language) -> None:
@@ -89,6 +119,124 @@ def validate_grammar(root: Language) -> None:
             raise GrammarError("node {!r} is missing a child".format(node))
         if isinstance(node, (Reduce, Delta)) and node.lang is None:
             raise GrammarError("node {!r} is missing its language".format(node))
+
+
+class ParserState:
+    """Incremental (streaming) parsing state over a :class:`DerivativeParser`.
+
+    A state starts at the parser's initial grammar and is advanced one token
+    at a time with :meth:`feed` (or in bulk with :meth:`feed_all`), keeping
+    only the current derived language — O(live grammar) memory regardless of
+    how many tokens have been consumed.  This is the API to use for unbounded
+    token streams (sockets, token generators, log tails):
+
+    >>> state = parser.start()
+    >>> for tok in stream:
+    ...     state.feed(tok)
+    ...     if state.failed:
+    ...         break
+    >>> accepted = state.accepts()
+
+    ``feed`` on a failed state is a no-op (the failure position is kept), so
+    driving loops do not need to special-case dead streams.
+
+    ``failed`` reports *structural* death — the derived language collapsed to
+    the ``∅`` node.  A semantically dead language can survive structurally
+    for a while (cyclic cores that compaction cannot collapse until a prune
+    pass runs), so ``failed=False`` does not promise a completion exists;
+    :meth:`accepts` is always definitive for the tokens consumed so far, and
+    the batch :meth:`DerivativeParser.parse_forest` path runs a productivity
+    diagnosis to pin failures to their exact position.
+    """
+
+    __slots__ = ("parser", "language", "position", "failure_position")
+
+    def __init__(self, parser: "DerivativeParser") -> None:
+        self.parser = parser
+        self.language: Language = parser.root
+        #: Number of tokens consumed so far.
+        self.position = 0
+        #: Index of the token that killed the language, or None while alive.
+        self.failure_position: Optional[int] = None
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def failed(self) -> bool:
+        """True once the derived language has become ∅ (no completion exists)."""
+        return self.failure_position is not None
+
+    def accepts(self) -> bool:
+        """True when the tokens consumed so far form a complete parse."""
+        if self.failed:
+            return False
+        return self.parser.nullability.nullable(self.language)
+
+    # ---------------------------------------------------------------- driving
+    def feed(self, token: Any) -> "ParserState":
+        """Consume one token, deriving the current language by it."""
+        if self.failed:
+            return self
+        language = self.parser._derive_step(self.language, token, self.position)
+        self.position += 1
+        if language is EMPTY or isinstance(language, Empty):
+            self.failure_position = self.position - 1
+            self.language = EMPTY
+        else:
+            self.language = language
+        return self
+
+    def feed_all(self, tokens: Iterable[Any]) -> "ParserState":
+        """Consume every token from an iterable (stops deriving on failure).
+
+        Stops *before* pulling the next element once the state fails, so a
+        one-shot iterator (socket, generator) keeps every unconsumed token —
+        callers can resume reading it for error recovery.
+        """
+        if self.failed:
+            return self
+        for token in tokens:
+            self.feed(token)
+            if self.failed:
+                break
+        return self
+
+    # ---------------------------------------------------------------- results
+    def forest(self) -> ForestNode:
+        """The parse forest of the tokens consumed so far (raises on failure)."""
+        if self.failed:
+            raise ParseError(
+                "unexpected token", position=self.failure_position, token=None
+            )
+        if not self.parser.nullability.nullable(self.language):
+            # Distinguish "more input could still complete this" from "the
+            # language is semantically dead but has not structurally collapsed
+            # yet" — a streaming caller must not be told to supply more input
+            # when an earlier token already killed the parse.  (The state does
+            # not retain consumed tokens, so the exact offending position is
+            # only available from the batch path's re-derivation diagnosis.)
+            diagnoser = ProductivityAnalyzer(self.parser.nullability)
+            if not diagnoser.productive(self.language):
+                raise ParseError(
+                    "invalid token earlier in the stream (the remaining "
+                    "language is empty)",
+                    position=None,
+                )
+            raise ParseError("unexpected end of input", position=self.position, token=None)
+        return self.parser.parse_null(self.language)
+
+    def tree(self) -> Any:
+        """One parse tree of the tokens consumed so far (raises on failure)."""
+        try:
+            return first_tree(self.forest())
+        except ValueError:
+            raise ParseError(
+                "input recognized but no finite parse tree could be extracted",
+                position=self.position,
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "failed@{}".format(self.failure_position) if self.failed else "alive"
+        return "ParserState(position={}, {})".format(self.position, status)
 
 
 class DerivativeParser:
@@ -120,7 +268,9 @@ class DerivativeParser:
     metrics:
         An optional shared :class:`~repro.core.metrics.Metrics` instance.
     recursion_limit:
-        Raise ``sys.setrecursionlimit`` to at least this value.
+        Deprecated and ignored.  The engine is iterative and never calls
+        ``sys.setrecursionlimit``; the parameter is accepted so that existing
+        callers keep working.
     """
 
     def __init__(
@@ -132,7 +282,7 @@ class DerivativeParser:
         naming: bool = False,
         prune: bool = True,
         metrics: Optional[Metrics] = None,
-        recursion_limit: int = DEFAULT_RECURSION_LIMIT,
+        recursion_limit: Optional[int] = None,
     ) -> None:
         if hasattr(grammar, "to_language"):
             grammar = grammar.to_language()
@@ -144,8 +294,13 @@ class DerivativeParser:
             )
         validate_grammar(grammar)
 
-        if recursion_limit and sys.getrecursionlimit() < recursion_limit:
-            sys.setrecursionlimit(recursion_limit)
+        if recursion_limit is not None:
+            warnings.warn(
+                "recursion_limit is deprecated and ignored: the engine is "
+                "iterative and never calls sys.setrecursionlimit",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
         self.metrics = metrics if metrics is not None else Metrics()
 
@@ -181,7 +336,6 @@ class DerivativeParser:
             metrics=self.metrics,
             naming=self.naming,
         )
-        self._null_parse_epoch = 0
 
         # Adaptive pruning of semantically-empty branches (repro.core.prune):
         # a prune pass runs whenever the uncached derive work since the last
@@ -195,8 +349,21 @@ class DerivativeParser:
 
     # ------------------------------------------------------------------ API
     def reset(self) -> None:
-        """Clear memo tables (the paper clears them before each timed parse)."""
+        """Forget per-parse caches (the paper clears them before each timed parse).
+
+        Clears the derive memo and re-anchors the adaptive-prune schedule to
+        the *current* metrics counters — the shared
+        :class:`~repro.core.metrics.Metrics` instance may have advanced since
+        construction (other parsers, earlier parses), and a stale marker
+        would make a reused parser prune far too early or far too late.
+        """
         self.memo.clear()
+        self._prune_interval = max(4 * self._initial_size, 64)
+        self._prune_marker = self.metrics.derive_uncached
+
+    def start(self) -> ParserState:
+        """Begin a streaming parse; see :class:`ParserState`."""
+        return ParserState(self)
 
     def grammar_size(self) -> int:
         """``G`` — the number of nodes in the (optimized) initial grammar."""
@@ -219,52 +386,46 @@ class DerivativeParser:
 
     def derive_all(self, tokens: Iterable[Any]) -> Language:
         """Derive the grammar by every token and return the final language."""
-        language = self.root
-        for position, tok in enumerate(tokens):
-            language = self._derive_step(language, tok, position)
-            if language is EMPTY or isinstance(language, Empty):
-                return EMPTY
-        return language
+        state = self.start()
+        state.feed_all(tokens)
+        if state.failed:
+            return EMPTY
+        return state.language
 
     def derivative_trace(self, tokens: Sequence[Any]) -> List[Language]:
         """Return the list of intermediate grammars ``[L, Dc1 L, Dc2 Dc1 L, ...]``."""
-        language = self.root
-        trace = [language]
-        for position, tok in enumerate(tokens):
-            language = self._derive_step(language, tok, position)
-            trace.append(language)
-            if language is EMPTY or isinstance(language, Empty):
+        state = self.start()
+        trace = [state.language]
+        for tok in tokens:
+            state.feed(tok)
+            trace.append(state.language)
+            if state.failed:
                 break
         return trace
 
     def recognize(self, tokens: Iterable[Any]) -> bool:
         """True when the token sequence is in the grammar's language."""
-        final = self.derive_all(tokens)
-        if final is EMPTY or isinstance(final, Empty):
-            return False
-        return self.nullability.nullable(final)
+        return self.start().feed_all(tokens).accepts()
 
     def parse_forest(self, tokens: Sequence[Any]) -> ForestNode:
         """Parse and return the shared parse forest (with ambiguity nodes)."""
-        language = self.root
-        for position, tok in enumerate(tokens):
-            language = self._derive_step(language, tok, position)
-            if language is EMPTY or isinstance(language, Empty):
-                raise ParseError(
-                    "unexpected token", position=position, token=tok, tokens=tokens
-                )
-        if not self.nullability.nullable(language):
+        state = self.start().feed_all(tokens)
+        if state.failed or not self.nullability.nullable(state.language):
             raise self._failure_error(tokens)
-        return self.parse_null(language)
+        return self.parse_null(state.language)
 
     def _failure_error(self, tokens: Sequence[Any]) -> ParseError:
         """Build a :class:`ParseError` that points at the earliest bad token.
 
         Deriving by a token may leave a grammar that is structurally non-empty
         but denotes the empty language (compaction cannot always collapse it,
-        especially around cycles).  On the error path — and only there — the
-        input is re-derived with a productivity check after each token so the
-        error message reports the position where the language actually died.
+        especially around cycles), so the position at which the language
+        finally collapses to the ``∅`` node can lag the token that actually
+        killed it.  On the error path — and only there — the input is
+        re-derived with a productivity check after each token so the error
+        message reports the position where the language semantically died
+        (matching what chart parsers like Earley report).  The re-derivation
+        hits the warm memo, so the diagnosis costs one cached pass.
         """
         diagnoser = ProductivityAnalyzer(self.nullability)
         language = self.root
@@ -311,56 +472,87 @@ class DerivativeParser:
         The result shares structure and uses ambiguity nodes; grammars with
         ε-cycles produce cyclic forests (infinitely many parses), which the
         forest utilities handle explicitly.
+
+        The extraction is iterative and runs in two phases over an explicit
+        stack: a discovery pass allocates one (possibly cyclic) forest
+        skeleton per reachable nullable grammar node and caches it on the
+        node under a globally fresh epoch, then a wiring pass links every
+        skeleton to its children's results.  Cycles in the grammar therefore
+        become cycles in the forest graph directly, with no placeholder
+        juggling and no recursion.
         """
-        self._null_parse_epoch += 1
-        return self._parse_null(node, self._null_parse_epoch)
+        return self._parse_null(node, next(_NULL_PARSE_EPOCHS))
 
-    def _parse_null(self, node: Language, epoch: int) -> ForestNode:
-        if node.null_parse_epoch == epoch and node.null_parse_result is not None:
-            return node.null_parse_result
-        self.metrics.parse_null_calls += 1
+    def _parse_null(self, root: Language, epoch: int) -> ForestNode:
+        nullable = self.nullability.nullable
+        metrics = self.metrics
 
-        if isinstance(node, (Empty, Token)):
+        # Phase 1: allocate a result skeleton for every node that needs one.
+        pending: List[Language] = []
+        stack: List[Language] = [root]
+        while stack:
+            node = stack.pop()
+            if node.null_parse_epoch == epoch and node.null_parse_result is not None:
+                continue
+            metrics.parse_null_calls += 1
+
+            if isinstance(node, (Empty, Token)):
+                node.null_parse_epoch = epoch
+                node.null_parse_result = FOREST_EMPTY
+                continue
+            if isinstance(node, Epsilon):
+                node.null_parse_epoch = epoch
+                node.null_parse_result = ForestLeaf(node.trees)
+                continue
+            # Nodes that cannot produce the empty word contribute nothing;
+            # pruning here keeps forests small and avoids chasing useless
+            # cycles.
+            if not nullable(node):
+                node.null_parse_epoch = epoch
+                node.null_parse_result = FOREST_EMPTY
+                continue
+
+            if isinstance(node, Alt):
+                skeleton: ForestNode = ForestAmb([])
+                children = (node.right, node.left)
+            elif isinstance(node, Cat):
+                skeleton = ForestPair(FOREST_EMPTY, FOREST_EMPTY)
+                children = (node.right, node.left)
+            elif isinstance(node, Reduce):
+                skeleton = ForestMap(node.fn, FOREST_EMPTY)
+                children = (node.lang,)
+            elif isinstance(node, Delta):
+                skeleton = ForestRef()
+                children = (node.lang,)
+            elif isinstance(node, Ref):
+                skeleton = ForestRef()
+                children = (node.target,)
+            else:  # pragma: no cover - defensive
+                raise GrammarError(
+                    "cannot parse-null unknown node type: {!r}".format(node)
+                )
             node.null_parse_epoch = epoch
-            node.null_parse_result = FOREST_EMPTY
-            return FOREST_EMPTY
-        if isinstance(node, Epsilon):
-            result: ForestNode = ForestLeaf(node.trees)
-            node.null_parse_epoch = epoch
-            node.null_parse_result = result
-            return result
+            node.null_parse_result = skeleton
+            pending.append(node)
+            stack.extend(children)
 
-        # Nodes that cannot produce the empty word contribute nothing; pruning
-        # here keeps forests small and avoids chasing useless cycles.
-        if not self.nullability.nullable(node):
-            node.null_parse_epoch = epoch
-            node.null_parse_result = FOREST_EMPTY
-            return FOREST_EMPTY
+        # Phase 2: wire each skeleton to its children's (now cached) results.
+        for node in pending:
+            skeleton = node.null_parse_result
+            if isinstance(node, Alt):
+                skeleton.alternatives.append(node.left.null_parse_result)
+                skeleton.alternatives.append(node.right.null_parse_result)
+            elif isinstance(node, Cat):
+                skeleton.left = node.left.null_parse_result
+                skeleton.right = node.right.null_parse_result
+            elif isinstance(node, Reduce):
+                skeleton.child = node.lang.null_parse_result
+            elif isinstance(node, Delta):
+                skeleton.target = node.lang.null_parse_result
+            else:  # Ref
+                skeleton.target = node.target.null_parse_result
 
-        placeholder = ForestRef()
-        node.null_parse_epoch = epoch
-        node.null_parse_result = placeholder
-
-        if isinstance(node, Alt):
-            result = ForestAmb(
-                [self._parse_null(node.left, epoch), self._parse_null(node.right, epoch)]
-            )
-        elif isinstance(node, Cat):
-            result = ForestPair(
-                self._parse_null(node.left, epoch), self._parse_null(node.right, epoch)
-            )
-        elif isinstance(node, Reduce):
-            result = ForestMap(node.fn, self._parse_null(node.lang, epoch))
-        elif isinstance(node, Delta):
-            result = self._parse_null(node.lang, epoch)
-        elif isinstance(node, Ref):
-            result = self._parse_null(node.target, epoch)
-        else:  # pragma: no cover - defensive
-            raise GrammarError("cannot parse-null unknown node type: {!r}".format(node))
-
-        placeholder.target = result
-        node.null_parse_result = result
-        return result
+        return root.null_parse_result
 
 
 def recognize(grammar: Union[Language, Any], tokens: Iterable[Any], **kwargs: Any) -> bool:

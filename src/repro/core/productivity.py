@@ -21,6 +21,8 @@ the solver independent; we use the precise rule.)
 
 Unlike nullability, productivity is only consulted on error paths, so results
 are cached in a dictionary owned by the analyzer rather than in node fields.
+The discovery sweep and the fixed point both run on explicit worklists, so
+arbitrarily deep derived grammars are diagnosed without recursion.
 """
 
 from __future__ import annotations

@@ -24,6 +24,11 @@ implements that as a standalone pass:
 the number of uncached ``derive`` calls since the last prune exceeds a small
 multiple of the live grammar size), so its amortized cost is a constant factor
 on top of derivation.
+
+Both the reachability sweep (:func:`live_nodes`) and the productivity fixed
+point run on explicit worklists — like every other traversal in the core,
+they must handle grammars whose depth is proportional to the input length
+without leaning on the interpreter call stack.
 """
 
 from __future__ import annotations

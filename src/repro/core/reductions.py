@@ -76,14 +76,33 @@ class Constant(ReductionFunction):
 
 
 class Compose(ReductionFunction):
-    """``t ↦ outer(inner(t))`` — the rule ``(p ↪→ f) ↪→ g ⇒ p ↪→ (g ∘ f)``."""
+    """``t ↦ outer(inner(t))`` — the rule ``(p ↪→ f) ↪→ g ⇒ p ↪→ (g ∘ f)``.
+
+    Reduction fusion can pile up composition chains as long as the input
+    (every token of a deep sequence contributes one function), so two
+    engineering constraints apply: building a composition must be O(1) —
+    fusion happens on the parsing hot path — and *applying* one must not
+    consume a Python stack frame per link.  The chain is therefore kept as
+    an ``(outer, inner)`` pair but evaluated with an explicit stack that
+    unfolds nested compositions in either position iteratively.
+    """
 
     def __init__(self, outer: Callable[[Any], Any], inner: Callable[[Any], Any]) -> None:
         self.outer = outer
         self.inner = inner
 
     def __call__(self, tree: Any) -> Any:
-        return self.outer(self.inner(tree))
+        pending = [self.outer]
+        fn: Callable[[Any], Any] = self.inner
+        while True:
+            if type(fn) is Compose:
+                pending.append(fn.outer)
+                fn = fn.inner
+                continue
+            tree = fn(tree)
+            if not pending:
+                return tree
+            fn = pending.pop()
 
     def _key(self) -> tuple:
         return (self.outer, self.inner)

@@ -5,6 +5,7 @@ from .python_source import PythonProgramGenerator, SyntheticProgram, generate_pr
 from .token_streams import (
     ambiguous_sum_tokens,
     arithmetic_tokens,
+    chain_expression_tokens,
     json_tokens,
     nested_parens_tokens,
     repeated_token_stream,
@@ -24,5 +25,6 @@ __all__ = [
     "sexpr_tokens",
     "nested_parens_tokens",
     "ambiguous_sum_tokens",
+    "chain_expression_tokens",
     "repeated_token_stream",
 ]

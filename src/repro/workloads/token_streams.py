@@ -13,6 +13,7 @@ __all__ = [
     "sexpr_tokens",
     "nested_parens_tokens",
     "ambiguous_sum_tokens",
+    "chain_expression_tokens",
     "repeated_token_stream",
 ]
 
@@ -129,6 +130,26 @@ def ambiguous_sum_tokens(terms: int) -> List[Tok]:
     for _ in range(terms - 1):
         out.append(Tok("+"))
         out.append(Tok("n"))
+    return out
+
+
+def chain_expression_tokens(length: int, operator: str = "+") -> List[Tok]:
+    """``x + x + ... + x`` — a flat operator chain of exactly ``length`` tokens.
+
+    The canonical deep-recursion workload: on the classic expression grammar
+    every extra operand deepens the derived grammar (and the resulting parse
+    tree), so a 100 000-token chain defeats any engine that recurses over the
+    grammar graph on the host stack.  ``length`` must be odd (operand,
+    operator, operand, ...); it is rounded down to the nearest odd number.
+    """
+    if length < 1:
+        return []
+    if length % 2 == 0:
+        length -= 1
+    out: List[Tok] = [Tok("NAME", "x")]
+    for _ in range(length // 2):
+        out.append(Tok(operator))
+        out.append(Tok("NAME", "x"))
     return out
 
 
