@@ -27,6 +27,7 @@ Quickstart::
     assert parser.recognize(list("x+x+x"))
 """
 
+from .compile import CompiledParser, GrammarTable, compile_grammar, load_table, save_table
 from .core import (
     EMPTY,
     Alt,
@@ -60,6 +61,11 @@ __all__ = [
     "__version__",
     "DerivativeParser",
     "ParserState",
+    "CompiledParser",
+    "GrammarTable",
+    "compile_grammar",
+    "save_table",
+    "load_table",
     "parse",
     "recognize",
     "CompactionConfig",

@@ -159,6 +159,7 @@ class Grammar:
         self._by_lhs: Dict[str, List[Production]] = {}
         for production in self.productions:
             self._by_lhs.setdefault(production.lhs, []).append(production)
+        self._language_cache: Dict[bool, Language] = {}
 
     # ------------------------------------------------------------ inspection
     @property
@@ -220,6 +221,22 @@ class Grammar:
         rules: List[Tuple[str, Tuple[Any, ...]]] = [(fresh, (Nonterminal(self.start),))]
         rules.extend((production.lhs, production.rhs) for production in self.productions)
         return Grammar(fresh, rules)
+
+    def language(self, build_trees: bool = True) -> Language:
+        """Cached :meth:`to_language`: one shared graph per ``build_trees`` flag.
+
+        Sharing one graph is what lets grammar-level caches accumulate: the
+        compiled-automaton registry (:mod:`repro.compile`) and the per-node
+        memo machinery key their state on node identity, so two parsers
+        built from two separate :meth:`to_language` conversions can never
+        share a transition table.  Parsers over a shared graph are safe to
+        interleave — every node-resident cache is epoch- or owner-tagged.
+        """
+        cached = self._language_cache.get(build_trees)
+        if cached is None:
+            cached = self.to_language(build_trees=build_trees)
+            self._language_cache[build_trees] = cached
+        return cached
 
     def to_language(self, build_trees: bool = True) -> Language:
         """Convert to the derivative parser's parsing-expression graph.

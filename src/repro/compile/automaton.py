@@ -1,0 +1,463 @@
+"""The lazy derivative automaton and its grammar-owned transition table.
+
+A :class:`GrammarTable` compiles a grammar *incrementally*: its states are
+derivative languages interned by node identity, and its transitions are
+``state × token-class → state`` edges discovered the first time a parse
+crosses them.  Three properties make this a compiler rather than a cache:
+
+* **States are interned derivative closures.**  The table owns a
+  *persistent* derive memo (:class:`repro.core.memo.PersistentDictMemo`), so
+  deriving a given language node by a given token always returns the
+  identical result node — node identity (the hash-consing key of
+  :mod:`repro.core.languages`) is therefore a sound interning key for
+  states, and re-walking previously seen input costs one dictionary lookup
+  per token instead of one graph traversal.
+
+* **Transitions are per token-class, not per token.**  Each state partitions
+  the token alphabet by match signature (:class:`.classes.TokenClassifier`);
+  one derivative covers every token in a class.  Kind-pure states
+  additionally flatten ``kind → successor`` for the executor's hot loop.
+
+* **The grammar owns the table.**  The default-configuration table is
+  anchored on the grammar root's ``compiled_table`` field — the
+  node-resident idiom of the derive memos — so every
+  :class:`~repro.compile.CompiledParser` over the same root shares one
+  table, across parses and across parser instances, for as long as the
+  grammar lives; dropping the grammar frees the whole group as one cycle
+  (see :func:`compile_grammar`).  This extends the epoch/ownership
+  machinery of :mod:`repro.core.memo`: the table's entries live on the
+  shared nodes under the table's own owner token and can never be read,
+  evicted or cleared by other parsers sharing the graph.
+
+The automaton is a *recognition* device — transitions reuse a class
+representative's derivative, which is recognition-equivalent but carries the
+representative's parse-tree payloads.  Forest extraction therefore always
+falls back to on-the-fly derivation (see :class:`~repro.compile.CompiledParser`).
+
+States materialized from a serialized table (:mod:`.serialize`) start with
+no language attached; each carries a *witness* (parent state + representative
+token) so the language can be rebuilt on demand by deriving along the
+witness chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.compaction import CompactionConfig, Compactor, optimize_initial_grammar
+from ..core.derivative import Deriver
+from ..core.errors import GrammarError, ReproError
+from ..core.languages import (
+    EMPTY,
+    Empty,
+    Language,
+    graph_size,
+    structural_fingerprint,
+    token_kind,
+)
+from ..core.memo import PersistentDictMemo
+from ..core.metrics import Metrics
+from ..core.nullability import NullabilityAnalyzer
+from ..core.parse import validate_grammar
+from ..core.prune import AdaptivePruneSchedule, prune_empty
+from .classes import TokenClassifier
+
+__all__ = [
+    "AutomatonState",
+    "GrammarTable",
+    "compile_grammar",
+    "discard_table",
+    "as_root",
+]
+
+
+def as_root(grammar: Any) -> Language:
+    """Resolve ``grammar`` to a :class:`Language` root.
+
+    :class:`~repro.cfg.grammar.Grammar` objects resolve through their cached
+    :meth:`~repro.cfg.grammar.Grammar.language` conversion so that repeated
+    compilations of one grammar object land on one shared graph — the
+    precondition for sharing a transition table.
+    """
+    if isinstance(grammar, Language):
+        return grammar
+    language = getattr(grammar, "language", None)
+    if callable(language):
+        return language()
+    to_language = getattr(grammar, "to_language", None)
+    if callable(to_language):
+        return to_language()
+    raise GrammarError(
+        "expected a Language node or an object with language()/to_language(); "
+        "got {!r}".format(type(grammar))
+    )
+
+
+class AutomatonState:
+    """One interned state of the lazy derivative automaton.
+
+    ``language`` is the state's derivative closure (``None`` until
+    materialized, for states loaded from a serialized table), ``accepting``
+    its nullability, and ``dead`` marks the unique ``∅`` sink.  Transitions
+    live in two tiers: ``by_signature`` is the authoritative token-class
+    table, and ``by_kind`` is the flattened ``kind → successor`` fast path,
+    populated only when the table's shared classifier is kind-pure (the
+    classifier — and with it purity — is a property of the grammar's
+    terminal alphabet, so it lives on the :class:`GrammarTable`, not here).
+
+    ``parent``/``via`` record how the state was first reached — the witness
+    used to re-derive the language after deserialization.  ``transient``
+    states were built past the table's ``max_states`` cap and are never
+    cached in any transition table.
+    """
+
+    __slots__ = (
+        "index",
+        "language",
+        "accepting",
+        "dead",
+        "transient",
+        "by_kind",
+        "by_signature",
+        "parent",
+        "via",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        language: Optional[Language],
+        accepting: bool,
+        dead: bool = False,
+        parent: Optional["AutomatonState"] = None,
+        via: Any = None,
+    ) -> None:
+        self.index = index
+        self.language = language
+        self.accepting = accepting
+        self.dead = dead
+        self.transient = False
+        self.by_kind: Dict[Any, "AutomatonState"] = {}
+        self.by_signature: Dict[Any, "AutomatonState"] = {}
+        self.parent = parent
+        self.via = via
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flags = []
+        if self.dead:
+            flags.append("dead")
+        if self.accepting:
+            flags.append("accepting")
+        if self.language is None:
+            flags.append("unmaterialized")
+        return "AutomatonState(#{}{})".format(
+            self.index, " " + ",".join(flags) if flags else ""
+        )
+
+
+class GrammarTable:
+    """The grammar-owned compiled automaton: interned states + transitions.
+
+    Parameters
+    ----------
+    grammar:
+        A :class:`Language` root or an object convertible via
+        ``language()``/``to_language()``.
+    optimize:
+        Run the initial-grammar compaction of Section 4.3.1 before compiling
+        (default True, matching :class:`~repro.core.parse.DerivativeParser`).
+    max_states:
+        Optional cap on interned states.  Derivation past the cap still
+        works (and is still memoized by the persistent derive memo) but the
+        resulting states are *transient*: they are not interned and no
+        transition entry points at them, bounding the table's memory on
+        adversarial inputs whose state space never recurs.
+    prune:
+        Adaptively prune provably-empty branches from freshly derived
+        states before interning them (default True, mirroring
+        :class:`~repro.core.parse.DerivativeParser`).  Without it, "zombie"
+        cores accumulate in the derived graphs and cold compilation
+        degrades to quadratic.  :func:`~repro.core.prune.prune_empty`
+        rewrites child pointers in place and is semantics-preserving, so
+        already-interned states sharing the pruned nodes stay valid.
+    metrics:
+        Optional shared :class:`~repro.core.metrics.Metrics`.
+    """
+
+    def __init__(
+        self,
+        grammar: Any,
+        optimize: bool = True,
+        max_states: Optional[int] = None,
+        prune: bool = True,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        root = as_root(grammar)
+        validate_grammar(root)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.compaction_config = CompactionConfig.full()
+        self.compactor = Compactor(self.compaction_config, self.metrics)
+        #: The transition cache's backbone: a grammar-lifetime derive memo.
+        #: Its owner-keyed entries on the shared nodes are what make state
+        #: interning by node identity sound (same node × same token → the
+        #: identical result node, for the lifetime of this table).
+        self.memo = PersistentDictMemo(self.metrics)
+        self.nullability = NullabilityAnalyzer(self.metrics)
+        self.deriver = Deriver(
+            memo=self.memo,
+            compactor=self.compactor,
+            nullability=self.nullability,
+            metrics=self.metrics,
+        )
+        if optimize:
+            root = optimize_initial_grammar(root, self.compactor)
+        self.optimized = optimize
+        self.root = root
+        # Snapshot the fingerprint *now*, before any derivation: adaptive
+        # pruning rewrites child pointers of the shared graph in place, so a
+        # fingerprint taken lazily at save time would never match the one a
+        # fresh process computes over the un-pruned grammar at load time.
+        self._fingerprint = structural_fingerprint(root)
+        #: One classifier, computed from the grammar root, shared by every
+        #: state.  Sound because derivation never creates new Token leaves —
+        #: every terminal reachable from any derivative is one of the root's
+        #: terminals, and tokens with equal signatures over a superset of a
+        #: state's terminals take identical transitions.  The partition per
+        #: state may be finer than strictly necessary (a class distinction a
+        #: given state cannot observe), which costs a few extra interned
+        #: edges but avoids an O(graph) terminal scan per new state.
+        self.classifier = TokenClassifier(root)
+        #: Kind-purity of the whole alphabet: when True, every state may
+        #: flatten ``kind → successor``; when False, every token is
+        #: classified by value (``by_kind`` stays empty everywhere).
+        self.pure = self.classifier.pure
+        self.max_states = max_states
+        self._states: Dict[Language, AutomatonState] = {}
+        self._by_index: List[AutomatonState] = []
+        #: Number of transitions resolved by actually deriving (cache misses).
+        self.transitions_derived = 0
+        self.dead = AutomatonState(index=-1, language=EMPTY, accepting=False, dead=True)
+        # Adaptive empty-branch pruning, on the exact schedule the
+        # interpreted parser uses (shared implementation).
+        self.prune_enabled = prune
+        self.prune_passes = 0
+        self._prune_schedule = AdaptivePruneSchedule(
+            graph_size(root), self.metrics.derive_uncached
+        )
+        self.start = self._intern(root, parent=None, via=None)
+
+    # ------------------------------------------------------------- interning
+    def _intern(
+        self,
+        language: Language,
+        parent: Optional[AutomatonState],
+        via: Any,
+    ) -> AutomatonState:
+        state = self._states.get(language)
+        if state is not None:
+            return state
+        state = AutomatonState(
+            index=len(self._by_index),
+            language=language,
+            accepting=self.nullability.nullable(language),
+            parent=parent,
+            via=via,
+        )
+        if self.max_states is not None and len(self._by_index) >= self.max_states:
+            state.transient = True
+            return state
+        self._states[language] = state
+        self._by_index.append(state)
+        return state
+
+    # ------------------------------------------------------------- stepping
+    def step_slow(self, state: AutomatonState, tok: Any) -> AutomatonState:
+        """Advance one token past the flattened fast path.
+
+        Callers (the executor's hot loops) probe ``state.by_kind`` first and
+        come here on a miss: classify the token, consult the class table,
+        derive only if the edge is genuinely new.  Impure states keep
+        ``by_kind`` empty, so every token routes here and is classified by
+        value — the invariant that makes the callers' bare kind probe sound.
+        """
+        if state.dead:
+            return state
+        if state.language is None:
+            self.materialize(state)
+        signature = self.classifier.signature(tok)
+        successor = state.by_signature.get(signature)
+        if successor is None:
+            self.transitions_derived += 1
+            derived = self.deriver.derive(state.language, tok)
+            if (
+                self.prune_enabled
+                and not isinstance(derived, Empty)
+                and self._prune_schedule.due(self.metrics.derive_uncached)
+            ):
+                derived, live_size = prune_empty(derived, self.nullability, self.metrics)
+                self.prune_passes += 1
+                self._prune_schedule.ran(self.metrics.derive_uncached, live_size)
+            if derived is EMPTY or isinstance(derived, Empty):
+                successor = self.dead
+            else:
+                successor = self._intern(derived, parent=state, via=tok)
+            if not successor.transient and not state.transient:
+                state.by_signature[signature] = successor
+        if self.pure and not successor.transient and not state.transient:
+            state.by_kind[token_kind(tok)] = successor
+        return successor
+
+    # -------------------------------------------------------- materialization
+    def materialize(self, state: AutomatonState) -> Language:
+        """Attach a live language to a deserialized state via its witness chain.
+
+        Walks ``parent`` links up to the nearest state that has a language
+        (ultimately the start state, whose language is the grammar root),
+        then re-derives downward through the recorded representative tokens.
+        The re-derivation populates the persistent memo, so each witness
+        edge is paid for at most once per table lifetime.
+        """
+        chain: List[AutomatonState] = []
+        cursor = state
+        while cursor.language is None:
+            if cursor.parent is None:
+                raise ReproError(
+                    "cannot materialize automaton state #{}: no witness chain "
+                    "links it to the grammar root".format(cursor.index)
+                )
+            chain.append(cursor)
+            cursor = cursor.parent
+        language = cursor.language
+        for entry in reversed(chain):
+            language = self.deriver.derive(language, entry.via)
+            if language is EMPTY or isinstance(language, Empty):
+                raise ReproError(
+                    "corrupt compiled table: the witness chain for state #{} "
+                    "derives to the empty language".format(entry.index)
+                )
+            entry.language = language
+            entry.accepting = self.nullability.nullable(language)
+            # Reconnect the node-identity interning map; if another state
+            # already claims this node the first claimant keeps it (both
+            # remain correct — the persistent memo gives them identical
+            # successor nodes).
+            self._states.setdefault(language, entry)
+        return state.language
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def fingerprint(self) -> str:
+        """Structural fingerprint of the (optimized, pre-parse) grammar root."""
+        return self._fingerprint
+
+    def state_count(self) -> int:
+        """Number of interned (non-transient) automaton states."""
+        return len(self._by_index)
+
+    def transition_count(self) -> int:
+        """Number of resolved outgoing edges across all states.
+
+        Live states count their ``state × token-class`` edges; states
+        deserialized from a saved table carry only flattened kind edges
+        until a cache miss re-classifies them, so those are counted
+        instead (a kind edge may be finer than a class edge, but zero
+        would misreport a warm loaded table as empty).
+        """
+        total = 0
+        for state in self._by_index:
+            total += len(state.by_signature) if state.by_signature else len(state.by_kind)
+        return total
+
+    def states(self) -> List[AutomatonState]:
+        """The interned states in creation order (index order)."""
+        return list(self._by_index)
+
+    def stats(self) -> Dict[str, Any]:
+        """A summary dictionary for benchmarks and debugging."""
+        flattened = sum(len(state.by_kind) for state in self._by_index)
+        return {
+            "states": self.state_count(),
+            "class_transitions": self.transition_count(),
+            "kind_transitions": flattened,
+            "transitions_derived": self.transitions_derived,
+            "memo_entries": self.memo.entry_count(),
+            "pure": self.pure,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "GrammarTable(states={}, transitions={})".format(
+            self.state_count(), self.transition_count()
+        )
+
+
+def compile_grammar(
+    grammar: Any,
+    optimize: bool = True,
+    max_states: Optional[int] = None,
+) -> GrammarTable:
+    """Return the shared :class:`GrammarTable` for ``grammar``, compiling once.
+
+    The default-configuration table is **anchored on the grammar root**
+    (its ``compiled_table`` field, the node-resident idiom of the derive
+    memos): the grammar owns its table, every caller that resolves to the
+    same graph — repeated :class:`~repro.compile.CompiledParser`
+    constructions, the :meth:`~repro.core.parse.DerivativeParser.compile`
+    fast path, the ``engine="compiled"`` wrappers, a
+    :class:`~repro.cfg.grammar.Grammar` compiled twice — shares the one
+    warm transition cache for as long as the grammar lives, and dropping
+    the grammar frees grammar, table, memo and cached derivatives as one
+    garbage-collected cycle (the anchored table's memo is
+    :meth:`~repro.core.memo.PersistentDictMemo.bind_to_graph`-bound, so no
+    global finalizer registry pins the cycle).
+
+    Non-default ``optimize``/``max_states`` callers always get a
+    **private**, unanchored table built to spec: the shared default cache
+    is never reconfigured or hijacked by whoever compiles first, and the
+    private table lives only as long as its holders.
+
+    The shared table is deliberately uncapped: states and persistent memo
+    entries accumulate per *distinct* input walked, for as long as the
+    grammar lives.  Long-running services parsing unbounded varied input
+    against a process-lifetime grammar should either bound memory with a
+    private capped table (``max_states=...``) or periodically call
+    :func:`discard_table` to let the accumulated cache be collected and
+    start fresh.
+    """
+    root = as_root(grammar)
+    if not (optimize is True and max_states is None):
+        return GrammarTable(root, optimize=optimize, max_states=max_states)
+    table = root.compiled_table
+    if table is not None:
+        return table
+    table = GrammarTable(root)
+    # The root will hold the table strongly; drop the memo's death-sweep
+    # finalizer so the grammar↔table cycle stays collectable (the sweep is
+    # pointless here anyway — the entries die with the graph).
+    table.memo.bind_to_graph()
+    root.compiled_table = table
+    if table.root is not root:
+        # Initial-grammar optimization may rebuild the root; anchor on the
+        # optimized node too so DerivativeParser.compile() (which sees the
+        # optimized root) lands on the same table.
+        table.root.compiled_table = table
+    return table
+
+
+def discard_table(grammar: Any) -> bool:
+    """Un-anchor the grammar's shared table so it can be collected.
+
+    The memory-control valve for long-lived grammars: once the last parser
+    holding the old table lets go, the table, its persistent memo and every
+    interned derivative state are freed, and the next
+    :func:`compile_grammar` starts a fresh cold table.  Parsers still
+    holding the old table keep working on it, unaffected.  Returns True
+    when an anchored table was discarded.
+    """
+    root = as_root(grammar)
+    table = root.compiled_table
+    if table is None:
+        return False
+    root.compiled_table = None
+    if table.root is not root:
+        table.root.compiled_table = None
+    return True

@@ -1,0 +1,81 @@
+"""Per-state token-class analysis for the lazy automaton compiler.
+
+A derivative step is fully determined by which of the state's reachable
+:class:`~repro.core.languages.Token` leaves accept the input token: deriving
+rewrites every matching leaf to ``ε`` and every non-matching leaf to ``∅``,
+and everything above the leaves depends only on that match pattern.  Two
+tokens with the same *match signature* therefore take a state to the same
+successor, so one cached transition can cover an arbitrarily large slice of
+the token alphabet — the grammar-level analogue of the character classes
+used by derivative-based regex engines (see
+:func:`repro.regex.derivatives.signature_partition`, whose partition logic
+this module reuses).
+
+Signatures are value-*insensitive*: a ``NUMBER`` token carrying ``"7"`` and
+one carrying ``"42"`` share a signature even though their derivatives carry
+different parse-tree payloads.  That is exactly why the compiled automaton
+is a *recognition* device — nullability, match signatures and structural
+collapse to ``∅`` are all payload-independent — and why parse-forest
+extraction falls back to on-the-fly derivation (see
+:class:`repro.compile.CompiledParser`).
+
+A state is *kind-pure* when none of its terminals carries a match predicate:
+every terminal then matches by token kind alone, the signature is a function
+of the kind, and the executor may cache ``kind → successor`` directly.
+States with predicate terminals (which may inspect token *values*) stay
+sound by recomputing the signature per token.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
+
+from ..core.languages import Language, Token, terminal_nodes
+from ..regex.derivatives import signature_partition
+
+__all__ = ["TokenClassifier"]
+
+
+#: A match signature: the ids of the state's terminals the token satisfies.
+Signature = FrozenSet[int]
+
+
+class TokenClassifier:
+    """The token-class view of a language's terminal alphabet.
+
+    The :class:`~repro.compile.automaton.GrammarTable` builds exactly one
+    classifier, from the grammar *root* (an O(graph) traversal paid once
+    per table), and shares it across every automaton state: derivation
+    never creates new ``Token`` leaves, so the root's terminals are a
+    superset of any state's, and equal signatures over a superset imply
+    equal signatures over the state's own terminals.  ``signature(tok)``
+    is the interning key for each state's transition table: every token
+    mapping to the same signature shares the state's outgoing edge.
+    (The class itself works on any language node — per-state instances are
+    sound too, just needlessly expensive at one graph scan per state.)
+    """
+
+    __slots__ = ("terminals", "pure")
+
+    def __init__(self, language: Language) -> None:
+        self.terminals: List[Token] = terminal_nodes(language)
+        self.pure: bool = all(term.predicate is None for term in self.terminals)
+
+    def signature(self, tok: Any) -> Signature:
+        """The set of terminal node ids accepting ``tok`` (the class key)."""
+        return frozenset(term.node_id for term in self.terminals if term.matches(tok))
+
+    def classes(self, tokens: Iterable[Any]) -> Dict[Tuple[bool, ...], List[Any]]:
+        """Partition ``tokens`` into equivalence classes for this state.
+
+        Delegates to the regex engine's :func:`signature_partition` — the
+        same acceptance-vector grouping, with this state's terminal matchers
+        as the acceptors.  Useful for eager warm-up over a known alphabet
+        and for inspecting how coarse the state's classes are.
+        """
+        return signature_partition(tokens, [term.matches for term in self.terminals])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "TokenClassifier(terminals={}, pure={})".format(
+            len(self.terminals), self.pure
+        )

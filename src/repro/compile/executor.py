@@ -1,0 +1,253 @@
+"""The compiled-automaton executor: :class:`CompiledParser`.
+
+``CompiledParser`` exposes the same surface as
+:class:`~repro.core.parse.DerivativeParser` — ``recognize``, ``parse``,
+``parse_forest``, ``parse_trees``, and a streaming ``start()`` state with
+``feed``/``feed_all`` — but drives recognition through the grammar's shared
+:class:`~repro.compile.automaton.GrammarTable` instead of deriving per
+token.  On a warm table the hot loop is two dictionary probes per token
+(kind → successor, falling back to class signature → successor) with no
+derivation, no memo-epoch checks and no per-token allocation.
+
+Parse-*forest* obligations cannot ride the automaton: transitions are
+interned per token **class**, so a cached successor carries the parse-tree
+payloads of whichever class representative first crossed the edge, not of
+the token actually consumed.  Any API that must produce trees therefore
+falls back to on-the-fly derivation through an internal
+:class:`~repro.core.parse.DerivativeParser` over the same grammar root
+(sound to interleave with the table: all node-resident caches are owner- or
+epoch-tagged, per PR 1's isolation machinery).  Failure diagnostics ride
+the same fallback, so rejection positions agree with the interpreted parser
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.forest import ForestNode
+from ..core.languages import Language, token_kind
+from ..core.parse import DerivativeParser
+from .automaton import AutomatonState, GrammarTable, compile_grammar
+
+__all__ = ["CompiledParser", "CompiledState"]
+
+
+class CompiledState:
+    """Streaming execution state over a :class:`CompiledParser`.
+
+    Mirrors :class:`~repro.core.parse.ParserState`: ``feed`` consumes one
+    token, ``failed``/``failure_position`` report structural death (the
+    automaton's ``∅`` sink), ``accepts()`` is definitive for the tokens
+    consumed so far.  Unlike the interpreted state it (by default) also
+    *retains* the consumed tokens, because ``forest()``/``tree()`` re-derive
+    them through the fallback parser (token values do not survive
+    class-interned transitions); memory is O(tokens consumed) rather than
+    O(live grammar).  Recognition-only callers streaming unbounded input
+    should pass ``keep_tokens=False`` to :meth:`CompiledParser.start` —
+    memory drops to O(1) per token and ``forest()``/``tree()`` raise.
+    """
+
+    __slots__ = ("parser", "table", "state", "position", "failure_position", "tokens")
+
+    def __init__(self, parser: "CompiledParser", keep_tokens: bool = True) -> None:
+        self.parser = parser
+        self.table = parser.table
+        self.state: AutomatonState = parser.table.start
+        #: Number of tokens consumed so far.
+        self.position = 0
+        #: Index of the token that killed the automaton, or None while alive.
+        self.failure_position: Optional[int] = None
+        #: Every consumed token, retained for the forest fallback — or None
+        #: when the caller opted out of retention.
+        self.tokens: Optional[List[Any]] = [] if keep_tokens else None
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def failed(self) -> bool:
+        """True once the automaton has entered the ``∅`` sink."""
+        return self.failure_position is not None
+
+    def accepts(self) -> bool:
+        """True when the tokens consumed so far form a complete parse."""
+        return self.failure_position is None and self.state.accepting
+
+    # ---------------------------------------------------------------- driving
+    def feed(self, tok: Any) -> "CompiledState":
+        """Consume one token (a no-op once failed, keeping the position)."""
+        if self.failure_position is not None:
+            return self
+        if self.tokens is not None:
+            self.tokens.append(tok)
+        state = self.state
+        successor = state.by_kind.get(token_kind(tok))
+        if successor is None:
+            successor = self.table.step_slow(state, tok)
+        self.position += 1
+        if successor.dead:
+            self.failure_position = self.position - 1
+        self.state = successor
+        return self
+
+    def feed_all(self, tokens: Iterable[Any]) -> "CompiledState":
+        """Consume every token (stops pulling the iterable on failure)."""
+        if self.failure_position is not None:
+            return self
+        for tok in tokens:
+            self.feed(tok)
+            if self.failure_position is not None:
+                break
+        return self
+
+    # ---------------------------------------------------------------- results
+    def forest(self) -> ForestNode:
+        """Parse forest of the consumed tokens (fallback derivation).
+
+        Delegates unconditionally — on failed states too — so the raised
+        :class:`ParseError` carries the fallback's exact semantic failure
+        position (the automaton's ``failure_position`` is *structural* and
+        can lag the token that actually killed the parse).
+        """
+        return self.parser.parse_forest(self._retained())
+
+    def tree(self) -> Any:
+        """One parse tree of the consumed tokens (fallback derivation)."""
+        return self.parser.parse(self._retained())
+
+    def _retained(self) -> List[Any]:
+        if self.tokens is None:
+            raise ValueError(
+                "this state was started with keep_tokens=False; forest()/"
+                "tree() need the consumed tokens for the derivation fallback"
+            )
+        return self.tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = (
+            "failed@{}".format(self.failure_position)
+            if self.failure_position is not None
+            else "alive"
+        )
+        return "CompiledState(position={}, {})".format(self.position, status)
+
+
+class CompiledParser:
+    """A parser that executes the grammar's compiled derivative automaton.
+
+    Parameters
+    ----------
+    grammar:
+        A :class:`~repro.core.languages.Language` root or an object with a
+        ``language()``/``to_language()`` conversion.  Parsers constructed
+        over the same root share one :class:`GrammarTable` — the transition
+        cache persists across parses *and* across parser instances.
+    table:
+        An explicit pre-built (e.g. deserialized) table to execute instead
+        of the registry's shared one.
+    max_states:
+        Forwarded to :func:`compile_grammar` when the table is built here.
+
+    The recognition path never extracts trees and is value-insensitive;
+    ``parse``/``parse_forest``/``parse_trees`` delegate to an internal
+    :class:`DerivativeParser` over the same root (the on-the-fly fallback
+    for parse-forest obligations), which also supplies exact failure
+    positions on the error path.
+    """
+
+    def __init__(
+        self,
+        grammar: Any = None,
+        table: Optional[GrammarTable] = None,
+        max_states: Optional[int] = None,
+    ) -> None:
+        if table is None:
+            if grammar is None:
+                raise TypeError("CompiledParser needs a grammar or a table")
+            table = compile_grammar(grammar, max_states=max_states)
+        self.table = table
+        self._fallback: Optional[DerivativeParser] = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def root(self) -> Language:
+        """The (optimized) grammar root the automaton executes."""
+        return self.table.root
+
+    def fallback(self) -> DerivativeParser:
+        """The on-the-fly derivation engine behind tree-producing APIs."""
+        if self._fallback is None:
+            # The table's root is already optimized; skip re-optimizing.
+            self._fallback = DerivativeParser(self.table.root, optimize_grammar=False)
+        return self._fallback
+
+    def start(self, keep_tokens: bool = True) -> CompiledState:
+        """Begin a streaming run; see :class:`CompiledState`.
+
+        Pass ``keep_tokens=False`` for recognition-only streaming over
+        unbounded input: the state stops retaining consumed tokens (O(1)
+        memory per token) and ``forest()``/``tree()`` become unavailable.
+        """
+        return CompiledState(self, keep_tokens=keep_tokens)
+
+    def reset(self) -> None:
+        """Reset per-parse state (the grammar table deliberately survives).
+
+        Parity hook for :meth:`DerivativeParser.reset`: the compiled
+        executor keeps no per-parse caches of its own, and the transition
+        table is grammar-lifetime by design, so only the fallback parser's
+        per-parse memo is cleared.
+        """
+        if self._fallback is not None:
+            self._fallback.reset()
+
+    def stats(self) -> Dict[str, Any]:
+        """The shared table's size/warmth statistics."""
+        return self.table.stats()
+
+    # ------------------------------------------------------------ recognition
+    def recognize(self, tokens: Iterable[Any]) -> bool:
+        """True when the token sequence is in the grammar's language.
+
+        The hot path: one ``kind → successor`` probe per token on the warm
+        table, with the class-signature (and ultimately derivation) path
+        behind a single miss check.
+        """
+        table = self.table
+        state = table.start
+        step_slow = table.step_slow
+        kind_of = token_kind
+        for tok in tokens:
+            successor = state.by_kind.get(kind_of(tok))
+            if successor is None:
+                successor = step_slow(state, tok)
+            if successor.dead:
+                return False
+            state = successor
+        return state.accepting
+
+    # ---------------------------------------------------------------- parsing
+    def parse_forest(self, tokens: Sequence[Any]) -> ForestNode:
+        """Parse and return the shared parse forest (fallback derivation).
+
+        Forest extraction needs the *actual* token values, which compiled
+        transitions do not preserve, so this delegates to the interpreted
+        engine — including its exact-position failure diagnosis.
+        """
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        return self.fallback().parse_forest(tokens)
+
+    def parse(self, tokens: Sequence[Any]) -> Any:
+        """Parse and return a single parse tree (fallback derivation)."""
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        return self.fallback().parse(tokens)
+
+    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
+        """Parse and return up to ``limit`` distinct trees (fallback derivation)."""
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        return self.fallback().parse_trees(tokens, limit=limit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "CompiledParser({!r})".format(self.table)

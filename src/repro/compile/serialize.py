@@ -1,0 +1,199 @@
+"""Serialization of compiled grammar tables (ship a hot grammar pre-warmed).
+
+A serialized table is a JSON document holding the automaton's *shape* —
+state indices, accepting flags, flattened ``kind → successor`` transitions —
+plus, per state, a **witness**: the parent state and the representative
+token that first reached it.  Languages, classifiers and memo entries are
+deliberately not serialized (they hold arbitrary Python callables); instead,
+a loaded state starts unmaterialized, and the witness chain lets the table
+re-derive its language on demand the first time a parse steps off the
+serialized transitions (:meth:`GrammarTable.materialize`).
+
+Consequences:
+
+* Input covered by the serialized transitions parses with **zero**
+  derivation — warm-cache performance straight from disk.
+* Input that leaves the serialized automaton pays one witness re-derivation
+  per state it revives, then proceeds exactly like a live table.
+* A table can only be re-attached to *the grammar it was compiled from*;
+  :func:`load_table` verifies the grammar's structural fingerprint
+  (:func:`repro.core.languages.structural_fingerprint`) and refuses
+  mismatches unless ``strict=False``.
+
+Only JSON-representable token data survives serialization: states whose
+witness token has a non-string kind (or a non-scalar value) are dropped,
+together with the transitions pointing at them, as are ``kind`` edges whose
+kind is not a string.  Kind-impure states (predicate terminals) serialize
+without transitions — their classification is value-dependent and must be
+recomputed live.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ReproError
+from ..core.languages import token_kind, token_value
+from ..lexer.tokens import Tok
+from .automaton import AutomatonState, GrammarTable
+
+__all__ = ["save_table", "load_table", "dump_table", "restore_table", "FORMAT", "VERSION"]
+
+FORMAT = "repro-compiled-table"
+VERSION = 1
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _witness_fields(state: AutomatonState) -> Optional[Dict[str, Any]]:
+    """The JSON form of a state's witness token, or None when unserializable."""
+    if state.via is None:
+        return None
+    kind = token_kind(state.via)
+    value = token_value(state.via)
+    if not isinstance(kind, str) or not isinstance(value, _SCALAR):
+        return None
+    return {"kind": kind, "value": value}
+
+
+def dump_table(table: GrammarTable) -> Dict[str, Any]:
+    """Render ``table`` as a JSON-serializable dictionary."""
+    states = table.states()
+    # A state is placeable iff a serializable witness chain links it to the
+    # start state; everything else (and every edge into it) is dropped.
+    placeable: Dict[int, bool] = {}
+    witnesses: Dict[int, Optional[Dict[str, Any]]] = {}
+    for state in states:  # creation order ⇒ parents precede children
+        if state.parent is None:
+            placeable[state.index] = state is table.start
+            witnesses[state.index] = None
+            continue
+        witness = _witness_fields(state)
+        witnesses[state.index] = witness
+        placeable[state.index] = witness is not None and placeable.get(
+            state.parent.index, False
+        )
+
+    serialized: List[Dict[str, Any]] = []
+    dropped = 0
+    for state in states:
+        if not placeable[state.index]:
+            dropped += 1
+            continue
+        kinds: Dict[str, int] = {}
+        for kind, successor in state.by_kind.items():
+            if not isinstance(kind, str):
+                continue
+            if successor.dead:
+                kinds[kind] = -1
+            elif placeable.get(successor.index, False):
+                kinds[kind] = successor.index
+        entry: Dict[str, Any] = {
+            "index": state.index,
+            "accepting": bool(state.accepting),
+            "parent": state.parent.index if state.parent is not None else None,
+            "via": witnesses[state.index],
+            "kinds": kinds,
+        }
+        serialized.append(entry)
+
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "fingerprint": table.fingerprint,
+        # Whether the grammar was optimized before compiling: the loader
+        # must rebuild the same way or the fingerprints (taken over the
+        # post-optimization root) can never match.
+        "optimized": table.optimized,
+        "pure": table.pure,
+        "start": table.start.index,
+        "dropped_states": dropped,
+        "states": serialized,
+    }
+
+
+def save_table(table: GrammarTable, path: str) -> None:
+    """Write ``table`` to ``path`` as JSON (see :func:`dump_table`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dump_table(table), handle, separators=(",", ":"))
+
+
+def restore_table(
+    data: Dict[str, Any],
+    grammar: Any,
+    strict: bool = True,
+) -> GrammarTable:
+    """Rebuild a :class:`GrammarTable` over ``grammar`` from dumped ``data``.
+
+    The grammar is prepared exactly the way it was for the saved table
+    (the dumped ``optimized`` flag), so fingerprints compare like for
+    like.  The returned table is *independent* of the grammar-owned table
+    :func:`~repro.compile.automaton.compile_grammar` shares — callers
+    decide whether to adopt it (pass it to
+    :class:`~repro.compile.CompiledParser` via ``table=``).
+    """
+    if data.get("format") != FORMAT:
+        raise ReproError("not a compiled-table document: {!r}".format(data.get("format")))
+    if data.get("version") != VERSION:
+        raise ReproError(
+            "unsupported compiled-table version {!r} (expected {})".format(
+                data.get("version"), VERSION
+            )
+        )
+
+    table = GrammarTable(grammar, optimize=bool(data.get("optimized", True)))
+    if strict and data.get("fingerprint") != table.fingerprint:
+        raise ReproError(
+            "compiled table was built from a structurally different grammar "
+            "(fingerprint mismatch); pass strict=False to attach anyway"
+        )
+    if strict and "pure" in data and bool(data["pure"]) != table.pure:
+        raise ReproError(
+            "compiled table disagrees with the grammar on kind-purity "
+            "(saved pure={}, grammar pure={}); pass strict=False to attach "
+            "anyway".format(bool(data["pure"]), table.pure)
+        )
+
+    entries = data.get("states", [])
+    start_index = data.get("start", 0)
+    by_serialized_index: Dict[int, AutomatonState] = {}
+
+    # Pass 1: create (or adopt) one state per serialized entry.
+    for entry in entries:
+        if entry["index"] == start_index:
+            by_serialized_index[entry["index"]] = table.start
+            continue
+        state = AutomatonState(
+            index=len(table._by_index),
+            language=None,
+            accepting=bool(entry["accepting"]),
+        )
+        table._by_index.append(state)
+        by_serialized_index[entry["index"]] = state
+
+    # Pass 2: wire witnesses and flattened kind transitions.
+    for entry in entries:
+        state = by_serialized_index[entry["index"]]
+        parent_index = entry.get("parent")
+        if parent_index is not None and state is not table.start:
+            state.parent = by_serialized_index.get(parent_index)
+            via = entry.get("via")
+            if via is not None:
+                state.via = Tok(via["kind"], via["value"])
+        for kind, successor_index in entry.get("kinds", {}).items():
+            if successor_index == -1:
+                state.by_kind[kind] = table.dead
+            else:
+                successor = by_serialized_index.get(successor_index)
+                if successor is not None:
+                    state.by_kind[kind] = successor
+
+    return table
+
+
+def load_table(path: str, grammar: Any, strict: bool = True) -> GrammarTable:
+    """Read a table from ``path`` and attach it to ``grammar``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return restore_table(data, grammar, strict=strict)

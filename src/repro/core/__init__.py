@@ -43,6 +43,8 @@ from .languages import (
     epsilon,
     graph_size,
     reachable_nodes,
+    structural_fingerprint,
+    terminal_nodes,
     token,
     token_kind,
     token_value,
@@ -52,6 +54,7 @@ from .memo import (
     DeriveMemo,
     NestedDictMemo,
     PerNodeDictMemo,
+    PersistentDictMemo,
     SingleEntryMemo,
     make_memo,
     single_entry_fraction,
@@ -101,6 +104,8 @@ __all__ = [
     "token_value",
     "reachable_nodes",
     "graph_size",
+    "terminal_nodes",
+    "structural_fingerprint",
     # parsing
     "DerivativeParser",
     "ParserState",
@@ -129,6 +134,7 @@ __all__ = [
     "DeriveMemo",
     "SingleEntryMemo",
     "PerNodeDictMemo",
+    "PersistentDictMemo",
     "NestedDictMemo",
     "make_memo",
     "MEMO_STRATEGIES",

@@ -28,6 +28,7 @@ before recurring (Section 2.5.2 of the paper).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Any, Callable, Iterable, Iterator, Optional
 
@@ -48,6 +49,8 @@ __all__ = [
     "reachable_nodes",
     "graph_size",
     "iter_children",
+    "terminal_nodes",
+    "structural_fingerprint",
 ]
 
 
@@ -73,6 +76,14 @@ class Language:
         "name",
         "under_construction",
         "observed",
+        # the compiled-automaton table (repro.compile), anchored on the
+        # grammar root in the node-resident idiom of the memo fields below:
+        # the grammar owns its table, every parser built over this root
+        # shares it, and grammar + table + cached derivatives are freed
+        # together as one garbage-collected cycle (the anchored table's
+        # memo disables its death-sweep finalizer so no global registry
+        # pins the cycle)
+        "compiled_table",
         # single-entry derive memo (Section 4.4)
         "memo_epoch",
         "memo_token",
@@ -94,6 +105,7 @@ class Language:
         self.name = None
         self.under_construction = False
         self.observed = False
+        self.compiled_table = None
         self.memo_epoch = -1
         self.memo_token = None
         self.memo_result = None
@@ -442,3 +454,82 @@ def reachable_nodes(root: Language) -> list[Language]:
 def graph_size(root: Language) -> int:
     """Number of nodes reachable from ``root`` — ``G`` in the paper's bounds."""
     return len(reachable_nodes(root))
+
+
+def _stable_repr(value: Any) -> str:
+    """A repr safe to hash across processes.
+
+    Python's default object repr embeds the instance's memory address
+    (``<Payload object at 0x7f...>``), which changes every run — hashing it
+    would make :func:`structural_fingerprint` reject a grammar's own
+    serialized tables in the next process.  Any repr that raises or that
+    embeds an address collapses to the value's type name, trading payload
+    discrimination for the cross-process stability the fingerprint promises.
+    """
+    try:
+        text = repr(value)
+    except Exception:
+        return "<unreprable {}>".format(type(value).__name__)
+    if " at 0x" in text:
+        return "<by-type {}>".format(type(value).__name__)
+    return text
+
+
+def terminal_nodes(root: Language) -> list[Token]:
+    """Every :class:`Token` leaf reachable from ``root``, in discovery order.
+
+    The reachable terminals are what decide how a language responds to the
+    next input token: deriving by two tokens that satisfy exactly the same
+    subset of these leaves produces the same successor graph.  The
+    token-class analysis in :mod:`repro.compile` builds on this.
+    """
+    return [node for node in reachable_nodes(root) if isinstance(node, Token)]
+
+
+def structural_fingerprint(root: Language) -> str:
+    """A stable hex digest of the grammar graph's *structure*.
+
+    Nodes are numbered in deterministic traversal order (node ids are
+    process-local counters and therefore useless across runs), and each
+    node contributes its type, its structural payload — token kind/label,
+    non-terminal name, ε tree shape, reduction key — and the traversal
+    indices of its children.  Two graphs built the same way hash the same in
+    any process, so serialized compiled tables (:mod:`repro.compile`) can
+    verify they are being re-attached to the grammar they were built from.
+
+    The fingerprint is intentionally *not* a semantic equivalence check:
+    distinct constructions of the same language hash differently.
+    """
+    order = reachable_nodes(root)
+    index = {id(node): position for position, node in enumerate(order)}
+    digest = hashlib.sha256()
+    for position, node in enumerate(order):
+        children = ",".join(str(index[id(child)]) for child in iter_children(node))
+        if isinstance(node, Token):
+            payload = "kind={} label={} pred={}".format(
+                _stable_repr(node.kind),
+                _stable_repr(node.label),
+                "yes" if node.predicate is not None else "no",
+            )
+        elif isinstance(node, Ref):
+            payload = "ref={!r}".format(node.ref_name)
+        elif isinstance(node, Epsilon):
+            payload = "trees={}".format(_stable_repr(node.trees))
+        elif isinstance(node, Reduce):
+            key = getattr(node.fn, "_key", None)
+            try:
+                payload = (
+                    "fn={}".format(_stable_repr(key()))
+                    if callable(key)
+                    else "fn={}".format(_fn_name(node.fn))
+                )
+            except Exception:
+                payload = "fn={}".format(_fn_name(node.fn))
+        else:
+            payload = ""
+        digest.update(
+            "{}|{}|{}|{}\n".format(position, type(node).__name__, payload, children).encode(
+                "utf-8", "backslashreplace"
+            )
+        )
+    return digest.hexdigest()

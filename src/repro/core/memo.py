@@ -36,6 +36,7 @@ __all__ = [
     "DeriveMemo",
     "SingleEntryMemo",
     "PerNodeDictMemo",
+    "PersistentDictMemo",
     "NestedDictMemo",
     "make_memo",
     "MEMO_STRATEGIES",
@@ -233,6 +234,56 @@ class PerNodeDictMemo(DeriveMemo):
         return distribution
 
 
+class PersistentDictMemo(PerNodeDictMemo):
+    """A grammar-lifetime variant of :class:`PerNodeDictMemo`.
+
+    The paper's strategies are *per-parse* caches: :meth:`DeriveMemo.clear`
+    is called between timed parses, and :meth:`DerivativeParser.reset`
+    forwards to it.  A compiled grammar table (:mod:`repro.compile`) has the
+    opposite contract — its derivative memo **is** the transition cache, and
+    must survive every parse, every ``reset`` and every parser instance that
+    shares the grammar.  This subclass therefore turns :meth:`clear` into a
+    no-op; dropping the entries means dropping the memo (with its table).
+
+    Ownership isolation and leak safety are inherited unchanged: entries are
+    owner-keyed on the shared nodes, and the ``weakref.finalize`` sweep still
+    releases every table the moment the memo itself is garbage collected —
+    unless the memo is :meth:`bind_to_graph`-bound, in which case entries
+    and nodes die together as one cycle.
+    """
+
+    name = "persistent"
+
+    def clear(self) -> None:
+        """No-op: persistent memos survive per-parse cache clears."""
+
+    def bind_to_graph(self) -> None:
+        """Declare that this memo lives exactly as long as its grammar graph.
+
+        Disables the death-sweep finalizer: the sweep exists so a memo dying
+        *before* the long-lived shared nodes does not pin its entries (and
+        through them whole derived grammars) on those nodes forever.  When
+        the graph instead holds a strong reference back to the memo's owner
+        — the grammar-anchored compiled table stores itself on the root
+        node — the finalizer's strong hold on the touched nodes would make
+        graph, owner and memo collectively immortal (``weakref.finalize``
+        keeps its arguments alive in a global registry until it fires).
+        Bound memos drop the sweep; their entries die with the nodes, as
+        one garbage-collected cycle.
+        """
+        self._finalizer.detach()
+
+    def entry_count(self) -> int:
+        """Total number of memoized derivatives currently held."""
+        total = 0
+        for node in self._touched:
+            tables = node.memo_table
+            table = tables.get(self._owner) if tables is not None else None
+            if table:
+                total += len(table)
+        return total
+
+
 class NestedDictMemo(DeriveMemo):
     """The original nested-hash-table strategy of Might et al. (2011).
 
@@ -276,12 +327,13 @@ class NestedDictMemo(DeriveMemo):
 MEMO_STRATEGIES: Dict[str, type] = {
     SingleEntryMemo.name: SingleEntryMemo,
     PerNodeDictMemo.name: PerNodeDictMemo,
+    PersistentDictMemo.name: PersistentDictMemo,
     NestedDictMemo.name: NestedDictMemo,
 }
 
 
 def make_memo(strategy: str, metrics: Optional[Metrics] = None) -> DeriveMemo:
-    """Construct a memo strategy by name (``single``, ``dict`` or ``nested``)."""
+    """Construct a memo strategy by name (``single``, ``dict``, ``persistent`` or ``nested``)."""
     try:
         cls = MEMO_STRATEGIES[strategy]
     except KeyError:

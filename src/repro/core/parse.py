@@ -75,7 +75,7 @@ from .metrics import Metrics
 from .naming import NamingScheme
 from .nullability import NullabilityAnalyzer
 from .productivity import ProductivityAnalyzer
-from .prune import live_nodes, prune_empty
+from .prune import AdaptivePruneSchedule, live_nodes, prune_empty
 
 __all__ = [
     "DerivativeParser",
@@ -284,6 +284,11 @@ class DerivativeParser:
         metrics: Optional[Metrics] = None,
         recursion_limit: Optional[int] = None,
     ) -> None:
+        # Remember the caller's grammar object: compile() resolves the
+        # shared table through it, so a cfg.Grammar lands on its cached
+        # language() graph (the table's anchor) rather than on the fresh
+        # to_language() conversion this parser interprets.
+        self._compile_source = grammar
         if hasattr(grammar, "to_language"):
             grammar = grammar.to_language()
         if not isinstance(grammar, Language):
@@ -343,8 +348,9 @@ class DerivativeParser:
         # amortized overhead constant.
         self.prune_enabled = prune and compaction_config.enabled
         self._initial_size = graph_size(self.root)
-        self._prune_interval = max(4 * self._initial_size, 64)
-        self._prune_marker = self.metrics.derive_uncached
+        self._prune_schedule = AdaptivePruneSchedule(
+            self._initial_size, self.metrics.derive_uncached
+        )
         self.prune_passes = 0
 
     # ------------------------------------------------------------------ API
@@ -358,12 +364,32 @@ class DerivativeParser:
         would make a reused parser prune far too early or far too late.
         """
         self.memo.clear()
-        self._prune_interval = max(4 * self._initial_size, 64)
-        self._prune_marker = self.metrics.derive_uncached
+        self._prune_schedule.reanchor(self.metrics.derive_uncached)
 
     def start(self) -> ParserState:
         """Begin a streaming parse; see :class:`ParserState`."""
         return ParserState(self)
+
+    def compile(self) -> "Any":
+        """Return a :class:`~repro.compile.CompiledParser` over this grammar.
+
+        The fast path for repeated parsing: the compiled parser executes the
+        grammar's shared derivative automaton (interned states, per-token-
+        class transitions) instead of deriving per token, and its transition
+        table persists across parses and parser instances.  Compiling is
+        lazy — the table fills as input is consumed — and safe to interleave
+        with this parser: every node-resident cache is owner- or epoch-
+        tagged.
+
+        The table is resolved through the grammar object this parser was
+        constructed from, so ``DerivativeParser(g).compile()`` and
+        ``CompiledParser(g)`` share one table even when ``g`` is a
+        :class:`~repro.cfg.grammar.Grammar` (whose interpreted conversion
+        here is a separate graph from its cached ``language()``).
+        """
+        from ..compile import CompiledParser
+
+        return CompiledParser(self._compile_source)
 
     def grammar_size(self) -> int:
         """``G`` — the number of nodes in the (optimized) initial grammar."""
@@ -376,12 +402,11 @@ class DerivativeParser:
         if (
             self.prune_enabled
             and not isinstance(language, Empty)
-            and self.metrics.derive_uncached - self._prune_marker > self._prune_interval
+            and self._prune_schedule.due(self.metrics.derive_uncached)
         ):
             language, live_size = prune_empty(language, self.nullability, self.metrics)
             self.prune_passes += 1
-            self._prune_marker = self.metrics.derive_uncached
-            self._prune_interval = max(4 * self._initial_size, 2 * live_size, 64)
+            self._prune_schedule.ran(self.metrics.derive_uncached, live_size)
         return language
 
     def derive_all(self, tokens: Iterable[Any]) -> Language:
@@ -555,11 +580,61 @@ class DerivativeParser:
         return root.null_parse_result
 
 
-def recognize(grammar: Union[Language, Any], tokens: Iterable[Any], **kwargs: Any) -> bool:
-    """Convenience wrapper: build a :class:`DerivativeParser` and recognize."""
-    return DerivativeParser(grammar, **kwargs).recognize(tokens)
+def recognize(
+    grammar: Union[Language, Any],
+    tokens: Iterable[Any],
+    engine: str = "derivative",
+    **kwargs: Any,
+) -> bool:
+    """Convenience wrapper: build a parser and recognize.
+
+    ``engine`` selects the execution strategy: ``"derivative"`` (the
+    interpreted parser, default) or ``"compiled"`` (the shared derivative
+    automaton of :mod:`repro.compile` — fastest when the same grammar is
+    queried repeatedly, since its transition table is grammar-owned and
+    persists across calls).  The interpreted knobs (``memo``,
+    ``compaction``, …) do not apply to the compiled engine; passing one
+    raises a clear :class:`TypeError` rather than crashing inside the
+    constructor.  Note that ``max_states`` forfeits the cross-call
+    sharing: capped tables are always private (see
+    :func:`repro.compile.compile_grammar`), so a capped wrapper call
+    compiles cold every time — hold a :class:`CompiledParser` instead when
+    you need both a cap and warmth.
+    """
+    return _make_parser(grammar, engine, kwargs).recognize(tokens)
 
 
-def parse(grammar: Union[Language, Any], tokens: Sequence[Any], **kwargs: Any) -> Any:
-    """Convenience wrapper: build a :class:`DerivativeParser` and parse."""
-    return DerivativeParser(grammar, **kwargs).parse(tokens)
+def parse(
+    grammar: Union[Language, Any],
+    tokens: Sequence[Any],
+    engine: str = "derivative",
+    **kwargs: Any,
+) -> Any:
+    """Convenience wrapper: build a parser and parse (see :func:`recognize`)."""
+    return _make_parser(grammar, engine, kwargs).parse(tokens)
+
+
+#: Keyword arguments CompiledParser accepts; everything else is an
+#: interpreted-engine knob that has no compiled equivalent.
+_COMPILED_KWARGS = frozenset({"table", "max_states"})
+
+
+def _make_parser(grammar: Any, engine: str, kwargs: dict) -> Any:
+    """Shared engine dispatch for the :func:`recognize`/:func:`parse` wrappers."""
+    if engine == "compiled":
+        unsupported = sorted(set(kwargs) - _COMPILED_KWARGS)
+        if unsupported:
+            raise TypeError(
+                "option(s) {} are not supported by engine='compiled'; the "
+                "compiled automaton accepts only {}".format(
+                    ", ".join(map(repr, unsupported)), sorted(_COMPILED_KWARGS)
+                )
+            )
+        from ..compile import CompiledParser
+
+        return CompiledParser(grammar, **kwargs)
+    if engine != "derivative":
+        raise ValueError(
+            "unknown engine {!r}; expected 'derivative' or 'compiled'".format(engine)
+        )
+    return DerivativeParser(grammar, **kwargs)

@@ -51,7 +51,49 @@ from .languages import (
 from .metrics import Metrics
 from .nullability import NullabilityAnalyzer
 
-__all__ = ["prune_empty", "live_nodes"]
+__all__ = ["prune_empty", "live_nodes", "AdaptivePruneSchedule"]
+
+
+class AdaptivePruneSchedule:
+    """When to run :func:`prune_empty`: the adaptive cadence both engines share.
+
+    A prune pass is *due* once the uncached ``derive`` work since the last
+    pass exceeds a small multiple of the live grammar size, which keeps the
+    amortized pruning overhead a constant factor on top of derivation.
+    Both :class:`repro.core.parse.DerivativeParser` and the compiled
+    :class:`repro.compile.automaton.GrammarTable` drive their pruning off
+    this one implementation — the schedule arithmetic has already produced
+    one shipped bug (a stale marker surviving ``reset``), so it lives in
+    exactly one place.
+
+    The counter consulted is whatever the caller passes (in practice
+    ``Metrics.derive_uncached``, which may be shared across engines);
+    :meth:`reanchor` must be called whenever the owner's notion of "work
+    since" restarts (e.g. ``DerivativeParser.reset``) because the shared
+    counter itself never rewinds.
+    """
+
+    __slots__ = ("_floor", "interval", "marker")
+
+    def __init__(self, initial_size: int, uncached: int) -> None:
+        #: Lower bound on the interval, derived from the initial grammar.
+        self._floor = max(4 * initial_size, 64)
+        self.interval = self._floor
+        self.marker = uncached
+
+    def due(self, uncached: int) -> bool:
+        """True when enough uncached derive work has accrued to prune."""
+        return uncached - self.marker > self.interval
+
+    def ran(self, uncached: int, live_size: int) -> None:
+        """Record a completed pass over a live grammar of ``live_size`` nodes."""
+        self.marker = uncached
+        self.interval = max(self._floor, 2 * live_size)
+
+    def reanchor(self, uncached: int) -> None:
+        """Re-anchor to the *current* counter (the owner's caches restarted)."""
+        self.marker = uncached
+        self.interval = self._floor
 
 
 def live_nodes(root: Language) -> List[Language]:

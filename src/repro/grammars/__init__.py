@@ -1,4 +1,4 @@
-"""Evaluation grammars: classic, ambiguous/worst-case, JSON and the Python subset."""
+"""Evaluation grammars: classic, ambiguous/worst-case, JSON, Python subset, PL/0."""
 
 from .ambiguous import (
     binary_sum_grammar,
@@ -12,6 +12,7 @@ from .classic import (
     json_grammar,
     sexpr_grammar,
 )
+from .pl0 import PL0_GRAMMAR_TEXT, PL0_KEYWORDS, pl0_grammar
 from .python_subset import PYTHON_GRAMMAR_TEXT, PYTHON_KEYWORDS, python_grammar
 
 __all__ = [
@@ -26,4 +27,7 @@ __all__ = [
     "python_grammar",
     "PYTHON_GRAMMAR_TEXT",
     "PYTHON_KEYWORDS",
+    "pl0_grammar",
+    "PL0_GRAMMAR_TEXT",
+    "PL0_KEYWORDS",
 ]

@@ -1,0 +1,92 @@
+"""Wirth's PL/0 as an evaluation grammar (after Navas-López, arXiv:2207.08972).
+
+PL/0 is the didactic statically-structured language Wirth designed for
+*Algorithms + Data Structures = Programs* and the one the "Modern Compiler
+for an Ancient Language" paper (Navas-López 2022) builds its teaching
+compiler around: constants, variables, nested procedures, ``begin…end``
+blocks, ``if``/``while``, and a tiny expression language.  It complements
+the existing evaluation grammars nicely — unlike the Python subset it is
+keyword-delimited (no indentation tokens), unlike JSON it has real nesting
+of *declarations*, and unlike the ambiguous grammars it is deterministic —
+so it exercises the compiled automaton on the "conventional programming
+language" shape.
+
+The EBNF of the report (repetition ``{…}`` and option ``[…]``) is flattened
+to the plain BNF dialect of :mod:`repro.cfg.bnf`, introducing one helper
+non-terminal per repetition/option, exactly the way the paper's 722-rule
+Python grammar flattens the CPython EBNF.  Terminals are token *kinds*:
+``IDENT`` and ``NUMBER`` carry values; keywords and punctuation are their
+own kinds (the shape produced by :func:`repro.workloads.pl0_tokens`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..cfg.bnf import parse_bnf
+from ..cfg.grammar import Grammar
+
+__all__ = ["pl0_grammar", "PL0_GRAMMAR_TEXT", "PL0_KEYWORDS"]
+
+
+#: Keywords lexed as their own token kinds.
+PL0_KEYWORDS = (
+    "const",
+    "var",
+    "procedure",
+    "call",
+    "begin",
+    "end",
+    "if",
+    "then",
+    "while",
+    "do",
+    "odd",
+)
+
+
+PL0_GRAMMAR_TEXT = """
+# Wirth's PL/0, flattened from the EBNF in Navas-López (2022), Fig. 1.
+program     : block '.' ;
+
+block       : const_part var_part proc_part statement ;
+const_part  : %empty | 'const' const_list ';' ;
+const_list  : const_item | const_item ',' const_list ;
+const_item  : IDENT '=' NUMBER ;
+var_part    : %empty | 'var' ident_list ';' ;
+ident_list  : IDENT | IDENT ',' ident_list ;
+proc_part   : %empty | proc_decl proc_part ;
+proc_decl   : 'procedure' IDENT ';' block ';' ;
+
+statement   : %empty
+            | IDENT ':=' expression
+            | 'call' IDENT
+            | 'begin' stmt_list 'end'
+            | 'if' condition 'then' statement
+            | 'while' condition 'do' statement ;
+stmt_list   : statement | statement ';' stmt_list ;
+
+condition   : 'odd' expression | expression rel_op expression ;
+rel_op      : '=' | '#' | '<' | '<=' | '>' | '>=' ;
+
+expression  : signed_term | expression '+' term | expression '-' term ;
+signed_term : term | '+' term | '-' term ;
+term        : factor | term '*' factor | term '/' factor ;
+factor      : IDENT | NUMBER | '(' expression ')' ;
+"""
+
+
+@lru_cache(maxsize=None)
+def _cached_pl0() -> Grammar:
+    return parse_bnf(PL0_GRAMMAR_TEXT)
+
+
+def pl0_grammar() -> Grammar:
+    """The PL/0 grammar (cached: every caller shares one Grammar object).
+
+    Sharing matters for the compiled-automaton workloads: the grammar
+    object's cached :meth:`~repro.cfg.grammar.Grammar.language` graph is the
+    key under which :func:`repro.compile.compile_grammar` interns the
+    shared transition table.
+    """
+    return _cached_pl0()

@@ -39,6 +39,8 @@ __all__ = [
     "nullable",
     "derive",
     "matches",
+    "signature_partition",
+    "charset_leaves",
     "DFA",
     "to_dfa",
 ]
@@ -263,6 +265,58 @@ def matches(regex: Regex, text: str) -> bool:
     return current.nullable()
 
 
+# -------------------------------------------------------------- token classes
+def signature_partition(symbols, acceptors):
+    """Partition ``symbols`` into equivalence classes under ``acceptors``.
+
+    Two symbols are equivalent when every acceptor (a predicate taking one
+    symbol) answers identically for both — their *acceptance signature*
+    matches.  The result maps each signature (a tuple of booleans, one per
+    acceptor) to the list of symbols carrying it, preserving first-seen
+    order within each class.
+
+    This is the character-class trick of derivative-based regex engines: the
+    derivative of an expression with respect to a symbol depends only on
+    which of its character-set leaves accept the symbol, so one derivative
+    per class covers the whole alphabet.  The grammar-level token-class
+    analysis in :mod:`repro.compile` applies the same partition with
+    :class:`repro.core.languages.Token` matchers as the acceptors.
+    """
+    acceptors = tuple(acceptors)
+    groups: Dict[Tuple[bool, ...], List] = {}
+    for symbol in symbols:
+        signature = tuple(bool(acceptor(symbol)) for acceptor in acceptors)
+        groups.setdefault(signature, []).append(symbol)
+    return groups
+
+
+def charset_leaves(regex: Regex) -> List[CharSet]:
+    """Every :class:`CharSet` leaf of ``regex``, in deterministic order.
+
+    Iterative (literals build ``Seq`` chains as deep as the literal), and
+    deduplicated by object identity so shared leaves appear once.
+    """
+    leaves: List[CharSet] = []
+    seen: set = set()
+    stack: List[Regex] = [regex]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, CharSet):
+            leaves.append(node)
+        elif isinstance(node, Seq):
+            stack.append(node.second)
+            stack.append(node.first)
+        elif isinstance(node, Alt):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, Star):
+            stack.append(node.inner)
+    return leaves
+
+
 # ---------------------------------------------------------------------- DFA
 @dataclass
 class DFA:
@@ -296,7 +350,15 @@ class DFA:
 
 
 def to_dfa(regex: Regex, alphabet: Iterable[str]) -> DFA:
-    """Build a DFA whose states are the (finitely many) derivatives of ``regex``."""
+    """Build a DFA whose states are the (finitely many) derivatives of ``regex``.
+
+    Symbols are grouped into per-state equivalence classes first
+    (:func:`signature_partition` over the state's :class:`CharSet` leaves):
+    the derivative with respect to a symbol is fully determined by which
+    leaves accept it, so one derivative per class serves every symbol in it.
+    Over ASCII-sized alphabets this collapses hundreds of derivative calls
+    per state into a handful.
+    """
     alphabet = tuple(dict.fromkeys(alphabet))
     index: Dict[Regex, int] = {regex: 0}
     order: List[Regex] = [regex]
@@ -304,13 +366,17 @@ def to_dfa(regex: Regex, alphabet: Iterable[str]) -> DFA:
     worklist = [regex]
     while worklist:
         current = worklist.pop()
-        for symbol in alphabet:
-            successor = current.derive(symbol)
+        acceptors = [leaf.accepts for leaf in charset_leaves(current)]
+        for group in signature_partition(alphabet, acceptors).values():
+            successor = current.derive(group[0])
             if successor not in index:
                 index[successor] = len(order)
                 order.append(successor)
                 worklist.append(successor)
-            transitions[(index[current], symbol)] = index[successor]
+            target = index[successor]
+            source = index[current]
+            for symbol in group:
+                transitions[(source, symbol)] = target
     accepting = frozenset(position for position, state in enumerate(order) if state.nullable())
     dead = index.get(NULL)
     return DFA(alphabet, transitions, accepting, 0, dead)

@@ -1,6 +1,7 @@
 """Workload generators: synthetic Python programs, token streams, stdlib corpus."""
 
 from .corpus import CorpusFile, iter_corpus, load_corpus_sample, stdlib_paths
+from .pl0 import pl0_source, pl0_tokens
 from .python_source import PythonProgramGenerator, SyntheticProgram, generate_program
 from .token_streams import (
     ambiguous_sum_tokens,
@@ -27,4 +28,6 @@ __all__ = [
     "ambiguous_sum_tokens",
     "chain_expression_tokens",
     "repeated_token_stream",
+    "pl0_tokens",
+    "pl0_source",
 ]

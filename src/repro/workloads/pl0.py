@@ -1,0 +1,170 @@
+"""Deterministic synthetic PL/0 programs at configurable token counts.
+
+Mirrors :mod:`repro.workloads.python_source` for the PL/0 grammar
+(:func:`repro.grammars.pl0_grammar`): a seeded generator emits well-formed
+programs — constant and variable declarations, nested procedures,
+``begin…end`` compounds, ``if``/``while`` statements, arithmetic with the
+full operator ladder — growing until the requested token count is reached,
+so every stream is accepted by all parser families and benchmark runs are
+repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..lexer.tokens import Tok
+
+__all__ = ["pl0_tokens", "pl0_source"]
+
+
+_NAMES = ("x", "y", "z", "count", "limit", "total", "value", "temp", "acc", "step")
+_PROCS = ("init", "update", "square", "report", "advance")
+_REL_OPS = ("=", "#", "<", "<=", ">", ">=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/")
+
+
+class _Pl0Generator:
+    """Emit one well-formed PL/0 program of at least ``target`` tokens."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.tokens: List[Tok] = []
+        self.text: List[str] = []
+
+    # ------------------------------------------------------------- emission
+    def tok(self, kind: str, value: str = None) -> None:
+        self.tokens.append(Tok(kind, value if value is not None else kind))
+        self.text.append(value if value is not None else kind)
+
+    def ident(self) -> None:
+        self.tok("IDENT", self.rng.choice(_NAMES))
+
+    def number(self) -> None:
+        self.tok("NUMBER", str(self.rng.randrange(0, 1000)))
+
+    # ----------------------------------------------------------- structure
+    def factor(self, depth: int) -> None:
+        roll = self.rng.random()
+        if depth > 0 and roll < 0.12:
+            self.tok("(")
+            self.expression(depth - 1)
+            self.tok(")")
+        elif roll < 0.55:
+            self.ident()
+        else:
+            self.number()
+
+    def term(self, depth: int) -> None:
+        self.factor(depth)
+        while self.rng.random() < 0.3:
+            self.tok(self.rng.choice(_MUL_OPS))
+            self.factor(depth)
+
+    def expression(self, depth: int) -> None:
+        if self.rng.random() < 0.1:
+            self.tok(self.rng.choice(_ADD_OPS))
+        self.term(depth)
+        while self.rng.random() < 0.35:
+            self.tok(self.rng.choice(_ADD_OPS))
+            self.term(depth)
+
+    def condition(self, depth: int) -> None:
+        if self.rng.random() < 0.2:
+            self.tok("odd")
+            self.expression(depth)
+        else:
+            self.expression(depth)
+            self.tok(self.rng.choice(_REL_OPS))
+            self.expression(depth)
+
+    def statement(self, depth: int) -> None:
+        roll = self.rng.random()
+        if depth <= 0 or roll < 0.55:
+            self.ident()
+            self.tok(":=")
+            self.expression(2)
+        elif roll < 0.65:
+            self.tok("call")
+            self.tok("IDENT", self.rng.choice(_PROCS))
+        elif roll < 0.8:
+            self.tok("begin")
+            for position in range(self.rng.randrange(2, 5)):
+                if position:
+                    self.tok(";")
+                self.statement(depth - 1)
+            self.tok("end")
+        elif roll < 0.9:
+            self.tok("if")
+            self.condition(1)
+            self.tok("then")
+            self.statement(depth - 1)
+        else:
+            self.tok("while")
+            self.condition(1)
+            self.tok("do")
+            self.statement(depth - 1)
+
+    def const_part(self) -> None:
+        self.tok("const")
+        for position in range(self.rng.randrange(1, 4)):
+            if position:
+                self.tok(",")
+            self.ident()
+            self.tok("=")
+            self.number()
+        self.tok(";")
+
+    def var_part(self) -> None:
+        self.tok("var")
+        for position in range(self.rng.randrange(1, 5)):
+            if position:
+                self.tok(",")
+            self.ident()
+        self.tok(";")
+
+    def procedure(self) -> None:
+        self.tok("procedure")
+        self.tok("IDENT", self.rng.choice(_PROCS))
+        self.tok(";")
+        if self.rng.random() < 0.5:
+            self.var_part()
+        self.statement(2)
+        self.tok(";")
+
+    def program(self, target: int) -> None:
+        if self.rng.random() < 0.7:
+            self.const_part()
+        self.var_part()
+        for _ in range(self.rng.randrange(0, 3)):
+            self.procedure()
+        # The main statement: a begin…end compound grown until the program
+        # reaches the requested size.
+        self.tok("begin")
+        self.statement(3)
+        while len(self.tokens) < target - 2:
+            self.tok(";")
+            self.statement(3)
+        self.tok("end")
+        self.tok(".")
+
+
+def pl0_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A well-formed PL/0 token stream of at least ``length`` tokens.
+
+    Deterministic in ``(length, seed)``; every stream is accepted by
+    :func:`repro.grammars.pl0_grammar` (asserted by the workload tests), so
+    benchmark comparisons measure parsing speed, never error handling.
+    """
+    generator = _Pl0Generator(seed)
+    generator.program(length)
+    return generator.tokens
+
+
+def pl0_source(length: int, seed: int = 0) -> str:
+    """The source text of the program :func:`pl0_tokens` generates."""
+    generator = _Pl0Generator(seed)
+    generator.program(length)
+    return " ".join(generator.text)

@@ -1,0 +1,98 @@
+"""Property tests: transition-cache hits never change recognition results.
+
+The compiled automaton's whole bet is that a cached ``state × token-class``
+edge is interchangeable with a fresh derivation.  These properties drive
+randomly generated token streams — valid, corrupted and adversarial — through
+a *shared* warm table and assert that (a) answers match the interpreted
+derivative parser on every stream, and (b) re-running any stream against the
+now-warmer table never flips an answer.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.compile import CompiledParser, GrammarTable  # noqa: E402
+from repro.core import DerivativeParser  # noqa: E402
+from repro.grammars import arithmetic_grammar, balanced_parens_grammar, pl0_grammar  # noqa: E402
+from repro.lexer.tokens import Tok  # noqa: E402
+
+
+def _tok(kind, value=None):
+    return Tok(kind, value)
+
+
+ARITH_TOKENS = st.one_of(
+    st.sampled_from(["+", "-", "*", "/", "(", ")"]).map(_tok),
+    st.integers(min_value=0, max_value=99).map(lambda n: _tok("NUMBER", str(n))),
+    st.sampled_from(["x", "y"]).map(lambda s: _tok("NAME", s)),
+    st.just(_tok("@")),  # junk: exercises the all-∅ token class
+)
+
+PAREN_TOKENS = st.sampled_from(["(", ")"]).map(_tok)
+
+PL0_TOKENS = st.one_of(
+    st.sampled_from(
+        ["begin", "end", ";", ":=", ".", "if", "then", "while", "do", "+", "*", "odd", "="]
+    ).map(_tok),
+    st.sampled_from(["x", "y"]).map(lambda s: _tok("IDENT", s)),
+    st.integers(min_value=0, max_value=9).map(lambda n: _tok("NUMBER", str(n))),
+)
+
+
+# One shared warm table per grammar: every example makes every later example
+# hit more of the cache, which is exactly the surface under test.
+_ARITH_TABLE = GrammarTable(arithmetic_grammar().language())
+_ARITH_ORACLE = DerivativeParser(arithmetic_grammar().to_language())
+_PAREN_TABLE = GrammarTable(balanced_parens_grammar().language())
+_PAREN_ORACLE = DerivativeParser(balanced_parens_grammar().to_language())
+_PL0_TABLE = GrammarTable(pl0_grammar().language())
+_PL0_ORACLE = DerivativeParser(pl0_grammar().to_language())
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=st.lists(ARITH_TOKENS, max_size=25))
+def test_warm_table_matches_interpreter_on_arithmetic(stream):
+    compiled = CompiledParser(table=_ARITH_TABLE)
+    expected = _ARITH_ORACLE.recognize(stream)
+    assert compiled.recognize(stream) is expected
+    # A second run is all cache hits; the answer must not flip.
+    assert compiled.recognize(stream) is expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=st.lists(PAREN_TOKENS, max_size=20))
+def test_warm_table_matches_interpreter_on_parens(stream):
+    # Balanced parens force unbounded nesting states — the worst case for
+    # state reuse — while staying cheap to oracle.
+    compiled = CompiledParser(table=_PAREN_TABLE)
+    expected = _PAREN_ORACLE.recognize(stream)
+    assert compiled.recognize(stream) is expected
+    assert compiled.recognize(stream) is expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(PL0_TOKENS, max_size=15))
+def test_warm_table_matches_interpreter_on_pl0(stream):
+    compiled = CompiledParser(table=_PL0_TABLE)
+    expected = _PL0_ORACLE.recognize(stream)
+    assert compiled.recognize(stream) is expected
+    assert compiled.recognize(stream) is expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stream=st.lists(ARITH_TOKENS, min_size=1, max_size=15),
+    data=st.data(),
+)
+def test_streaming_acceptance_matches_batch(stream, data):
+    # accepts() after each feed equals batch recognition of the prefix.
+    state = CompiledParser(table=_ARITH_TABLE).start()
+    for position, tok in enumerate(stream):
+        state.feed(tok)
+        prefix = stream[: position + 1]
+        assert state.accepts() == _ARITH_ORACLE.recognize(prefix)
+        if state.failed:
+            break

@@ -1,0 +1,189 @@
+"""Tests for compiled-table serialization (ship a hot grammar pre-warmed)."""
+
+import json
+
+import pytest
+
+from repro.compile import (
+    CompiledParser,
+    GrammarTable,
+    dump_table,
+    load_table,
+    restore_table,
+    save_table,
+)
+from repro.core import DerivativeParser, ReproError
+from repro.grammars import arithmetic_grammar, pl0_grammar, sexpr_grammar
+from repro.workloads import arithmetic_tokens, pl0_tokens, sexpr_tokens
+
+
+def warmed_table(grammar, tokens):
+    table = GrammarTable(grammar.language())
+    CompiledParser(table=table).recognize(tokens)
+    return table
+
+
+class TestRoundTrip:
+    def test_save_load_reproduces_recognition(self, tmp_path):
+        grammar = arithmetic_grammar()
+        tokens = arithmetic_tokens(120, seed=11)
+        table = warmed_table(grammar, tokens)
+        path = str(tmp_path / "arith.table.json")
+        save_table(table, path)
+
+        # A *fresh* grammar object with the same structure re-attaches.
+        loaded = load_table(path, arithmetic_grammar())
+        parser = CompiledParser(table=loaded)
+        assert parser.recognize(tokens) is True
+        assert parser.recognize(tokens[:-1]) is DerivativeParser(
+            arithmetic_grammar().to_language()
+        ).recognize(tokens[:-1])
+
+    def test_loaded_table_runs_without_derivation(self, tmp_path):
+        grammar = pl0_grammar()
+        tokens = pl0_tokens(400, seed=2)
+        table = warmed_table(grammar, tokens)
+        path = str(tmp_path / "pl0.table.json")
+        save_table(table, path)
+
+        loaded = load_table(path, pl0_grammar())
+        parser = CompiledParser(table=loaded)
+        assert parser.recognize(tokens) is True
+        # Warm-from-disk: the whole walk stayed on serialized transitions.
+        assert loaded.transitions_derived == 0
+        # And the loaded table reports its warmth (kind edges stand in for
+        # class edges until a miss re-classifies a state).
+        assert loaded.transition_count() > 0
+        assert loaded.stats()["class_transitions"] > 0
+
+    def test_document_shape(self, tmp_path):
+        table = warmed_table(sexpr_grammar(), sexpr_tokens(40, seed=1))
+        data = dump_table(table)
+        assert data["format"] == "repro-compiled-table"
+        assert data["version"] == 1
+        assert data["start"] == 0
+        assert len(data["states"]) == table.state_count()
+        # JSON-clean end to end.
+        path = str(tmp_path / "sexpr.table.json")
+        save_table(table, path)
+        with open(path) as handle:
+            assert json.load(handle)["fingerprint"] == table.fingerprint
+
+    def test_fingerprint_stable_across_grammar_constructions(self):
+        first = GrammarTable(arithmetic_grammar().language())
+        second = GrammarTable(arithmetic_grammar().language())
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_survives_in_place_pruning(self):
+        # Adaptive pruning rewrites child pointers in place, and for a
+        # grammar containing an unproductive subgrammar the *original*
+        # nodes get rewritten too.  The fingerprint must be the pre-parse
+        # snapshot or a saved table could never re-attach in a fresh
+        # process (whose grammar is un-pruned).
+        from repro.core import Ref, token
+
+        def leaky_grammar():
+            dead = Ref("D")
+            dead.set(token("x") + dead)  # unproductive: no base case
+            start = Ref("S")
+            start.set((token("a") + start) | token("a") | dead)
+            return start
+
+        warmed = GrammarTable(leaky_grammar())
+        assert CompiledParser(table=warmed).recognize(["a"] * 400) is True
+        assert warmed.prune_passes > 0  # the in-place mutation happened
+        assert warmed.fingerprint == GrammarTable(leaky_grammar()).fingerprint
+
+    def test_fingerprint_ignores_address_bearing_reprs(self):
+        # Default object reprs embed memory addresses; hashing them would
+        # make a grammar reject its own serialized tables in the next
+        # process.  Two separately allocated payloads must fingerprint
+        # identically.
+        from repro.core import Ref, epsilon, token
+        from repro.core.languages import structural_fingerprint
+
+        class Payload:
+            pass
+
+        def build():
+            return Ref("S").set(token("a") + epsilon(Payload()))
+
+        assert structural_fingerprint(build()) == structural_fingerprint(build())
+
+    def test_unoptimized_table_round_trips(self, tmp_path):
+        # The dump records the optimize flag; the loader must rebuild the
+        # grammar the same way or the fingerprints can never match.
+        grammar = arithmetic_grammar()
+        tokens = arithmetic_tokens(40, seed=9)
+        table = GrammarTable(grammar.language(), optimize=False)
+        CompiledParser(table=table).recognize(tokens)
+        path = str(tmp_path / "unopt.table.json")
+        save_table(table, path)
+        loaded = load_table(path, arithmetic_grammar())
+        assert loaded.optimized is False
+        assert CompiledParser(table=loaded).recognize(tokens) is True
+
+
+class TestGuards:
+    def test_wrong_grammar_is_refused(self):
+        table = warmed_table(arithmetic_grammar(), arithmetic_tokens(30, seed=0))
+        data = dump_table(table)
+        with pytest.raises(ReproError):
+            restore_table(data, sexpr_grammar())
+
+    def test_strict_false_attaches_anyway(self):
+        # Without strict checking the table attaches, and unknown territory
+        # falls back to live derivation — wrong tables degrade to slow, not
+        # to wrong answers, only when the *caller* vouches for the grammar.
+        table = warmed_table(arithmetic_grammar(), arithmetic_tokens(30, seed=0))
+        data = dump_table(table)
+        loaded = restore_table(data, arithmetic_grammar(), strict=False)
+        assert CompiledParser(table=loaded).recognize(
+            arithmetic_tokens(30, seed=0)
+        ) is True
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ReproError):
+            restore_table({"format": "something-else"}, arithmetic_grammar())
+        with pytest.raises(ReproError):
+            restore_table(
+                {"format": "repro-compiled-table", "version": 99},
+                arithmetic_grammar(),
+            )
+
+
+class TestMaterialization:
+    def test_divergent_input_materializes_states_lazily(self, tmp_path):
+        grammar = arithmetic_grammar()
+        warm = arithmetic_tokens(60, seed=3)
+        table = warmed_table(grammar, warm)
+        path = str(tmp_path / "t.json")
+        save_table(table, path)
+
+        loaded = load_table(path, arithmetic_grammar())
+        parser = CompiledParser(table=loaded)
+        oracle = DerivativeParser(arithmetic_grammar().to_language())
+        for seed in range(4, 10):
+            stream = arithmetic_tokens(50, seed=seed)
+            assert parser.recognize(stream) is oracle.recognize(stream)
+            corrupted = stream[:9] + stream[10:]
+            assert parser.recognize(corrupted) is oracle.recognize(corrupted)
+        # Divergence forced some live derivation through witness chains.
+        assert loaded.transitions_derived > 0
+
+    def test_loaded_table_can_be_saved_again(self, tmp_path):
+        grammar = arithmetic_grammar()
+        tokens = arithmetic_tokens(50, seed=6)
+        table = warmed_table(grammar, tokens)
+        first_path = str(tmp_path / "first.json")
+        save_table(table, first_path)
+
+        loaded = load_table(first_path, arithmetic_grammar())
+        CompiledParser(table=loaded).recognize(arithmetic_tokens(50, seed=7))
+        second_path = str(tmp_path / "second.json")
+        save_table(loaded, second_path)
+
+        reloaded = load_table(second_path, arithmetic_grammar())
+        parser = CompiledParser(table=reloaded)
+        assert parser.recognize(tokens) is True
+        assert parser.recognize(arithmetic_tokens(50, seed=7)) is True

@@ -234,8 +234,8 @@ class TestResetHygiene:
         # parser is idle (e.g. a sibling parser sharing the Metrics object).
         metrics.derive_uncached += 1_000_000
         parser.reset()
-        assert parser._prune_marker == metrics.derive_uncached
-        assert parser._prune_interval == max(4 * parser._initial_size, 64)
+        assert parser._prune_schedule.marker == metrics.derive_uncached
+        assert parser._prune_schedule.interval == max(4 * parser._initial_size, 64)
 
     def test_reset_keeps_parser_usable(self):
         parser = DerivativeParser(classic_expression())

@@ -1,18 +1,24 @@
-"""Differential testing: derivative vs. Earley vs. GLR on shared grammars.
+"""Differential testing: derivative vs. compiled vs. Earley vs. GLR.
 
-The three parser families implement unrelated algorithms over the same CFG
+The parser families implement unrelated algorithms over the same CFG
 substrate, which makes them excellent oracles for one another: any
 recognition disagreement on any input is a bug in at least one of them.
 These tests sweep valid streams, systematically corrupted streams and
-hand-picked edge cases over the classic and ambiguous evaluation grammars,
-asserting recognition agreement everywhere and — for the parsers that report
-them — agreement on failure positions.
+hand-picked edge cases over the classic, ambiguous and PL/0 evaluation
+grammars, asserting recognition agreement everywhere and — for the parsers
+that report them — agreement on failure positions.
+
+The compiled automaton (:mod:`repro.compile`) joins the sweep with a
+*shared, progressively warming* transition table per grammar: every stream
+checked both exercises and hardens the claim that cached token-class
+transitions are interchangeable with fresh derivation.
 """
 
 import random
 
 import pytest
 
+from repro.compile import CompiledParser
 from repro.core import DerivativeParser, ParseError
 from repro.earley import EarleyParser
 from repro.glr import GLRParser
@@ -20,10 +26,11 @@ from repro.grammars import (
     arithmetic_grammar,
     balanced_parens_grammar,
     binary_sum_grammar,
+    pl0_grammar,
     sexpr_grammar,
 )
 from repro.lexer.tokens import Tok
-from repro.workloads import ambiguous_sum_tokens, arithmetic_tokens, sexpr_tokens
+from repro.workloads import ambiguous_sum_tokens, arithmetic_tokens, pl0_tokens, sexpr_tokens
 
 
 def corrupted_streams(tokens, seed=0):
@@ -43,16 +50,44 @@ def corrupted_streams(tokens, seed=0):
 
 def assert_recognition_agreement(grammar, streams):
     derivative = DerivativeParser(grammar.to_language())
+    compiled = CompiledParser(grammar)  # shares the grammar's warm table
     earley = EarleyParser(grammar)
     glr = GLRParser(grammar)
     for stream in streams:
         expected = earley.recognize(stream)
         got_derivative = derivative.recognize(stream)
+        got_compiled = compiled.recognize(stream)
         got_glr = glr.recognize(stream)
         assert got_derivative is expected, (
             "derivative vs Earley disagree on {!r}".format(stream)
         )
+        assert got_compiled is expected, (
+            "compiled vs Earley disagree on {!r}".format(stream)
+        )
+        # Immediately re-walk the now-cached stream: transition-cache hits
+        # must reproduce the cold answer.
+        assert compiled.recognize(stream) is expected, (
+            "compiled warm re-run flipped on {!r}".format(stream)
+        )
         assert got_glr is expected, "GLR vs Earley disagree on {!r}".format(stream)
+        # Streaming soundness of the automaton's native failure signal.
+        # The *position* of structural collapse is schedule-dependent (each
+        # engine's adaptive prune cadence decides when a semantically dead
+        # language is rewritten to ∅), so positions are not comparable
+        # across engines — but the signal must be sound: a failed state
+        # means no completion exists, and accepts() must agree with the
+        # batch oracle.
+        interpreted_state = derivative.start().feed_all(stream)
+        compiled_state = compiled.start(keep_tokens=False).feed_all(stream)
+        assert compiled_state.accepts() == interpreted_state.accepts() == expected, (
+            "streaming accepts() disagrees on {!r}".format(stream)
+        )
+        if compiled_state.failed:
+            assert expected is False, (
+                "automaton reported structural death on an accepted "
+                "stream {!r}".format(stream)
+            )
+            assert compiled_state.failure_position <= len(stream) - 1
 
 
 def failure_position(parser, stream):
@@ -103,6 +138,32 @@ class TestClassicGrammars:
         assert_recognition_agreement(grammar, streams)
 
 
+class TestPl0Grammar:
+    """PL/0 (arXiv:2207.08972): a keyword-delimited statically-structured
+    language — the compiled automaton's target workload shape."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pl0_agreement(self, seed):
+        grammar = pl0_grammar()
+        valid = pl0_tokens(120, seed=seed)
+        streams = [valid] + corrupted_streams(valid, seed=seed)
+        assert_recognition_agreement(grammar, streams)
+
+    def test_pl0_edge_cases(self):
+        grammar = pl0_grammar()
+        streams = [
+            [Tok(".")],  # empty statement is a valid program body
+            [],
+            [Tok("begin"), Tok("end"), Tok(".")],
+            [Tok("begin"), Tok(";"), Tok("end"), Tok(".")],
+            [Tok("IDENT", "x"), Tok(":="), Tok("NUMBER", "1"), Tok(".")],
+            [Tok("IDENT", "x"), Tok(":="), Tok(".")],
+            [Tok("var"), Tok("IDENT", "x"), Tok(".")],
+            [Tok("if"), Tok("odd"), Tok("IDENT", "x"), Tok("then"), Tok(".")],
+        ]
+        assert_recognition_agreement(grammar, streams)
+
+
 class TestAmbiguousGrammars:
     @pytest.mark.parametrize("terms", [1, 2, 3, 5, 8])
     def test_binary_sum_agreement(self, terms):
@@ -142,11 +203,14 @@ class TestFailurePositions:
         if " " in text:
             tokens = [Tok("NUMBER", "1"), Tok("NUMBER", "2")]
         derivative = DerivativeParser(grammar.to_language())
+        compiled = CompiledParser(grammar)
         earley = EarleyParser(grammar)
 
         derivative_position = failure_position(derivative, tokens)
+        compiled_position = failure_position(compiled, tokens)
         earley_position = failure_position(earley, tokens)
         assert derivative_position == expected
+        assert compiled_position == expected
         assert earley_position == expected
 
     @pytest.mark.parametrize("seed", range(3))
@@ -154,10 +218,33 @@ class TestFailurePositions:
         grammar = arithmetic_grammar()
         valid = arithmetic_tokens(24, seed=seed)
         derivative = DerivativeParser(grammar.to_language())
+        compiled = CompiledParser(grammar)
         earley = EarleyParser(grammar)
         for stream in corrupted_streams(valid, seed=seed):
             derivative_position = failure_position(derivative, stream)
+            compiled_position = failure_position(compiled, stream)
             earley_position = failure_position(earley, stream)
             assert derivative_position == earley_position, (
                 "failure positions diverge on {!r}".format(stream)
+            )
+            assert compiled_position == earley_position, (
+                "compiled failure position diverges on {!r}".format(stream)
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pl0_failure_positions_agree(self, seed):
+        grammar = pl0_grammar()
+        valid = pl0_tokens(80, seed=seed)
+        derivative = DerivativeParser(grammar.to_language())
+        compiled = CompiledParser(grammar)
+        earley = EarleyParser(grammar)
+        for stream in [valid] + corrupted_streams(valid, seed=seed):
+            derivative_position = failure_position(derivative, stream)
+            compiled_position = failure_position(compiled, stream)
+            earley_position = failure_position(earley, stream)
+            assert derivative_position == earley_position, (
+                "failure positions diverge on {!r}".format(stream)
+            )
+            assert compiled_position == earley_position, (
+                "compiled failure position diverges on {!r}".format(stream)
             )

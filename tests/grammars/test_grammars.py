@@ -11,13 +11,20 @@ from repro.grammars import (
     binary_sum_grammar,
     exponential_grammar,
     json_grammar,
+    pl0_grammar,
     python_grammar,
     sexpr_grammar,
     worst_case_grammar,
     worst_case_language,
 )
 from repro.lexer import Tok, tokenize_python
-from repro.workloads import ambiguous_sum_tokens, json_tokens, nested_parens_tokens, sexpr_tokens
+from repro.workloads import (
+    ambiguous_sum_tokens,
+    json_tokens,
+    nested_parens_tokens,
+    pl0_tokens,
+    sexpr_tokens,
+)
 
 
 class TestClassicGrammars:
@@ -62,6 +69,49 @@ class TestAmbiguousGrammars:
         tokens = [Tok("c")] * 5
         assert cfg_parser.recognize(tokens) is raw_parser.recognize(tokens) is True
         assert cfg_parser.recognize([]) is raw_parser.recognize([]) is False
+
+
+class TestPl0Grammar:
+    def test_validates(self):
+        pl0_grammar().validate()
+
+    def test_caching_returns_one_object(self):
+        # The grammar object is cached so its language graph — and with it
+        # the compiled transition table — is shared by every caller.
+        assert pl0_grammar() is pl0_grammar()
+
+    def test_accepts_hand_written_programs(self):
+        parser = DerivativeParser(pl0_grammar())
+        program = [
+            Tok("const"), Tok("IDENT", "max"), Tok("="), Tok("NUMBER", "100"), Tok(";"),
+            Tok("var"), Tok("IDENT", "x"), Tok(","), Tok("IDENT", "y"), Tok(";"),
+            Tok("procedure"), Tok("IDENT", "square"), Tok(";"),
+            Tok("IDENT", "y"), Tok(":="), Tok("IDENT", "x"), Tok("*"), Tok("IDENT", "x"), Tok(";"),
+            Tok("begin"),
+            Tok("IDENT", "x"), Tok(":="), Tok("NUMBER", "1"), Tok(";"),
+            Tok("while"), Tok("IDENT", "x"), Tok("<="), Tok("IDENT", "max"), Tok("do"),
+            Tok("begin"), Tok("call"), Tok("IDENT", "square"), Tok(";"),
+            Tok("IDENT", "x"), Tok(":="), Tok("IDENT", "x"), Tok("+"), Tok("NUMBER", "1"),
+            Tok("end"),
+            Tok("end"), Tok("."),
+        ]
+        assert parser.recognize(program) is True
+
+    def test_rejects_malformed_programs(self):
+        parser = DerivativeParser(pl0_grammar())
+        assert parser.recognize([Tok("begin"), Tok(".")]) is False
+        assert parser.recognize([Tok("IDENT", "x"), Tok(":="), Tok(".")]) is False
+        assert parser.recognize([Tok("const"), Tok("IDENT", "c"), Tok(";"), Tok(".")]) is False
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_workload_is_in_the_grammar(self, seed):
+        parser = DerivativeParser(pl0_grammar())
+        assert parser.recognize(pl0_tokens(150, seed=seed)) is True
+
+    def test_parse_tree_root_is_program(self):
+        parser = DerivativeParser(pl0_grammar())
+        tree = parser.parse([Tok("IDENT", "x"), Tok(":="), Tok("NUMBER", "1"), Tok(".")])
+        assert tree[0] == "program"
 
 
 class TestPythonGrammar:

@@ -19,10 +19,37 @@ from repro.workloads import (
     json_tokens,
     load_corpus_sample,
     nested_parens_tokens,
+    pl0_source,
+    pl0_tokens,
     repeated_token_stream,
     sexpr_tokens,
     stdlib_paths,
 )
+
+
+class TestPl0Workload:
+    def test_deterministic_for_fixed_seed(self):
+        assert pl0_tokens(200, seed=4) == pl0_tokens(200, seed=4)
+
+    def test_different_seeds_differ(self):
+        assert pl0_tokens(200, seed=1) != pl0_tokens(200, seed=2)
+
+    def test_reaches_requested_size(self):
+        for size in (50, 500, 2000):
+            assert len(pl0_tokens(size, seed=0)) >= size
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_streams_are_in_the_pl0_grammar(self, seed):
+        from repro.grammars import pl0_grammar
+
+        parser = DerivativeParser(pl0_grammar())
+        assert parser.recognize(pl0_tokens(120, seed=seed)) is True
+
+    def test_source_text_matches_token_stream(self):
+        tokens = pl0_tokens(100, seed=6)
+        source = pl0_source(100, seed=6)
+        assert source.endswith(".")
+        assert len(source.split()) == len(tokens)
 
 
 class TestSyntheticPython:
