@@ -6,6 +6,13 @@ dependency-tracking fixed point with final-value promotion (Section 4.2).
 The reproduction measures both parsers' nullability node-visit counters on
 identical workloads and reports the ratio, which should be a few percent or
 less and shrink as inputs grow.
+
+Since the fixed-point mechanism moved into the unified analysis kernel
+(:mod:`repro.core.fixpoint`), the table also reports the kernel's total
+transfer-function evaluations (``Metrics.fixpoint_node_evaluations``) for
+the improved parser — nullability plus the emptiness analysis behind
+adaptive pruning — so the figure reads directly off the kernel every
+analysis now shares.
 """
 
 from repro.bench import fig07_nullable_calls, format_table, tiny_python_workload
@@ -18,14 +25,24 @@ def test_fig07_nullable_call_ratio(run_once):
     print()
     print(
         format_table(
-            ["tokens", "improved nullable? calls", "original nullable? calls", "ratio"],
+            [
+                "tokens",
+                "improved nullable? calls",
+                "kernel evaluations (all analyses)",
+                "original nullable? calls",
+                "ratio",
+            ],
             rows,
             title="Figure 7 — nullable? calls relative to the original implementation",
         )
     )
 
-    for _tokens, improved_calls, original_calls, ratio in rows:
+    for _tokens, improved_calls, kernel_evals, original_calls, ratio in rows:
         assert improved_calls < original_calls
+        # Every nullability evaluation flows through the kernel, so the
+        # kernel's total (which also includes the pruning-side emptiness
+        # analysis) can never undercount the nullability share.
+        assert kernel_evals >= improved_calls
         # The paper's average is 1.5%; allow generous slack but require the
         # reduction to be at least an order of magnitude.
         assert ratio < 0.10

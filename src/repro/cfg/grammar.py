@@ -18,7 +18,7 @@ the LR-table construction in :mod:`repro.glr`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from ..core.errors import GrammarError
 from ..core.languages import EMPTY, Alt, Cat, Language, Ref, epsilon, token

@@ -59,6 +59,7 @@ from ..core.memo import PersistentDictMemo
 from ..core.metrics import Metrics
 from ..core.nullability import NullabilityAnalyzer
 from ..core.parse import validate_grammar
+from ..core.productivity import ProductivityAnalyzer
 from ..core.prune import AdaptivePruneSchedule, prune_empty
 from .classes import TokenClassifier
 
@@ -203,6 +204,14 @@ class GrammarTable:
         #: identical result node, for the lifetime of this table).
         self.memo = PersistentDictMemo(self.metrics)
         self.nullability = NullabilityAnalyzer(self.metrics)
+        #: The shared emptiness analysis (the productivity declaration on the
+        #: unified fixed-point kernel).  Routing dead successors through it —
+        #: rather than through a structural ∅ check — lets the automaton send
+        #: semantically dead derivatives to the ∅ sink even when compaction
+        #: has not structurally collapsed them yet.  Its persistent cache is
+        #: sound for the table's lifetime: after construction a node's
+        #: children change only via the semantics-preserving prune pass.
+        self.productivity = ProductivityAnalyzer(self.nullability, self.metrics)
         self.deriver = Deriver(
             memo=self.memo,
             compactor=self.compactor,
@@ -297,7 +306,10 @@ class GrammarTable:
                 derived, live_size = prune_empty(derived, self.nullability, self.metrics)
                 self.prune_passes += 1
                 self._prune_schedule.ran(self.metrics.derive_uncached, live_size)
-            if derived is EMPTY or isinstance(derived, Empty):
+            if isinstance(derived, Empty) or self.productivity.is_empty(derived):
+                # Dead either structurally (the ∅ node) or semantically (the
+                # emptiness analysis proves no completion exists): route to
+                # the sink instead of interning a zombie state.
                 successor = self.dead
             else:
                 successor = self._intern(derived, parent=state, via=tok)

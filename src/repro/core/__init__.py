@@ -13,6 +13,7 @@ The public surface re-exported here is what most users need:
 from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
 from .derivative import Deriver
 from .errors import GrammarError, LexError, ParseError, ReproError
+from .fixpoint import NOT_FINAL, FixpointAnalysis, FixpointSolver
 from .forest import (
     FOREST_EMPTY,
     ForestAmb,
@@ -61,8 +62,13 @@ from .memo import (
 )
 from .metrics import Metrics, MetricsSnapshot
 from .naming import NamingAuditResult, NamingScheme, NodeName
-from .nullability import DEFINITELY_NOT_NULLABLE, NULLABLE, NullabilityAnalyzer
-from .productivity import ProductivityAnalyzer
+from .nullability import (
+    DEFINITELY_NOT_NULLABLE,
+    NULLABLE,
+    NullabilityAnalysis,
+    NullabilityAnalyzer,
+)
+from .productivity import ProductivityAnalysis, ProductivityAnalyzer
 from .parse import (
     DEFAULT_RECURSION_LIMIT,
     DerivativeParser,
@@ -139,11 +145,17 @@ __all__ = [
     "make_memo",
     "MEMO_STRATEGIES",
     "single_entry_fraction",
+    # the unified analysis kernel
+    "FixpointAnalysis",
+    "FixpointSolver",
+    "NOT_FINAL",
     # nullability
     "NullabilityAnalyzer",
+    "NullabilityAnalysis",
     "NULLABLE",
     "DEFINITELY_NOT_NULLABLE",
     "ProductivityAnalyzer",
+    "ProductivityAnalysis",
     # instrumentation
     "Metrics",
     "MetricsSnapshot",

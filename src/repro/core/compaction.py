@@ -21,6 +21,30 @@ Section 4.3 of the paper improves the *compaction* process of Might et al.
 The :class:`Compactor` exposes one ``make_*`` method per grammar form; every
 rule can be switched off individually through :class:`CompactionConfig` so
 the ablation benchmarks can measure the contribution of each group of rules.
+
+On top of the paper's rules, the compactor **hash-conses** its results
+(``hash_consing`` in :class:`CompactionConfig`, on by default): after the
+rewrite rules have fired, a surviving ``∪``/``◦``/``↪→``/``δ`` construction
+is interned in a per-compactor table keyed by form + child *identity*, so
+structurally identical acyclic results are one canonical node.  Repeated
+derivations that would previously have rebuilt isomorphic sub-graphs now
+return the existing node, which shrinks derivative graphs, collapses
+compiled-automaton states that were distinct-but-isomorphic, and reduces
+derive-memo entries (the Figure 10 quantity).  Child-identity keys hold
+strong references, so the table's lifetime follows its owner — the parser
+for the interpreted engine (cleared by ``DerivativeParser.reset``), the
+grammar itself for the compiled engine (alongside its
+:class:`~repro.core.memo.PersistentDictMemo`).  Cyclic results never reach
+the table: the deriver's observed-placeholder path fills nodes in place and
+bypasses the smart constructors, exactly as it bypasses the rewrite rules.
+
+Interning is sound under this repository's mutation discipline: after
+construction, a node's children change only through
+:func:`repro.core.prune.prune_empty`, which is semantics-preserving, so an
+interned node always still denotes the language its key describes.
+Reduction functions are keyed by *identity* (structural hashing of fused
+``Compose`` chains would recurse as deep as the chain), wrapped so the key
+pins the function object against garbage collection and id reuse.
 """
 
 from __future__ import annotations
@@ -43,7 +67,6 @@ from .languages import (
 from .forest import trees_equal
 from .metrics import Metrics
 from .reductions import (
-    IDENTITY,
     Identity,
     MapFirst,
     MapSecond,
@@ -79,6 +102,10 @@ class CompactionConfig:
         The Section 4.3.2 associativity rule ``(p1 ◦ p2) ◦ p3 ⇒ ...``.
     float_reductions:
         The Section 4.3.2 rule ``(p1 ↪→ f) ◦ p2 ⇒ (p1 ◦ p2) ↪→ ...``.
+    hash_consing:
+        Intern acyclic smart-constructor results in a per-compactor table
+        keyed by form + child identity, so structurally identical nodes are
+        shared (this repository's addition; see the module docstring).
     """
 
     enabled: bool = True
@@ -88,6 +115,7 @@ class CompactionConfig:
     new_rules: bool = True
     canonicalize_sequences: bool = True
     float_reductions: bool = True
+    hash_consing: bool = True
 
     @classmethod
     def disabled(cls) -> "CompactionConfig":
@@ -100,6 +128,7 @@ class CompactionConfig:
             new_rules=False,
             canonicalize_sequences=False,
             float_reductions=False,
+            hash_consing=False,
         )
 
     @classmethod
@@ -113,6 +142,7 @@ class CompactionConfig:
             new_rules=False,
             canonicalize_sequences=False,
             float_reductions=False,
+            hash_consing=False,
         )
 
     @classmethod
@@ -131,8 +161,95 @@ def _structure_known(node: Optional[Language]) -> bool:
     return node is not None and not node.under_construction
 
 
+#: Payload types whose hash is depth-free, safe for ε interning keys.
+_SCALARS = (str, bytes, int, float, bool, type(None))
+
+
+def _shallow_payload(value: Any, depth: int = 3) -> bool:
+    """True when hashing ``value`` cannot recurse deeply.
+
+    ε nodes carry parse-tree payloads that can be nested pair tuples as deep
+    as the input consumed so far; hashing those would recurse on the C stack
+    with no interpreter guard.  Interning therefore only considers payloads
+    that are provably shallow: scalars, token-like objects (a ``kind`` plus
+    a scalar ``value`` — the shape of :class:`repro.lexer.tokens.Tok`, whose
+    hash covers exactly those two fields), and small tuples of these up to a
+    fixed depth.  Everything else simply skips interning — sound, just
+    unshared.
+    """
+    if isinstance(value, _SCALARS):
+        return True
+    if isinstance(value, tuple):
+        return depth > 0 and len(value) <= 4 and all(
+            _shallow_payload(part, depth - 1) for part in value
+        )
+    kind = getattr(value, "kind", None)
+    if kind is not None:
+        return isinstance(kind, _SCALARS) and isinstance(
+            getattr(value, "value", None), _SCALARS
+        )
+    return False
+
+
+def _epsilon_intern_key(trees: tuple) -> Optional[tuple]:
+    """The hash-consing key for an ε node, or None when not internable.
+
+    Keyed by *payload equality* (not identity): two ε nodes with equal tree
+    tuples denote the same language with the same parses, so sharing them is
+    what lets the identity-keyed composite interning above them cascade —
+    token-match ε leaves are where most duplication in derivative graphs
+    starts.
+    """
+    if len(trees) != 1 or not _shallow_payload(trees[0]):
+        return None
+    return ("ε", trees[0])
+
+
+class _FnKey:
+    """Identity key for a reduction function in the hash-consing table.
+
+    Reduction functions compare structurally, but hashing a fused
+    ``Compose`` chain recurses as deep as the chain (one link per input
+    token), so the identity fallback holds the function strongly — a
+    collected function's id can never be reused by a different one while
+    the key is live.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __hash__(self) -> int:
+        return object.__hash__(self.fn)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _FnKey) and self.fn is other.fn
+
+
+def _fn_intern_key(fn: Callable[[Any], Any]) -> Any:
+    """The hash-consing key for a reduction function.
+
+    The compaction rules allocate their reducers fresh on every rewrite, so
+    keying by identity alone would make ``↪`` entries unmatchable.  The
+    shapes whose equality is cheap and depth-free get structural keys —
+    the stateless :class:`ReassocToLeft` and the pairing reducers carrying
+    shallow payloads (the common ``ε_s ◦ p`` case, where ``s`` is a token
+    value) — and everything else (``Compose`` chains, ``MapFirst`` over
+    arbitrary inner functions) falls back to identity via :class:`_FnKey`.
+    """
+    if isinstance(fn, ReassocToLeft):
+        return "reassoc"
+    if isinstance(fn, PairLeft) and _shallow_payload(fn.left):
+        return ("pairL", fn.left)
+    if isinstance(fn, PairRight) and _shallow_payload(fn.right):
+        return ("pairR", fn.right)
+    return _FnKey(fn)
+
+
 class Compactor:
-    """Smart constructors implementing the reduction rules of Section 4.3."""
+    """Smart constructors implementing the reduction rules of Section 4.3,
+    plus grammar-scoped hash-consing of their results (module docstring)."""
 
     def __init__(
         self,
@@ -141,6 +258,10 @@ class Compactor:
     ) -> None:
         self.config = config if config is not None else CompactionConfig.full()
         self.metrics = metrics if metrics is not None else Metrics()
+        #: The hash-consing table: (form, children identity...) -> canonical
+        #: node.  Strong references throughout; the owner decides the
+        #: lifetime (see reset_interning).
+        self._intern: dict = {}
 
     # ----------------------------------------------------------- primitives
     def _count_node(self) -> None:
@@ -149,8 +270,73 @@ class Compactor:
     def _count_rewrite(self) -> None:
         self.metrics.compaction_rewrites += 1
 
+    # ---------------------------------------------------------- hash-consing
+    @property
+    def interning(self) -> bool:
+        """Whether the smart constructors hash-cons their results."""
+        return self.config.enabled and self.config.hash_consing
+
+    def interned_count(self) -> int:
+        """Number of canonical nodes currently held by the interning table."""
+        return len(self._intern)
+
+    def reset_interning(self) -> None:
+        """Drop every interned node (called by ``DerivativeParser.reset``).
+
+        Canonical nodes are strongly held by their keys, so a per-parse
+        engine that clears its derive memo must clear the interning table
+        too or derived nodes would accumulate across parses.  Grammar-owned
+        compactors (the compiled engine's) deliberately never call this —
+        their table *is* the cross-parse cache.
+        """
+        self._intern.clear()
+
+    def _intern_node(self, key: tuple, build: Callable[[], Language]) -> Language:
+        node = self._intern.get(key)
+        if node is not None:
+            self.metrics.hash_cons_hits += 1
+            return node
+        self.metrics.hash_cons_misses += 1
+        self._count_node()
+        node = build()
+        self._intern[key] = node
+        return node
+
+    def adopt(self, node: Language) -> None:
+        """Register an already-built node as the canonical holder of its key.
+
+        The deriver's cycle path fills observed placeholders in place,
+        bypassing the smart constructors — but once filled, such a node is a
+        perfectly good canonical representative.  Adopting it means a later
+        acyclic reconstruction with the same children (typically a
+        re-derivation after a single-entry memo eviction) returns this node
+        instead of allocating a duplicate.  First claimant keeps the key.
+        """
+        if not self.interning:
+            return
+        if isinstance(node, Alt):
+            if node.left is None or node.right is None:
+                return
+            key: tuple = ("∪", node.left, node.right)
+        elif isinstance(node, Cat):
+            if node.left is None or node.right is None:
+                return
+            key = ("◦", node.left, node.right)
+        elif isinstance(node, Reduce):
+            if node.lang is None:
+                return
+            key = ("↪", node.lang, _fn_intern_key(node.fn))
+        else:
+            return
+        self._intern.setdefault(key, node)
+
     def make_epsilon(self, trees: Iterable[Any]) -> Epsilon:
-        """Construct an ``ε`` node carrying ``trees``."""
+        """Construct an ``ε`` node carrying ``trees`` (interned when shallow)."""
+        trees = tuple(trees)
+        if self.config.enabled and self.config.hash_consing:
+            key = _epsilon_intern_key(trees)
+            if key is not None:
+                return self._intern_node(key, lambda: Epsilon(trees))
         self._count_node()
         return Epsilon(trees)
 
@@ -176,6 +362,8 @@ class Compactor:
                 # ε_s1 ∪ ε_s2 ⇒ ε_{s1 ∪ s2} (one of the paper's added rules)
                 self._count_rewrite()
                 return self.make_epsilon(_merge_trees(left.trees, right.trees))
+        if cfg.enabled and cfg.hash_consing:
+            return self._intern_node(("∪", left, right), lambda: Alt(left, right))
         self._count_node()
         return Alt(left, right)
 
@@ -218,6 +406,8 @@ class Compactor:
                 self._count_rewrite()
                 inner = self.make_cat(left.right, right)
                 return self.make_reduce(self.make_cat(left.left, inner), ReassocToLeft())
+        if cfg.enabled and cfg.hash_consing:
+            return self._intern_node(("◦", left, right), lambda: Cat(left, right))
         self._count_node()
         return Cat(left, right)
 
@@ -245,6 +435,8 @@ class Compactor:
                 return self.make_reduce(lang.lang, compose(fn, lang.fn))
             if isinstance(fn, Identity):
                 return lang
+        if cfg.enabled and cfg.hash_consing:
+            return self._intern_node(("↪", lang, _fn_intern_key(fn)), lambda: Reduce(lang, fn))
         self._count_node()
         return Reduce(lang, fn)
 
@@ -267,6 +459,8 @@ class Compactor:
             if cfg.null_rules and (lang is EMPTY or isinstance(lang, Empty)):
                 self._count_rewrite()
                 return EMPTY
+        if cfg.enabled and cfg.hash_consing:
+            return self._intern_node(("δ", lang), lambda: Delta(lang))
         self._count_node()
         return Delta(lang)
 

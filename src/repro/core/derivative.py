@@ -240,6 +240,7 @@ class Deriver:
                     placeholder.left = left
                     placeholder.right = right
                     placeholder.under_construction = False
+                    self.compactor.adopt(placeholder)
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue
@@ -255,6 +256,7 @@ class Deriver:
                 if placeholder.observed:
                     placeholder.left = left
                     placeholder.under_construction = False
+                    self.compactor.adopt(placeholder)
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue
@@ -274,6 +276,7 @@ class Deriver:
                     placeholder.left = cat_node
                     placeholder.right = null_branch
                     placeholder.under_construction = False
+                    self.compactor.adopt(placeholder)
                     self._name(current, placeholder, position, with_bullet=True)
                     out[slot] = placeholder
                     continue
@@ -292,6 +295,7 @@ class Deriver:
                 if placeholder.observed:
                     placeholder.lang = child
                     placeholder.under_construction = False
+                    self.compactor.adopt(placeholder)
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue

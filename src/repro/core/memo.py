@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 import weakref
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from .languages import Language
 from .metrics import Metrics

@@ -65,6 +65,18 @@ class Metrics:
     nullable_fixed_points:
         Number of times a cyclic dependency forced a full fixed-point
         computation rather than a direct recursive evaluation.
+    fixpoint_node_evaluations:
+        Transfer-function evaluations performed by the unified fixed-point
+        kernel (:mod:`repro.core.fixpoint`) across *every* analysis sharing
+        this Metrics instance — nullability, productivity/emptiness, the
+        classical CFG analyses and regex nullability all count here.
+    fixpoint_solves:
+        Completed fixed points run by the kernel (each one promotes its
+        tentative values to final).
+    hash_cons_hits / hash_cons_misses:
+        Hash-consing outcomes in the compaction smart constructors: a hit
+        returns an existing canonical node instead of allocating a
+        structurally identical duplicate, a miss interns a fresh node.
     compaction_rewrites:
         Number of times a smart constructor applied a reduction rule.
     parse_null_calls:
@@ -83,6 +95,10 @@ class Metrics:
     nullable_calls: int = 0
     nullable_cache_hits: int = 0
     nullable_fixed_points: int = 0
+    fixpoint_node_evaluations: int = 0
+    fixpoint_solves: int = 0
+    hash_cons_hits: int = 0
+    hash_cons_misses: int = 0
     compaction_rewrites: int = 0
     parse_null_calls: int = 0
     tokens_consumed: int = 0

@@ -16,20 +16,24 @@ number of nodes (Section 4.2).  The paper's improved algorithm:
   the latter once a fixed point completes, so later nullability queries from
   later ``derive`` calls can reuse the answers.
 
-:class:`NullabilityAnalyzer` implements the same idea with a worklist solver:
-each call solves only the not-yet-final subgraph reachable from the queried
-node, and when the fixed point completes every node it covered is marked with
-a *final* value (the generation-label trick of Section 4.2 expressed
-directly).  The number of node evaluations is recorded in
-``Metrics.nullable_calls`` — the quantity compared against the original
-implementation in Figure 7.
+That mechanism — dependency tracking, tentative values, final promotion,
+generation labels — is exactly what the unified kernel in
+:mod:`repro.core.fixpoint` provides for *every* analysis, so this module is
+now a declaration, not an algorithm: :class:`NullabilityAnalysis` states the
+boolean lattice (bottom ``False``), the dependency function (a node's
+relevant children) and the transfer function (Figure 3's equations), and
+stores final values in the ``null_state`` node field so later queries are
+O(1).  :class:`NullabilityAnalyzer` wraps a solver over that declaration
+behind the same public API as before.  The number of node evaluations is
+recorded in ``Metrics.nullable_calls`` — the quantity compared against the
+original implementation in Figure 7.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional
+from typing import Optional
 
+from .fixpoint import NOT_FINAL, FixpointAnalysis, FixpointSolver
 from .languages import (
     Alt,
     Cat,
@@ -43,7 +47,12 @@ from .languages import (
 )
 from .metrics import Metrics
 
-__all__ = ["NULLABLE", "DEFINITELY_NOT_NULLABLE", "NullabilityAnalyzer"]
+__all__ = [
+    "NULLABLE",
+    "DEFINITELY_NOT_NULLABLE",
+    "NullabilityAnalysis",
+    "NullabilityAnalyzer",
+]
 
 
 #: Final state: the node's language contains the empty word.
@@ -54,80 +63,23 @@ DEFINITELY_NOT_NULLABLE = "not-nullable"
 _FINAL_STATES = (NULLABLE, DEFINITELY_NOT_NULLABLE)
 
 
-class NullabilityAnalyzer:
-    """Compute ``δ(L)`` with dependency tracking and final-value caching."""
+class NullabilityAnalysis(FixpointAnalysis):
+    """δ as a lattice declaration for the unified fixed-point kernel.
 
-    def __init__(self, metrics: Optional[Metrics] = None) -> None:
-        self.metrics = metrics if metrics is not None else Metrics()
+    Boolean lattice, bottom ``False`` (assumed-not-nullable); transfer
+    implements Figure 3; final values live in the ``null_state`` field of the
+    nodes themselves (the Section 4.2 promotion, expressed as the kernel's
+    ``finalize`` hook).
+    """
 
-    # ------------------------------------------------------------------ API
-    def nullable(self, node: Language) -> bool:
-        """Return True when the language of ``node`` contains the empty word."""
-        state = node.null_state
-        if state == NULLABLE:
-            self.metrics.nullable_cache_hits += 1
-            return True
-        if state == DEFINITELY_NOT_NULLABLE:
-            self.metrics.nullable_cache_hits += 1
-            return False
-        return self._solve(node)
+    def __init__(self, metrics: Metrics) -> None:
+        self.metrics = metrics
 
-    def invalidate(self, node: Language) -> None:
-        """Drop the cached nullability of a single node (used by tests)."""
-        node.null_state = None
+    # ------------------------------------------------------------- the lattice
+    def bottom(self, node: Language) -> bool:
+        return False
 
-    # ----------------------------------------------------------- fixed point
-    def _solve(self, root: Language) -> bool:
-        """Run a worklist fixed point over the unknown subgraph under ``root``."""
-        self.metrics.nullable_fixed_points += 1
-
-        # Discover every reachable node whose nullability is not yet final,
-        # recording reverse dependencies (child -> parents) along the way.
-        pending: List[Language] = []
-        dependents: Dict[int, List[Language]] = {}
-        discovered: set[int] = set()
-        stack: List[Language] = [root]
-        while stack:
-            node = stack.pop()
-            if id(node) in discovered:
-                continue
-            discovered.add(id(node))
-            if node.null_state in _FINAL_STATES:
-                continue
-            pending.append(node)
-            for child in self._relevant_children(node):
-                dependents.setdefault(id(child), []).append(node)
-                if id(child) not in discovered and child.null_state not in _FINAL_STATES:
-                    stack.append(child)
-
-        # Least fixed point over the boolean lattice: start every unknown node
-        # at False (assumed-not-nullable) and propagate monotonically upward.
-        value: Dict[int, bool] = {id(node): False for node in pending}
-        worklist = deque(pending)
-        in_worklist = {id(node) for node in pending}
-        while worklist:
-            node = worklist.popleft()
-            in_worklist.discard(id(node))
-            self.metrics.nullable_calls += 1
-            new_value = self._evaluate(node, value)
-            if new_value and not value[id(node)]:
-                value[id(node)] = True
-                for parent in dependents.get(id(node), ()):
-                    if id(parent) not in in_worklist and id(parent) in value:
-                        worklist.append(parent)
-                        in_worklist.add(id(parent))
-
-        # The fixed point is complete, so every value is final: nodes still at
-        # False are promoted from assumed- to definitely-not-nullable.  This is
-        # what lets later derive steps answer nullability in O(1).
-        for node in pending:
-            node.null_state = NULLABLE if value[id(node)] else DEFINITELY_NOT_NULLABLE
-
-        return root.null_state == NULLABLE
-
-    # ------------------------------------------------------------- structure
-    @staticmethod
-    def _relevant_children(node: Language) -> tuple[Language, ...]:
+    def dependencies(self, node: Language) -> tuple:
         """Children whose nullability the node's own nullability depends on."""
         if isinstance(node, (Alt, Cat)):
             children = []
@@ -142,31 +94,71 @@ class NullabilityAnalyzer:
             return (node.target,) if node.target is not None else ()
         return ()
 
-    def _evaluate(self, node: Language, value: Dict[int, bool]) -> bool:
+    def transfer(self, node: Language, get) -> bool:
         """Evaluate δ for ``node`` using current (possibly tentative) values."""
         if isinstance(node, Epsilon):
             return True
         if isinstance(node, (Empty, Token)):
             return False
         if isinstance(node, Alt):
-            return self._child_value(node.left, value) or self._child_value(node.right, value)
+            return self._child(node.left, get) or self._child(node.right, get)
         if isinstance(node, Cat):
-            return self._child_value(node.left, value) and self._child_value(node.right, value)
+            return self._child(node.left, get) and self._child(node.right, get)
         if isinstance(node, (Reduce, Delta)):
-            return self._child_value(node.lang, value)
+            return self._child(node.lang, get)
         if isinstance(node, Ref):
-            return self._child_value(node.target, value)
+            return self._child(node.target, get)
         raise TypeError("unknown language node type: {!r}".format(node))
 
     @staticmethod
-    def _child_value(child: Optional[Language], value: Dict[int, bool]) -> bool:
+    def _child(child: Optional[Language], get) -> bool:
         if child is None:
             raise ValueError(
                 "nullability queried on a node with an unset child; "
                 "the grammar (or a derivative placeholder) is incomplete"
             )
-        if child.null_state == NULLABLE:
+        return get(child)
+
+    # --------------------------------------------------------- final promotion
+    def final(self, node: Language):
+        state = node.null_state
+        if state == NULLABLE:
             return True
-        if child.null_state == DEFINITELY_NOT_NULLABLE:
+        if state == DEFINITELY_NOT_NULLABLE:
             return False
-        return value.get(id(child), False)
+        return NOT_FINAL
+
+    def finalize(self, node: Language, value: bool) -> None:
+        # Nodes still at False are promoted from assumed- to
+        # definitely-not-nullable; this is what lets later derive steps
+        # answer nullability in O(1).
+        node.null_state = NULLABLE if value else DEFINITELY_NOT_NULLABLE
+
+    # ------------------------------------------------------------------ hooks
+    def on_evaluate(self, node: Language) -> None:
+        self.metrics.nullable_calls += 1
+
+
+class NullabilityAnalyzer:
+    """Compute ``δ(L)`` with dependency tracking and final-value caching."""
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._solver = FixpointSolver(NullabilityAnalysis(self.metrics), self.metrics)
+
+    # ------------------------------------------------------------------ API
+    def nullable(self, node: Language) -> bool:
+        """Return True when the language of ``node`` contains the empty word."""
+        state = node.null_state
+        if state == NULLABLE:
+            self.metrics.nullable_cache_hits += 1
+            return True
+        if state == DEFINITELY_NOT_NULLABLE:
+            self.metrics.nullable_cache_hits += 1
+            return False
+        self.metrics.nullable_fixed_points += 1
+        return self._solver.value(node)
+
+    def invalidate(self, node: Language) -> None:
+        """Drop the cached nullability of a single node (used by tests)."""
+        node.null_state = None

@@ -75,7 +75,7 @@ from .metrics import Metrics
 from .naming import NamingScheme
 from .nullability import NullabilityAnalyzer
 from .productivity import ProductivityAnalyzer
-from .prune import AdaptivePruneSchedule, live_nodes, prune_empty
+from .prune import AdaptivePruneSchedule, prune_empty
 
 __all__ = [
     "DerivativeParser",
@@ -357,13 +357,17 @@ class DerivativeParser:
     def reset(self) -> None:
         """Forget per-parse caches (the paper clears them before each timed parse).
 
-        Clears the derive memo and re-anchors the adaptive-prune schedule to
-        the *current* metrics counters — the shared
-        :class:`~repro.core.metrics.Metrics` instance may have advanced since
-        construction (other parsers, earlier parses), and a stale marker
-        would make a reused parser prune far too early or far too late.
+        Clears the derive memo and the compactor's hash-consing table (both
+        hold this parser's derived nodes; dropping one but not the other
+        would leak every derivative ever interned), and re-anchors the
+        adaptive-prune schedule to the *current* metrics counters — the
+        shared :class:`~repro.core.metrics.Metrics` instance may have
+        advanced since construction (other parsers, earlier parses), and a
+        stale marker would make a reused parser prune far too early or far
+        too late.
         """
         self.memo.clear()
+        self.compactor.reset_interning()
         self._prune_schedule.reanchor(self.metrics.derive_uncached)
 
     def start(self) -> ParserState:

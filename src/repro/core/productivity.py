@@ -1,10 +1,11 @@
 """Productivity (non-emptiness) analysis of language nodes.
 
 A language node is *productive* when it generates at least one word.  The
-derivative parser uses this as a diagnostic: after a parse fails, re-deriving
-the input and checking productivity after each token pinpoints the earliest
-token at which the remaining language became empty, which is the position a
-user wants to see in a syntax-error message.
+derivative parser uses this in two places: as the error-path diagnostic that
+pinpoints the earliest token at which the remaining language became empty,
+and — through :mod:`repro.core.prune` and the compiled automaton's
+dead-state routing — as the *emptiness analysis* that lets provably-dead
+sub-grammars be collapsed to ``∅``.
 
 Productivity is a least fixed point over the boolean lattice, exactly dual to
 nullability (Section 2.4):
@@ -12,24 +13,34 @@ nullability (Section 2.4):
 * ``∅`` is not productive, ``ε`` and tokens are productive,
 * ``L1 ∪ L2`` is productive when either child is,
 * ``L1 ◦ L2`` is productive when both children are,
-* ``L ↪→ f``, ``δ(L)`` and references follow their child.
+* ``L ↪→ f`` and references follow their child,
+* ``δ(L)`` is productive exactly when ``L`` is nullable (decided by the
+  nullability analysis, not by recursing into ``L`` here).
 
-(The ``δ(L)`` case uses nullability rather than productivity of ``L`` —
-``δ(L)`` is non-empty exactly when ``L`` is nullable — but treating it as
-"follows the child" is a sound over-approximation for diagnostics and keeps
-the solver independent; we use the precise rule.)
+Like nullability, the computation is a :class:`~repro.core.fixpoint`
+declaration: :class:`ProductivityAnalysis` states the lattice and transfer
+function, and the shared kernel supplies dependency tracking, tentative
+values and final promotion.  Two final-value policies are used:
 
-Unlike nullability, productivity is only consulted on error paths, so results
-are cached in a dictionary owned by the analyzer rather than in node fields.
-The discovery sweep and the fixed point both run on explicit worklists, so
-arbitrarily deep derived grammars are diagnosed without recursion.
+* :class:`ProductivityAnalyzer` owns a persistent dictionary cache.  This is
+  sound for graphs mutated only by derivation and pruning, because both are
+  semantics-preserving on already-constructed nodes: ``derive`` never changes
+  the children of a finished node, and :func:`repro.core.prune.prune_empty`
+  only rewrites a child to ``∅`` when the child already denoted the empty
+  language.
+* :func:`repro.core.prune.prune_empty` runs one-shot solves with a throwaway
+  cache, recomputing from scratch each pass (the historical, assumption-free
+  behaviour for in-place graph surgery).
+
+The cache is keyed by the node object (identity-hashed); an id()-keyed table
+could collide when a previously-queried temporary node has been collected.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from .fixpoint import NOT_FINAL, FixpointAnalysis, FixpointSolver
 from .languages import (
     Alt,
     Cat,
@@ -41,79 +52,56 @@ from .languages import (
     Ref,
     Token,
 )
+from .metrics import Metrics
 from .nullability import NullabilityAnalyzer
 
-__all__ = ["ProductivityAnalyzer"]
+__all__ = ["ProductivityAnalysis", "ProductivityAnalyzer"]
 
 
-class ProductivityAnalyzer:
-    """Decide whether a language node generates at least one word."""
+class ProductivityAnalysis(FixpointAnalysis):
+    """Non-emptiness as a lattice declaration for the fixed-point kernel.
 
-    def __init__(self, nullability: Optional[NullabilityAnalyzer] = None) -> None:
-        self.nullability = nullability if nullability is not None else NullabilityAnalyzer()
-        # Keyed by the node object (identity-hashed); an id()-keyed table could
-        # collide when a previously-queried temporary node has been collected.
-        self._cache: Dict[Language, bool] = {}
+    Parameters
+    ----------
+    cache:
+        The final-value store (node → bool).  Pass a long-lived dictionary
+        for incremental analyzers, a throwaway one for one-shot passes.
+    nullability:
+        Decides the ``δ(L)`` case (``δ(L)`` is non-empty iff ``L`` is
+        nullable).
+    strict:
+        When True (the analyzer default), unknown node types raise
+        ``TypeError``; when False (the prune pass), they are conservatively
+        treated as productive so in-place surgery never deletes what it does
+        not understand.
+    """
 
-    def productive(self, node: Language) -> bool:
-        """True when the language of ``node`` is non-empty."""
-        cached = self._cache.get(node)
-        if cached is not None:
-            return cached
-        return self._solve(node)
+    def __init__(
+        self,
+        cache: Dict[Language, bool],
+        nullability: NullabilityAnalyzer,
+        strict: bool = True,
+    ) -> None:
+        self.cache = cache
+        self.nullability = nullability
+        self.strict = strict
 
-    def is_empty(self, node: Language) -> bool:
-        """True when the language of ``node`` contains no words at all."""
-        return not self.productive(node)
+    # ------------------------------------------------------------- the lattice
+    def bottom(self, node: Language) -> bool:
+        return False
 
-    # ----------------------------------------------------------- fixed point
-    def _solve(self, root: Language) -> bool:
-        pending: List[Language] = []
-        dependents: Dict[int, List[Language]] = {}
-        discovered: set[int] = set()
-        stack: List[Language] = [root]
-        while stack:
-            node = stack.pop()
-            if id(node) in discovered:
-                continue
-            discovered.add(id(node))
-            if node in self._cache:
-                continue
-            pending.append(node)
-            for child in self._relevant_children(node):
-                dependents.setdefault(id(child), []).append(node)
-                if id(child) not in discovered and child not in self._cache:
-                    stack.append(child)
-
-        value: Dict[int, bool] = {id(node): False for node in pending}
-        worklist = deque(pending)
-        in_worklist = {id(node) for node in pending}
-        while worklist:
-            node = worklist.popleft()
-            in_worklist.discard(id(node))
-            if self._evaluate(node, value) and not value[id(node)]:
-                value[id(node)] = True
-                for parent in dependents.get(id(node), ()):
-                    if id(parent) not in in_worklist and id(parent) in value:
-                        worklist.append(parent)
-                        in_worklist.add(id(parent))
-
-        for node in pending:
-            self._cache[node] = value[id(node)]
-        return self._cache[root]
-
-    @staticmethod
-    def _relevant_children(node: Language) -> tuple:
+    def dependencies(self, node: Language) -> tuple:
         if isinstance(node, (Alt, Cat)):
             return tuple(child for child in (node.left, node.right) if child is not None)
         if isinstance(node, Reduce):
             return (node.lang,) if node.lang is not None else ()
         if isinstance(node, Ref):
             return (node.target,) if node.target is not None else ()
-        # Delta's productivity is decided by nullability, not by recursion here.
+        # Delta's productivity is decided by nullability, not by its child's
+        # productivity, so it contributes no dependency edge.
         return ()
 
-    def _evaluate(self, node: Language, value: Dict[int, bool]) -> bool:
+    def transfer(self, node: Language, get) -> bool:
         if isinstance(node, (Epsilon, Token)):
             return True
         if isinstance(node, Empty):
@@ -121,19 +109,53 @@ class ProductivityAnalyzer:
         if isinstance(node, Delta):
             return node.lang is not None and self.nullability.nullable(node.lang)
         if isinstance(node, Alt):
-            return self._value_of(node.left, value) or self._value_of(node.right, value)
+            return self._child(node.left, get) or self._child(node.right, get)
         if isinstance(node, Cat):
-            return self._value_of(node.left, value) and self._value_of(node.right, value)
+            return self._child(node.left, get) and self._child(node.right, get)
         if isinstance(node, Reduce):
-            return self._value_of(node.lang, value)
+            return self._child(node.lang, get)
         if isinstance(node, Ref):
-            return self._value_of(node.target, value)
-        raise TypeError("unknown language node type: {!r}".format(node))
+            return self._child(node.target, get)
+        if self.strict:
+            raise TypeError("unknown language node type: {!r}".format(node))
+        return True  # unknown node types are conservatively kept
 
-    def _value_of(self, child: Optional[Language], value: Dict[int, bool]) -> bool:
+    @staticmethod
+    def _child(child: Optional[Language], get) -> bool:
         if child is None:
             return False
-        cached = self._cache.get(child)
+        return get(child)
+
+    # --------------------------------------------------------- final promotion
+    def final(self, node: Language):
+        return self.cache.get(node, NOT_FINAL)
+
+    def finalize(self, node: Language, value: bool) -> None:
+        self.cache[node] = value
+
+
+class ProductivityAnalyzer:
+    """Decide whether a language node generates at least one word."""
+
+    def __init__(
+        self,
+        nullability: Optional[NullabilityAnalyzer] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.nullability = nullability if nullability is not None else NullabilityAnalyzer()
+        self.metrics = metrics if metrics is not None else self.nullability.metrics
+        self._cache: Dict[Language, bool] = {}
+        self._solver = FixpointSolver(
+            ProductivityAnalysis(self._cache, self.nullability), self.metrics
+        )
+
+    def productive(self, node: Language) -> bool:
+        """True when the language of ``node`` is non-empty."""
+        cached = self._cache.get(node)
         if cached is not None:
             return cached
-        return value.get(id(child), False)
+        return self._solver.value(node)
+
+    def is_empty(self, node: Language) -> bool:
+        """True when the language of ``node`` contains no words at all."""
+        return not self.productive(node)

@@ -20,22 +20,29 @@ implements that as a standalone pass:
   emptiness is decided by ``L``'s (already cached) nullability — and rewrites
   child pointers of unproductive children to the canonical ``∅`` in place.
 
+The emptiness computation itself is not implemented here: it is one more
+one-shot solve of the shared :class:`~repro.core.productivity.
+ProductivityAnalysis` declaration on the unified fixed-point kernel
+(:mod:`repro.core.fixpoint`), run with a throwaway cache because this pass
+performs in-place graph surgery and deliberately assumes nothing between
+passes.  ``strict=False`` keeps unknown node types conservatively alive.
+
 :class:`repro.core.parse.DerivativeParser` invokes the pass adaptively (when
 the number of uncached ``derive`` calls since the last prune exceeds a small
 multiple of the live grammar size), so its amortized cost is a constant factor
 on top of derivation.
 
-Both the reachability sweep (:func:`live_nodes`) and the productivity fixed
-point run on explicit worklists — like every other traversal in the core,
-they must handle grammars whose depth is proportional to the input length
-without leaning on the interpreter call stack.
+The reachability sweep (:func:`live_nodes`) and the kernel's solve both run
+on explicit worklists — like every other traversal in the core, they must
+handle grammars whose depth is proportional to the input length without
+leaning on the interpreter call stack.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
+from .fixpoint import FixpointSolver
 from .languages import (
     EMPTY,
     Alt,
@@ -50,6 +57,7 @@ from .languages import (
 )
 from .metrics import Metrics
 from .nullability import NullabilityAnalyzer
+from .productivity import ProductivityAnalysis
 
 __all__ = ["prune_empty", "live_nodes", "AdaptivePruneSchedule"]
 
@@ -121,60 +129,6 @@ def live_nodes(root: Language) -> List[Language]:
     return order
 
 
-def _productivity(
-    nodes: List[Language], nullability: NullabilityAnalyzer
-) -> Dict[int, bool]:
-    """Least-fixed-point productivity (non-emptiness) over ``nodes``."""
-    value: Dict[int, bool] = {id(node): False for node in nodes}
-    dependents: Dict[int, List[Language]] = {}
-    for node in nodes:
-        if isinstance(node, Delta):
-            continue
-        for child in node.children():
-            if child is not None:
-                dependents.setdefault(id(child), []).append(node)
-
-    def evaluate(node: Language) -> bool:
-        if isinstance(node, (Epsilon, Token)):
-            return True
-        if isinstance(node, Empty):
-            return False
-        if isinstance(node, Delta):
-            return node.lang is not None and nullability.nullable(node.lang)
-        if isinstance(node, Alt):
-            return _val(node.left, value) or _val(node.right, value)
-        if isinstance(node, Cat):
-            return _val(node.left, value) and _val(node.right, value)
-        if isinstance(node, Reduce):
-            return _val(node.lang, value)
-        if isinstance(node, Ref):
-            return _val(node.target, value)
-        return True  # unknown node types are conservatively kept
-
-    worklist = deque(nodes)
-    in_worklist = {id(node) for node in nodes}
-    while worklist:
-        node = worklist.popleft()
-        in_worklist.discard(id(node))
-        if evaluate(node) and not value[id(node)]:
-            value[id(node)] = True
-            for parent in dependents.get(id(node), ()):
-                if id(parent) in value and id(parent) not in in_worklist:
-                    worklist.append(parent)
-                    in_worklist.add(id(parent))
-    return value
-
-
-def _val(child: Optional[Language], value: Dict[int, bool]) -> bool:
-    if child is None:
-        return False
-    if isinstance(child, Empty):
-        return False
-    if isinstance(child, (Epsilon, Token)):
-        return True
-    return value.get(id(child), True)
-
-
 def prune_empty(
     root: Language,
     nullability: Optional[NullabilityAnalyzer] = None,
@@ -190,14 +144,22 @@ def prune_empty(
     """
     nullability = nullability if nullability is not None else NullabilityAnalyzer()
     nodes = live_nodes(root)
-    productive = _productivity(nodes, nullability)
+
+    # One-shot emptiness solve on the shared kernel: a throwaway cache (this
+    # pass mutates the graph, so nothing is assumed across passes) and
+    # strict=False (unknown node types stay conservatively alive).
+    solver = FixpointSolver(
+        ProductivityAnalysis({}, nullability, strict=False),
+        metrics if metrics is not None else nullability.metrics,
+    )
+    productive = solver.solve([root])
 
     def is_dead(child: Optional[Language]) -> bool:
         if child is None or isinstance(child, Empty):
             return False  # nothing to rewrite
         if isinstance(child, (Epsilon, Token)):
             return False
-        return not productive.get(id(child), True)
+        return not productive.get(child, True)
 
     rewrites = 0
     for node in nodes:
@@ -220,6 +182,6 @@ def prune_empty(
     if metrics is not None:
         metrics.compaction_rewrites += rewrites
 
-    if not productive.get(id(root), True):
+    if not productive.get(root, True):
         return EMPTY, 1
     return root, len(live_nodes(root))

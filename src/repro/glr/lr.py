@@ -20,7 +20,7 @@ exploring both alternatives, so the recognized language is identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..cfg.analyses import follow_sets
 from ..cfg.grammar import END_OF_INPUT, Grammar, Nonterminal, Production

@@ -21,7 +21,6 @@ tests to confirm ambiguity is explored.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..cfg.grammar import END_OF_INPUT, Grammar

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import LexError
-from ..regex.derivatives import NULL, Regex, _Null
+from ..regex.derivatives import Regex, _Null
 from .tokens import Tok
 
 __all__ = ["LexRule", "Lexer"]

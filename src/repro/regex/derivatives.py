@@ -15,12 +15,25 @@ with smart constructors that keep expressions in a weak normal form (the
 
 With these rules the set of derivatives of any regex is finite, which is what
 makes :func:`to_dfa` terminate.
+
+Like the grammar engine (PR 1), the hot traversals here are **iterative**:
+:func:`nullable` is one more declaration on the unified fixed-point kernel
+(:mod:`repro.core.fixpoint`) — the same solver behind the grammar
+nullability/productivity analyses — with its final values cached directly on
+the (immutable) regex nodes, and :func:`derive` runs on an explicit stack
+with per-call sharing-aware memoization.  Regexes nested thousands of levels
+deep (machine-generated literals, deeply parenthesized alternations) are
+therefore handled without ever approaching the interpreter recursion limit,
+and repeated derivation no longer re-walks the whole expression to answer
+nullability: each node is solved once per process, then answers in O(1).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.fixpoint import NOT_FINAL, FixpointAnalysis, FixpointSolver
 
 __all__ = [
     "Regex",
@@ -50,10 +63,12 @@ class Regex:
     """Base class of the regular-expression AST (immutable, hashable)."""
 
     def nullable(self) -> bool:
-        raise NotImplementedError
+        """True when this regex matches the empty string."""
+        return nullable(self)
 
     def derive(self, symbol: str) -> "Regex":
-        raise NotImplementedError
+        """The Brzozowski derivative of this regex with respect to ``symbol``."""
+        return derive(self, symbol)
 
     # Convenience operators mirroring the parsing-expression sugar.
     def __or__(self, other: "Regex") -> "Regex":
@@ -67,12 +82,6 @@ class Regex:
 class _Null(Regex):
     """The empty language ``∅``."""
 
-    def nullable(self) -> bool:
-        return False
-
-    def derive(self, symbol: str) -> Regex:
-        return NULL
-
     def __repr__(self) -> str:
         return "∅"
 
@@ -80,12 +89,6 @@ class _Null(Regex):
 @dataclass(frozen=True)
 class _Epsilon(Regex):
     """The empty-string language ``ε``."""
-
-    def nullable(self) -> bool:
-        return True
-
-    def derive(self, symbol: str) -> Regex:
-        return NULL
 
     def __repr__(self) -> str:
         return "ε"
@@ -105,12 +108,6 @@ class CharSet(Regex):
     def accepts(self, symbol: str) -> bool:
         return (symbol in self.symbols) != self.negated
 
-    def nullable(self) -> bool:
-        return False
-
-    def derive(self, symbol: str) -> Regex:
-        return EPSILON if self.accepts(symbol) else NULL
-
     def __repr__(self) -> str:
         inside = "".join(sorted(self.symbols))
         return "[^{}]".format(inside) if self.negated else "[{}]".format(inside)
@@ -123,15 +120,6 @@ class Seq(Regex):
     first: Regex
     second: Regex
 
-    def nullable(self) -> bool:
-        return self.first.nullable() and self.second.nullable()
-
-    def derive(self, symbol: str) -> Regex:
-        head = seq(self.first.derive(symbol), self.second)
-        if self.first.nullable():
-            return alt(head, self.second.derive(symbol))
-        return head
-
     def __repr__(self) -> str:
         return "({!r}{!r})".format(self.first, self.second)
 
@@ -143,12 +131,6 @@ class Alt(Regex):
     left: Regex
     right: Regex
 
-    def nullable(self) -> bool:
-        return self.left.nullable() or self.right.nullable()
-
-    def derive(self, symbol: str) -> Regex:
-        return alt(self.left.derive(symbol), self.right.derive(symbol))
-
     def __repr__(self) -> str:
         return "({!r}|{!r})".format(self.left, self.right)
 
@@ -158,12 +140,6 @@ class Star(Regex):
     """Kleene closure ``inner*``."""
 
     inner: Regex
-
-    def nullable(self) -> bool:
-        return True
-
-    def derive(self, symbol: str) -> Regex:
-        return seq(self.inner.derive(symbol), self)
 
     def __repr__(self) -> str:
         return "({!r})*".format(self.inner)
@@ -244,25 +220,247 @@ def literal(text: str) -> Regex:
     return seq(*(char(symbol) for symbol in text))
 
 
-# ------------------------------------------------------------------ queries
+# ---------------------------------------------------------------- nullability
+class _RegexNullability(FixpointAnalysis):
+    """Regex nullability as a declaration on the shared fixed-point kernel.
+
+    Regex ASTs are acyclic, so the "fixed point" converges in one bottom-up
+    sweep — but routing it through the kernel buys the explicit-worklist
+    traversal (no recursion-limit ceiling on deep expressions) and the
+    tentative→final machinery for free.  Final values are cached on the
+    nodes themselves (``object.__setattr__`` sidesteps the frozen-dataclass
+    guard; the attribute is not a dataclass field, so equality and hashing
+    are unaffected), which is sound because regexes are immutable.
+
+    Nodes are keyed by ``id``: the dataclass-generated structural hash
+    recurses over the whole expression, which is exactly the stack hazard
+    this analysis exists to avoid.  The kernel holds strong references to
+    every discovered node for the duration of a solve, keeping ids stable.
+    """
+
+    def bottom(self, node: Regex) -> bool:
+        return False
+
+    def key(self, node: Regex) -> int:
+        return id(node)
+
+    def final(self, node: Regex):
+        return node.__dict__.get("_nullable", NOT_FINAL)
+
+    def finalize(self, node: Regex, value: bool) -> None:
+        object.__setattr__(node, "_nullable", value)
+
+    def dependencies(self, node: Regex) -> tuple:
+        if isinstance(node, Seq):
+            return (node.first, node.second)
+        if isinstance(node, Alt):
+            return (node.left, node.right)
+        # Star is nullable regardless of its inner expression; leaves have
+        # no dependencies.
+        return ()
+
+    def transfer(self, node: Regex, get) -> bool:
+        if isinstance(node, (_Epsilon, Star)):
+            return True
+        if isinstance(node, (_Null, CharSet)):
+            return False
+        if isinstance(node, Seq):
+            return get(node.first) and get(node.second)
+        if isinstance(node, Alt):
+            return get(node.left) or get(node.right)
+        raise TypeError("unknown regex node type: {!r}".format(node))
+
+
+_NULLABILITY = FixpointSolver(_RegexNullability())
+
+#: Recursion bound for the shallow fast paths.  Lexing derives a fresh small
+#: regex per input character, so the common case must stay as cheap as the
+#: plain recursive formulation; expressions deeper than this fall back to the
+#: explicit-stack/kernel machinery.  The nullable and derive fast paths can
+#: nest (Seq derivation consults nullability), so the combined worst case —
+#: about two frames per level times two facilities — stays far below the
+#: default interpreter limit of 1000.
+_FAST_DEPTH = 128
+
+
+def _nullable_fast(node: Regex, depth: int):
+    """Recursive nullability for shallow expressions; None when too deep."""
+    if depth <= 0:
+        return None
+    cached = node.__dict__.get("_nullable")
+    if cached is not None:
+        return cached
+    if isinstance(node, (_Epsilon, Star)):
+        return True
+    if isinstance(node, (_Null, CharSet)):
+        return False
+    if isinstance(node, Seq):
+        first = _nullable_fast(node.first, depth - 1)
+        if first is None:
+            return None
+        if not first:
+            return False
+        return _nullable_fast(node.second, depth - 1)
+    if isinstance(node, Alt):
+        left = _nullable_fast(node.left, depth - 1)
+        if left is None:
+            return None
+        if left:
+            return True
+        return _nullable_fast(node.right, depth - 1)
+    raise TypeError("unknown regex node type: {!r}".format(node))
+
+
 def nullable(regex: Regex) -> bool:
-    """True when the regex matches the empty string."""
-    return regex.nullable()
+    """True when the regex matches the empty string (depth-safe, O(1) cached)."""
+    cached = regex.__dict__.get("_nullable")
+    if cached is not None:
+        return cached
+    result = _nullable_fast(regex, _FAST_DEPTH)
+    if result is None:
+        return _NULLABILITY.value(regex)
+    return result
+
+
+# ---------------------------------------------------------------- derivation
+# Opcodes for the explicit-stack derive machine (the same shape as the
+# grammar engine's iterative Deriver): _DERIVE requests one node's
+# derivative; the _FINISH_* entries resume a composite node once its
+# children's derivatives are in its result slots.
+(
+    _DERIVE,
+    _FINISH_SEQ,
+    _FINISH_SEQ_NULLABLE,
+    _FINISH_ALT,
+    _FINISH_STAR,
+) = range(5)
+
+
+def _derive_fast(node: Regex, symbol: str, depth: int) -> Optional[Regex]:
+    """Recursive derivation for shallow expressions; None when too deep.
+
+    The allocation-free common case: lexing derives a fresh small regex per
+    input character, and the explicit-stack machine's per-call memo and
+    frame tuples would tax that hot path several-fold.
+    """
+    if depth <= 0:
+        return None
+    if isinstance(node, CharSet):
+        return EPSILON if node.accepts(symbol) else NULL
+    if isinstance(node, (_Null, _Epsilon)):
+        return NULL
+    if isinstance(node, Seq):
+        first = _derive_fast(node.first, symbol, depth - 1)
+        if first is None:
+            return None
+        head = seq(first, node.second)
+        if nullable(node.first):
+            second = _derive_fast(node.second, symbol, depth - 1)
+            if second is None:
+                return None
+            return alt(head, second)
+        return head
+    if isinstance(node, Alt):
+        left = _derive_fast(node.left, symbol, depth - 1)
+        if left is None:
+            return None
+        right = _derive_fast(node.right, symbol, depth - 1)
+        if right is None:
+            return None
+        return alt(left, right)
+    if isinstance(node, Star):
+        inner = _derive_fast(node.inner, symbol, depth - 1)
+        if inner is None:
+            return None
+        return seq(inner, node)
+    raise TypeError("cannot derive unknown regex node: {!r}".format(node))
 
 
 def derive(regex: Regex, symbol: str) -> Regex:
-    """The Brzozowski derivative of ``regex`` with respect to ``symbol``."""
-    return regex.derive(symbol)
+    """The Brzozowski derivative of ``regex`` with respect to ``symbol``.
+
+    Depth-safe: shallow expressions (the lexer's per-character hot path) go
+    through a bounded recursive fast path; anything deeper falls back to an
+    explicit-stack machine that is also sharing-aware — subexpressions that
+    appear multiple times in the AST are derived once per call, keyed by
+    identity in a per-call memo (every key is kept alive by the root
+    expression, so ids are stable).
+    """
+    fast = _derive_fast(regex, symbol, _FAST_DEPTH)
+    if fast is not None:
+        return fast
+    memo: Dict[int, Regex] = {}
+    root_slot: List[Optional[Regex]] = [None]
+    stack: List[Tuple] = [(_DERIVE, regex, root_slot, 0)]
+
+    while stack:
+        entry = stack.pop()
+        op = entry[0]
+
+        if op == _DERIVE:
+            _, node, out, slot = entry
+            cached = memo.get(id(node))
+            if cached is not None:
+                out[slot] = cached
+                continue
+
+            if isinstance(node, CharSet):
+                result: Regex = EPSILON if node.accepts(symbol) else NULL
+            elif isinstance(node, (_Null, _Epsilon)):
+                result = NULL
+            elif isinstance(node, Seq):
+                if nullable(node.first):
+                    # Dc(r1 · r2) = Dc(r1) · r2 | Dc(r2)   when ε ∈ ⟦r1⟧
+                    results: List[Optional[Regex]] = [None, None]
+                    stack.append((_FINISH_SEQ_NULLABLE, node, results, out, slot))
+                    stack.append((_DERIVE, node.second, results, 1))
+                    stack.append((_DERIVE, node.first, results, 0))
+                else:
+                    results = [None]
+                    stack.append((_FINISH_SEQ, node, results, out, slot))
+                    stack.append((_DERIVE, node.first, results, 0))
+                continue
+            elif isinstance(node, Alt):
+                results = [None, None]
+                stack.append((_FINISH_ALT, node, results, out, slot))
+                stack.append((_DERIVE, node.right, results, 1))
+                stack.append((_DERIVE, node.left, results, 0))
+                continue
+            elif isinstance(node, Star):
+                results = [None]
+                stack.append((_FINISH_STAR, node, results, out, slot))
+                stack.append((_DERIVE, node.inner, results, 0))
+                continue
+            else:
+                raise TypeError("cannot derive unknown regex node: {!r}".format(node))
+            memo[id(node)] = result
+            out[slot] = result
+            continue
+
+        # ---------------------------------------------------------- _FINISH_*
+        _, node, results, out, slot = entry
+        if op == _FINISH_SEQ:
+            result = seq(results[0], node.second)
+        elif op == _FINISH_SEQ_NULLABLE:
+            result = alt(seq(results[0], node.second), results[1])
+        elif op == _FINISH_ALT:
+            result = alt(results[0], results[1])
+        else:  # _FINISH_STAR: Dc(r*) = Dc(r) · r*
+            result = seq(results[0], node)
+        memo[id(node)] = result
+        out[slot] = result
+
+    return root_slot[0]
 
 
 def matches(regex: Regex, text: str) -> bool:
     """Match by repeated derivation — the algorithm of Section 2.1."""
     current = regex
     for symbol in text:
-        current = current.derive(symbol)
+        current = derive(current, symbol)
         if isinstance(current, _Null):
             return False
-    return current.nullable()
+    return nullable(current)
 
 
 # -------------------------------------------------------------- token classes
@@ -368,7 +566,7 @@ def to_dfa(regex: Regex, alphabet: Iterable[str]) -> DFA:
         current = worklist.pop()
         acceptors = [leaf.accepts for leaf in charset_leaves(current)]
         for group in signature_partition(alphabet, acceptors).values():
-            successor = current.derive(group[0])
+            successor = derive(current, group[0])
             if successor not in index:
                 index[successor] = len(order)
                 order.append(successor)
@@ -377,6 +575,6 @@ def to_dfa(regex: Regex, alphabet: Iterable[str]) -> DFA:
             source = index[current]
             for symbol in group:
                 transitions[(source, symbol)] = target
-    accepting = frozenset(position for position, state in enumerate(order) if state.nullable())
+    accepting = frozenset(position for position, state in enumerate(order) if nullable(state))
     dead = index.get(NULL)
     return DFA(alphabet, transitions, accepting, 0, dead)

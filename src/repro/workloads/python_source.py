@@ -22,8 +22,8 @@ paper tokenizes ahead of time as well) and the corresponding source text
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..lexer.tokens import Tok
 

@@ -1,6 +1,7 @@
 """Tests for FIRST/FOLLOW/nullable analyses."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cfg import (
     END_OF_INPUT,
@@ -85,3 +86,84 @@ class TestFollow:
         follow = follow_sets(grammar)
         assert follow["list"] == {",", END_OF_INPUT}
         assert follow["item"] == {",", END_OF_INPUT}
+
+
+# ---------------------------------------------------------------------------
+# Kernel vs naive iteration-to-convergence on random grammars
+# ---------------------------------------------------------------------------
+def _naive_analyses(grammar):
+    """The hand-rolled `while changed` sweeps the kernel-backed analyses
+    replaced, kept here as an obviously-correct differential oracle."""
+    nullable = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in nullable:
+                continue
+            if all(
+                isinstance(symbol, Nonterminal) and symbol.name in nullable
+                for symbol in production.rhs
+            ):
+                nullable.add(production.lhs)
+                changed = True
+
+    first = {name: set() for name in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            target = first[production.lhs]
+            before = len(target)
+            for symbol in production.rhs:
+                if isinstance(symbol, Nonterminal):
+                    target.update(first[symbol.name])
+                    if symbol.name not in nullable:
+                        break
+                else:
+                    target.add(symbol)
+                    break
+            if len(target) != before:
+                changed = True
+
+    follow = {name: set() for name in grammar.nonterminals}
+    follow[grammar.start].add(END_OF_INPUT)
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            for position, symbol in enumerate(production.rhs):
+                if not isinstance(symbol, Nonterminal):
+                    continue
+                target = follow[symbol.name]
+                before = len(target)
+                suffix = production.rhs[position + 1 :]
+                target.update(first_of_sequence(suffix, first, nullable))
+                if sequence_is_nullable(suffix, nullable):
+                    target.update(follow[production.lhs])
+                if len(target) != before:
+                    changed = True
+    return nullable, first, follow
+
+
+@st.composite
+def random_rules(draw):
+    names = ["S", "A", "B", "C"][: draw(st.integers(2, 4))]
+    symbol = st.sampled_from(names + ["x", "y", "z"])
+    rules = {}
+    for name in names:
+        alternatives = draw(
+            st.lists(st.lists(symbol, max_size=4), min_size=1, max_size=3)
+        )
+        rules[name] = alternatives
+    return rules
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_rules())
+def test_kernel_analyses_match_naive_iteration(rules):
+    grammar = grammar_from_rules("S", rules)
+    naive_nullable, naive_first, naive_follow = _naive_analyses(grammar)
+    assert nullable_nonterminals(grammar) == naive_nullable
+    assert first_sets(grammar) == naive_first
+    assert follow_sets(grammar) == naive_follow

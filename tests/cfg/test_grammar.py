@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfg import Grammar, Nonterminal, Production, grammar_from_rules, parse_bnf
+from repro.cfg import Grammar, Nonterminal, grammar_from_rules
 from repro.core import DerivativeParser, GrammarError
 
 

@@ -17,15 +17,7 @@ from repro.core.languages import (
     token,
 )
 from repro.core.metrics import Metrics
-from repro.core.reductions import (
-    IDENTITY,
-    Compose,
-    MapFirst,
-    MapSecond,
-    PairLeft,
-    PairRight,
-    ReassocToLeft,
-)
+from repro.core.reductions import IDENTITY
 
 
 @pytest.fixture

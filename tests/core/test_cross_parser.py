@@ -11,8 +11,6 @@ parsers over one shared grammar and require fully independent, correct
 behaviour.
 """
 
-import pytest
-
 from repro.core import DerivativeParser, Metrics, Ref, count_trees, epsilon, token
 from repro.core.languages import token as make_token
 from repro.core.memo import MISS, PerNodeDictMemo, SingleEntryMemo

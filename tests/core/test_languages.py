@@ -1,7 +1,5 @@
 """Unit tests for the grammar node representation."""
 
-import pytest
-
 from repro.core.languages import (
     EMPTY,
     Alt,

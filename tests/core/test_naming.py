@@ -1,7 +1,5 @@
 """Unit tests for the Definition 5 naming scheme and its audits."""
 
-import pytest
-
 from repro.core import DerivativeParser, Ref, token
 from repro.core.compaction import CompactionConfig
 from repro.core.languages import Alt, Cat, any_token

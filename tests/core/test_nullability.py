@@ -7,7 +7,6 @@ from repro.core.languages import (
     Alt,
     Cat,
     Delta,
-    Epsilon,
     Reduce,
     Ref,
     epsilon,

@@ -4,11 +4,9 @@ These tests build the exact grammars shown in the paper and check that the
 derivative graphs, node counts and naming behave as the figures describe.
 """
 
-import pytest
-
 from repro.core import DerivativeParser, Ref, count_trees, token
 from repro.core.compaction import CompactionConfig
-from repro.core.languages import Alt, Cat, Empty, Epsilon, any_token, reachable_nodes
+from repro.core.languages import Alt, Cat, Epsilon, any_token, reachable_nodes
 
 
 class TestFigure4Grammar:

@@ -15,7 +15,7 @@ from repro.core import (
     recognize,
     token,
 )
-from repro.core.languages import Alt, Cat, any_token
+from repro.core.languages import Alt, any_token
 from repro.core.parse import validate_grammar
 
 

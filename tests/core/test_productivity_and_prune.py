@@ -1,7 +1,5 @@
 """Tests for the productivity analysis and the empty-branch pruning pass."""
 
-import pytest
-
 from repro.core import CompactionConfig, DerivativeParser, Ref, count_trees, epsilon, token
 from repro.core.languages import EMPTY, Alt, Cat, Delta, Empty, graph_size
 from repro.core.nullability import NullabilityAnalyzer

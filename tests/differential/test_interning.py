@@ -1,0 +1,169 @@
+"""Differential tests: hash-consing must never change observable results.
+
+The compactor's interning layer (``CompactionConfig.hash_consing``) returns
+canonical nodes for repeated constructions.  These tests build *twin*
+grammars from one pure-data spec — one parsed with interning on, one with it
+off — and assert the two engines agree on everything observable:
+recognition, failure positions and extracted parse trees, over random cyclic
+grammars (hypothesis) and over the repository's evaluation grammars with
+valid and corrupted streams.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EMPTY,
+    CompactionConfig,
+    DerivativeParser,
+    ParseError,
+    Ref,
+    epsilon,
+    token,
+)
+from repro.core.languages import Alt, Cat
+from repro.grammars import arithmetic_grammar, binary_sum_grammar, pl0_grammar
+from repro.lexer.tokens import Tok
+from repro.workloads import ambiguous_sum_tokens, arithmetic_tokens, pl0_tokens
+
+
+def interning_config(enabled):
+    config = CompactionConfig.full()
+    config.hash_consing = enabled
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Random cyclic grammars from pure-data specs (buildable twice, identically)
+# ---------------------------------------------------------------------------
+def build_grammar(spec):
+    refs = [Ref("N{}".format(index)) for index in range(len(spec))]
+
+    def build(expr):
+        if expr == "eps":
+            return epsilon(())
+        if expr == "empty":
+            return EMPTY
+        if expr in ("a", "b"):
+            return token(expr)
+        kind = expr[0]
+        if kind == "ref":
+            return refs[expr[1]]
+        if kind == "alt":
+            return Alt(build(expr[1]), build(expr[2]))
+        return Cat(build(expr[1]), build(expr[2]))  # 'cat'
+
+    for ref, body in zip(refs, spec):
+        ref.set(build(body))
+    return refs[0]
+
+
+def expression_strategy(n_refs):
+    leaves = st.sampled_from(["a", "b", "eps", "empty"]) | st.tuples(
+        st.just("ref"), st.integers(0, n_refs - 1)
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.tuples(st.sampled_from(["alt", "cat"]), inner, inner),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def grammar_and_inputs(draw):
+    n_refs = draw(st.integers(1, 3))
+    spec = [draw(expression_strategy(n_refs)) for _ in range(n_refs)]
+    inputs = draw(
+        st.lists(st.text(alphabet="ab", max_size=6), min_size=1, max_size=4)
+    )
+    return spec, inputs
+
+
+def observable(parser, tokens):
+    """Everything a caller can see: recognition, trees or failure position."""
+    recognized = parser.recognize(tokens)
+    if not recognized:
+        try:
+            parser.parse(tokens)
+        except ParseError as error:
+            return (False, error.position)
+        raise AssertionError("parse() succeeded on an unrecognized input")
+    try:
+        trees = parser.parse_trees(tokens, limit=5)
+    except ParseError:
+        # Recognized but no finite tree (ε-cycles): that outcome must match
+        # between the twins too.
+        return (True, "no-finite-tree")
+    return (True, trees)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammar_and_inputs())
+def test_interning_never_changes_results_on_random_grammars(case):
+    spec, inputs = case
+    with_interning = DerivativeParser(build_grammar(spec), compaction=interning_config(True))
+    without = DerivativeParser(build_grammar(spec), compaction=interning_config(False))
+    for text in inputs:
+        tokens = list(text)
+        assert observable(with_interning, tokens) == observable(without, tokens), (
+            "interning changed the result on {!r} for spec {!r}".format(text, spec)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation grammars, valid + corrupted streams
+# ---------------------------------------------------------------------------
+def corrupted(tokens, seed):
+    rng = random.Random(seed)
+    streams = [tokens]
+    if tokens:
+        streams.append(tokens[:-1])
+        streams.append(tokens[1:])
+        position = rng.randrange(len(tokens))
+        streams.append(tokens[:position] + [Tok("@")] + tokens[position:])
+        position = rng.randrange(len(tokens))
+        streams.append(tokens[:position] + [Tok("@")] + tokens[position + 1 :])
+    return streams
+
+
+@pytest.mark.parametrize(
+    "grammar_fn,stream_fn",
+    [
+        (arithmetic_grammar, lambda seed: arithmetic_tokens(30, seed=seed)),
+        (pl0_grammar, lambda seed: pl0_tokens(90, seed=seed)),
+        (binary_sum_grammar, lambda seed: ambiguous_sum_tokens(3 + seed)),
+    ],
+    ids=["arithmetic", "pl0", "ambiguous-sum"],
+)
+@pytest.mark.parametrize("seed", range(3))
+def test_interning_agrees_on_evaluation_grammars(grammar_fn, stream_fn, seed):
+    with_interning = DerivativeParser(
+        grammar_fn().to_language(), compaction=interning_config(True)
+    )
+    without = DerivativeParser(
+        grammar_fn().to_language(), compaction=interning_config(False)
+    )
+    for stream in corrupted(stream_fn(seed), seed):
+        assert observable(with_interning, stream) == observable(without, stream)
+
+
+def test_interning_table_is_cleared_by_reset():
+    parser = DerivativeParser(
+        arithmetic_grammar().to_language(), compaction=interning_config(True)
+    )
+    parser.recognize(arithmetic_tokens(30, seed=0))
+    assert parser.compactor.interned_count() > 0
+    parser.reset()
+    assert parser.compactor.interned_count() == 0
+    # And the parser still works after the purge.
+    assert parser.recognize(arithmetic_tokens(30, seed=1))
+
+
+def test_interning_produces_hits_and_identical_metrics_semantics():
+    tokens = pl0_tokens(120, seed=2)
+    parser = DerivativeParser(pl0_grammar().to_language(), compaction=interning_config(True))
+    for _ in range(3):
+        assert parser.recognize(tokens)
+    assert parser.metrics.hash_cons_hits > 0

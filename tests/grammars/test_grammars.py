@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CompactionConfig, DerivativeParser, count_trees
+from repro.core import DerivativeParser, count_trees
 from repro.earley import EarleyParser
 from repro.glr import GLRParser
 from repro.grammars import (

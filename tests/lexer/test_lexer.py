@@ -5,7 +5,7 @@ import pytest
 from repro.core import DerivativeParser, LexError
 from repro.grammars import python_grammar
 from repro.lexer import Lexer, Tok, tokenize_python
-from repro.regex import char, char_range, chars, literal, plus, seq, star
+from repro.regex import char_range, chars, literal, plus, seq, star
 
 
 def simple_lexer():

@@ -128,3 +128,50 @@ def test_dfa_agrees_with_derivative_matching(text):
     pattern = alt(seq(char("a"), star(char("b"))), literal("cab"))
     dfa = to_dfa(pattern, "abc")
     assert dfa.accepts(text) is matches(pattern, text)
+
+
+class TestDeeplyNestedRegexes:
+    """The recursion-limit bug class PR 1 removed from the grammar engine,
+    eliminated here too: nullability runs on the shared fixed-point kernel
+    and derivation on an explicit stack, so expressions nested far beyond
+    the interpreter recursion limit are handled."""
+
+    def test_deep_optional_nesting_nullable_and_match(self):
+        import sys
+
+        depth = 5000
+        assert depth * 2 > sys.getrecursionlimit()
+        regex = char("a")
+        for _ in range(depth):
+            regex = optional(seq(char("a"), regex))
+        assert nullable(regex)
+        assert matches(regex, "a" * 100)
+        assert not matches(regex, "ab")
+
+    def test_deep_literal_chain(self):
+        text = "ab" * 3000  # a Seq chain 6000 nodes deep
+        regex = literal(text)
+        assert not nullable(regex)
+        assert matches(regex, text)
+        assert not matches(regex, text[:-1])
+        assert not matches(regex, text[:10] + "x" + text[11:])
+
+    def test_deep_alternation_tower(self):
+        regex = char("b")
+        for _ in range(4000):
+            regex = alt(seq(char("a"), regex), char("b"))
+        assert not nullable(regex)
+        assert matches(regex, "b")
+        assert matches(regex, "aab")
+        assert not matches(regex, "a")
+
+    def test_nullability_is_cached_on_nodes_past_the_fast_path(self):
+        # A chain of nullable firsts forces the traversal to the very
+        # bottom, past the bounded recursive fast path, so the kernel solves
+        # and promotes final values onto the nodes: re-queries are O(1).
+        regex = char("a")
+        for _ in range(300):
+            regex = seq(star(char("a")), regex)
+        assert not nullable(regex)
+        assert regex.__dict__["_nullable"] is False
+        assert nullable(regex) is False
