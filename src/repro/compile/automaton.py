@@ -38,10 +38,33 @@ States materialized from a serialized table (:mod:`.serialize`) start with
 no language attached; each carries a *witness* (parent state + representative
 token) so the language can be rebuilt on demand by deriving along the
 witness chain.
+
+**Concurrency contract.**  A table is shared *read-mostly*: the executor's
+hot loops probe ``by_kind``/``by_signature`` without synchronization, and
+every mutation of shared *derivation* state — deriving a new transition,
+interning a state, materializing a witness chain, pruning, and the metrics
+counters those paths bump — happens under the table's
+:attr:`GrammarTable.lock`.  The one unlocked write is the idempotent
+``by_kind`` flattening on a warm signature hit in :meth:`GrammarTable.step_slow`:
+it re-publishes an already-interned successor under a finer key, racing
+writers store the identical value, and no derivation state is touched.
+The lock-free reads (and that one write) are sound on CPython because
+(a) dictionary get/set are individually atomic under the GIL and (b) a
+successor state is fully initialized (``accepting``/``dead`` assigned,
+transitions empty) *before* the assignment that publishes it into a
+transition dict, so a racing reader sees either a miss or a complete
+state, never a partial one.  The
+grammar *graph* under the table is mutated by locked paths too (derive
+memos, nullability caches, in-place pruning), so any other engine that
+derives on the same graph — e.g. the tree-extraction fallback of
+:class:`~repro.compile.CompiledParser` — must hold the same lock; plain
+:class:`~repro.core.parse.DerivativeParser` instances remain
+**thread-confined** together with their (private) graphs.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 from ..core.compaction import CompactionConfig, Compactor, optimize_initial_grammar
@@ -195,6 +218,13 @@ class GrammarTable:
     ) -> None:
         root = as_root(grammar)
         validate_grammar(root)
+        #: Guards every mutation of the table and of the grammar graph under
+        #: it (transition derivation, state interning, witness
+        #: materialization, pruning, metrics).  Warm walks read the
+        #: transition dicts without taking it; see the module docstring for
+        #: why that is sound.  Reentrant so tree-extraction fallbacks that
+        #: hold it can still step the automaton.
+        self.lock = threading.RLock()
         self.metrics = metrics if metrics is not None else Metrics()
         self.compaction_config = CompactionConfig.full()
         self.compactor = Compactor(self.compaction_config, self.metrics)
@@ -288,35 +318,47 @@ class GrammarTable:
         derive only if the edge is genuinely new.  Impure states keep
         ``by_kind`` empty, so every token routes here and is classified by
         value — the invariant that makes the callers' bare kind probe sound.
+
+        Thread-safe: the class-table probe is lock-free (classification
+        reads a frozen terminal list), and a genuine miss re-checks the
+        table after taking :attr:`lock`, so concurrent walkers racing on
+        the same cold edge derive it once.
         """
         if state.dead:
             return state
-        if state.language is None:
-            self.materialize(state)
         signature = self.classifier.signature(tok)
-        successor = state.by_signature.get(signature)
-        if successor is None:
-            self.transitions_derived += 1
-            derived = self.deriver.derive(state.language, tok)
-            if (
-                self.prune_enabled
-                and not isinstance(derived, Empty)
-                and self._prune_schedule.due(self.metrics.derive_uncached)
-            ):
-                derived, live_size = prune_empty(derived, self.nullability, self.metrics)
-                self.prune_passes += 1
-                self._prune_schedule.ran(self.metrics.derive_uncached, live_size)
-            if isinstance(derived, Empty) or self.productivity.is_empty(derived):
-                # Dead either structurally (the ∅ node) or semantically (the
-                # emptiness analysis proves no completion exists): route to
-                # the sink instead of interning a zombie state.
-                successor = self.dead
-            else:
-                successor = self._intern(derived, parent=state, via=tok)
-            if not successor.transient and not state.transient:
-                state.by_signature[signature] = successor
-        if self.pure and not successor.transient and not state.transient:
-            state.by_kind[token_kind(tok)] = successor
+        if state.language is not None:
+            successor = state.by_signature.get(signature)
+            if successor is not None:
+                if self.pure and not successor.transient and not state.transient:
+                    state.by_kind[token_kind(tok)] = successor
+                return successor
+        with self.lock:
+            if state.language is None:
+                self.materialize(state)
+            successor = state.by_signature.get(signature)
+            if successor is None:
+                self.transitions_derived += 1
+                derived = self.deriver.derive(state.language, tok)
+                if (
+                    self.prune_enabled
+                    and not isinstance(derived, Empty)
+                    and self._prune_schedule.due(self.metrics.derive_uncached)
+                ):
+                    derived, live_size = prune_empty(derived, self.nullability, self.metrics)
+                    self.prune_passes += 1
+                    self._prune_schedule.ran(self.metrics.derive_uncached, live_size)
+                if isinstance(derived, Empty) or self.productivity.is_empty(derived):
+                    # Dead either structurally (the ∅ node) or semantically
+                    # (the emptiness analysis proves no completion exists):
+                    # route to the sink instead of interning a zombie state.
+                    successor = self.dead
+                else:
+                    successor = self._intern(derived, parent=state, via=tok)
+                if not successor.transient and not state.transient:
+                    state.by_signature[signature] = successor
+            if self.pure and not successor.transient and not state.transient:
+                state.by_kind[token_kind(tok)] = successor
         return successor
 
     # -------------------------------------------------------- materialization
@@ -327,8 +369,13 @@ class GrammarTable:
         (ultimately the start state, whose language is the grammar root),
         then re-derives downward through the recorded representative tokens.
         The re-derivation populates the persistent memo, so each witness
-        edge is paid for at most once per table lifetime.
+        edge is paid for at most once per table lifetime.  Takes
+        :attr:`lock` (reentrant — :meth:`step_slow` already holds it).
         """
+        with self.lock:
+            return self._materialize_locked(state)
+
+    def _materialize_locked(self, state: AutomatonState) -> Language:
         chain: List[AutomatonState] = []
         cursor = state
         while cursor.language is None:

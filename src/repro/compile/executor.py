@@ -19,6 +19,19 @@ falls back to on-the-fly derivation through an internal
 epoch-tagged, per PR 1's isolation machinery).  Failure diagnostics ride
 the same fallback, so rejection positions agree with the interpreted parser
 exactly.
+
+**Concurrency contract.**  Recognition (``recognize``, ``start()`` states,
+``feed``) is safe to run from many threads over one shared table: warm
+walks are lock-free dictionary probes and cold edges are derived under the
+table's lock (see :mod:`repro.compile.automaton`).  The tree-producing
+APIs (``parse``/``parse_forest``/``parse_trees`` and
+``CompiledState.tree``/``forest``) derive on the *same grammar graph* as
+the table, so they hold the table lock for the duration of the fallback
+parse — correct from any thread, but serialized; services that need
+parallel tree extraction should give each worker its own thread-confined
+:class:`DerivativeParser` over a private graph
+(:func:`repro.core.languages.clone_graph`), which is exactly what
+:class:`repro.serve.ParseService` does.
 """
 
 from __future__ import annotations
@@ -174,7 +187,12 @@ class CompiledParser:
         return self.table.root
 
     def fallback(self) -> DerivativeParser:
-        """The on-the-fly derivation engine behind tree-producing APIs."""
+        """The on-the-fly derivation engine behind tree-producing APIs.
+
+        The fallback derives on the same grammar graph the table compiles,
+        so callers must hold ``self.table.lock`` while driving it (the
+        tree-producing methods below do).
+        """
         if self._fallback is None:
             # The table's root is already optimized; skip re-optimizing.
             self._fallback = DerivativeParser(self.table.root, optimize_grammar=False)
@@ -198,7 +216,8 @@ class CompiledParser:
         per-parse memo is cleared.
         """
         if self._fallback is not None:
-            self._fallback.reset()
+            with self.table.lock:
+                self._fallback.reset()
 
     def stats(self) -> Dict[str, Any]:
         """The shared table's size/warmth statistics."""
@@ -235,19 +254,22 @@ class CompiledParser:
         """
         if not isinstance(tokens, (list, tuple)):
             tokens = list(tokens)
-        return self.fallback().parse_forest(tokens)
+        with self.table.lock:
+            return self.fallback().parse_forest(tokens)
 
     def parse(self, tokens: Sequence[Any]) -> Any:
         """Parse and return a single parse tree (fallback derivation)."""
         if not isinstance(tokens, (list, tuple)):
             tokens = list(tokens)
-        return self.fallback().parse(tokens)
+        with self.table.lock:
+            return self.fallback().parse(tokens)
 
     def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
         """Parse and return up to ``limit`` distinct trees (fallback derivation)."""
         if not isinstance(tokens, (list, tuple)):
             tokens = list(tokens)
-        return self.fallback().parse_trees(tokens, limit=limit)
+        with self.table.lock:
+            return self.fallback().parse_trees(tokens, limit=limit)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return "CompiledParser({!r})".format(self.table)

@@ -41,6 +41,7 @@ from .languages import (
     Token,
     any_token,
     as_language,
+    clone_graph,
     epsilon,
     graph_size,
     reachable_nodes,
@@ -112,6 +113,7 @@ __all__ = [
     "graph_size",
     "terminal_nodes",
     "structural_fingerprint",
+    "clone_graph",
     # parsing
     "DerivativeParser",
     "ParserState",

@@ -51,6 +51,7 @@ __all__ = [
     "iter_children",
     "terminal_nodes",
     "structural_fingerprint",
+    "clone_graph",
 ]
 
 
@@ -162,6 +163,7 @@ class Empty(Language):
     __slots__ = ()
 
     def describe(self) -> str:
+        """Render the paper's ``∅`` symbol."""
         return "∅"
 
     def __repr__(self) -> str:
@@ -187,6 +189,7 @@ class Epsilon(Language):
         self.trees = tuple(trees)
 
     def describe(self) -> str:
+        """Render ``ε`` with its parse-tree annotations."""
         return "ε{}".format(list(self.trees))
 
     def __repr__(self) -> str:
@@ -232,6 +235,7 @@ class Token(Language):
         return token_kind(tok) == self.kind
 
     def describe(self) -> str:
+        """Render the terminal as ``tok(label)``."""
         return "tok({})".format(self.label)
 
     def __repr__(self) -> str:
@@ -287,6 +291,7 @@ class Alt(Language):
         self.right = right
 
     def children(self) -> tuple[Language, ...]:
+        """Return the non-None children (left, right)."""
         out = []
         if self.left is not None:
             out.append(self.left)
@@ -295,6 +300,7 @@ class Alt(Language):
         return tuple(out)
 
     def describe(self) -> str:
+        """Render the alternation with its children's node ids."""
         return "(∪ #{} #{})".format(
             getattr(self.left, "node_id", "?"), getattr(self.right, "node_id", "?")
         )
@@ -311,6 +317,7 @@ class Cat(Language):
         self.right = right
 
     def children(self) -> tuple[Language, ...]:
+        """Return the non-None children (left, right)."""
         out = []
         if self.left is not None:
             out.append(self.left)
@@ -319,6 +326,7 @@ class Cat(Language):
         return tuple(out)
 
     def describe(self) -> str:
+        """Render the concatenation with its children's node ids."""
         return "(◦ #{} #{})".format(
             getattr(self.left, "node_id", "?"), getattr(self.right, "node_id", "?")
         )
@@ -335,9 +343,11 @@ class Reduce(Language):
         self.fn = fn if fn is not None else _identity
 
     def children(self) -> tuple[Language, ...]:
+        """Return the wrapped language, when present."""
         return (self.lang,) if self.lang is not None else ()
 
     def describe(self) -> str:
+        """Render the reduction with its function's name."""
         return "(↪→ #{} {})".format(getattr(self.lang, "node_id", "?"), _fn_name(self.fn))
 
 
@@ -365,9 +375,11 @@ class Delta(Language):
         self.lang = lang
 
     def children(self) -> tuple[Language, ...]:
+        """Return the wrapped language, when present."""
         return (self.lang,) if self.lang is not None else ()
 
     def describe(self) -> str:
+        """Render the null-parse projection ``δ(L)``."""
         return "(δ #{})".format(getattr(self.lang, "node_id", "?"))
 
 
@@ -394,9 +406,11 @@ class Ref(Language):
         return self
 
     def children(self) -> tuple[Language, ...]:
+        """Return the resolved target, when present."""
         return (self.target,) if self.target is not None else ()
 
     def describe(self) -> str:
+        """Render the non-terminal as ``<name>``."""
         return "<{}>".format(self.ref_name)
 
     def __repr__(self) -> str:
@@ -533,3 +547,55 @@ def structural_fingerprint(root: Language) -> str:
             )
         )
     return digest.hexdigest()
+
+
+def clone_graph(root: Language) -> Language:
+    """Deep-copy a grammar graph into fresh, cache-free nodes.
+
+    The clone has the same structure and payloads as the original — same
+    :func:`structural_fingerprint`, same recognized language, shared token
+    predicates, reduction functions and ε-tree payloads — but every node is
+    a new object with pristine memo/nullability/parse-null fields and no
+    anchored compiled table.  Cycles are preserved.
+
+    This is the isolation primitive behind concurrent serving
+    (:mod:`repro.serve`): node-resident caches make a grammar graph
+    single-threaded territory, so each worker thread parses its own clone
+    while the shared compiled table keeps the one locked graph.  The
+    traversal only *reads* the source graph, so any number of threads may
+    clone from the same (otherwise idle) graph at once.
+    """
+    order = reachable_nodes(root)
+    clones: dict[int, Language] = {}
+    for node in order:
+        if node is EMPTY:
+            clone: Language = EMPTY
+        elif isinstance(node, Empty):
+            clone = Empty()
+        elif isinstance(node, Epsilon):
+            clone = Epsilon(node.trees)
+        elif isinstance(node, Token):
+            clone = Token(kind=node.kind, predicate=node.predicate, label=node.label)
+        elif isinstance(node, Alt):
+            clone = Alt()
+        elif isinstance(node, Cat):
+            clone = Cat()
+        elif isinstance(node, Reduce):
+            clone = Reduce(None, node.fn)
+        elif isinstance(node, Delta):
+            clone = Delta()
+        elif isinstance(node, Ref):
+            clone = Ref(node.ref_name)
+        else:
+            raise TypeError("cannot clone unknown node type: {!r}".format(node))
+        clones[id(node)] = clone
+    for node in order:
+        clone = clones[id(node)]
+        if isinstance(node, (Alt, Cat)):
+            clone.left = clones[id(node.left)] if node.left is not None else None
+            clone.right = clones[id(node.right)] if node.right is not None else None
+        elif isinstance(node, (Reduce, Delta)):
+            clone.lang = clones[id(node.lang)] if node.lang is not None else None
+        elif isinstance(node, Ref):
+            clone.target = clones[id(node.target)] if node.target is not None else None
+    return clones[id(root)]

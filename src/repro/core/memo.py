@@ -20,6 +20,19 @@ them directly:
 All strategies implement the same tiny interface: :meth:`get`, :meth:`put`
 and :meth:`clear`, plus :meth:`entry_distribution` used by the Figure 10
 benchmark.
+
+**Concurrency contract.**  Memo entries live in fields *on the grammar
+nodes*.  The owner/epoch tagging isolates parsers that share a graph
+*sequentially* (parser B never reads parser A's entries), but it does not
+make interleaved writes from concurrent threads safe: a single-entry put is
+three separate field assignments, and a dict-memo put may race on the
+owner-table creation.  The rule, enforced by :mod:`repro.serve`, is
+therefore per-*graph*, not per-parser: all derivation over one grammar
+graph must be confined to one thread or serialized by one lock.  The
+compiled :class:`~repro.compile.automaton.GrammarTable` serializes its
+grammar-lifetime :class:`PersistentDictMemo` under the table lock;
+interpreted parsers stay thread-confined together with their graphs
+(workers parse private :func:`~repro.core.languages.clone_graph` copies).
 """
 
 from __future__ import annotations
@@ -115,11 +128,13 @@ class SingleEntryMemo(DeriveMemo):
         self.epoch = next(SingleEntryMemo._epochs)
 
     def get(self, node: Language, token: Any) -> Any:
+        """Return the node-resident entry when epoch and token match, else MISS."""
         if node.memo_epoch == self.epoch and node.memo_token == token:
             return node.memo_result
         return MISS
 
     def put(self, node: Language, token: Any, result: Language) -> None:
+        """Write the node's single entry, evicting any other token's result."""
         if node.memo_epoch == self.epoch and node.memo_token != token:
             self.metrics.memo_evictions += 1
         node.memo_epoch = self.epoch
@@ -127,6 +142,7 @@ class SingleEntryMemo(DeriveMemo):
         node.memo_result = result
 
     def clear(self) -> None:
+        """Forget every entry in O(1) by advancing to a fresh epoch."""
         self.epoch = next(SingleEntryMemo._epochs)
 
 
@@ -187,6 +203,7 @@ class PerNodeDictMemo(DeriveMemo):
         touched.clear()
 
     def get(self, node: Language, token: Any) -> Any:
+        """Return this owner's entry for ``(node, token)``, or MISS."""
         tables = node.memo_table
         if tables is None:
             return MISS
@@ -196,6 +213,7 @@ class PerNodeDictMemo(DeriveMemo):
         return table.get(token, MISS)
 
     def put(self, node: Language, token: Any, result: Language) -> None:
+        """Record ``result`` in this owner's private table on ``node``."""
         tables = node.memo_table
         if tables is None:
             tables = {}
@@ -210,6 +228,7 @@ class PerNodeDictMemo(DeriveMemo):
         table[token] = result
 
     def clear(self) -> None:
+        """Drop only this memo's tables; co-owners of a node are untouched."""
         # Drop only this memo's tables; co-owners of a node are untouched.
         self._finalizer.detach()
         PerNodeDictMemo._sweep(self._owner, self._touched)
@@ -223,6 +242,7 @@ class PerNodeDictMemo(DeriveMemo):
         )
 
     def entry_distribution(self) -> Dict[int, int]:
+        """Entries-per-node histogram for this owner's tables (Figure 10)."""
         distribution: Dict[int, int] = {}
         for node in self._touched:
             tables = node.memo_table
@@ -299,12 +319,14 @@ class NestedDictMemo(DeriveMemo):
         self._tables: Dict[Language, Dict[Any, Language]] = {}
 
     def get(self, node: Language, token: Any) -> Any:
+        """Return the global table's entry for ``(node, token)``, or MISS."""
         inner = self._tables.get(node)
         if inner is None:
             return MISS
         return inner.get(token, MISS)
 
     def put(self, node: Language, token: Any, result: Language) -> None:
+        """Record ``result`` in the global node → token → result table."""
         inner = self._tables.get(node)
         if inner is None:
             inner = {}
@@ -312,9 +334,11 @@ class NestedDictMemo(DeriveMemo):
         inner[token] = result
 
     def clear(self) -> None:
+        """Drop the whole global table of tables."""
         self._tables = {}
 
     def entry_distribution(self) -> Dict[int, int]:
+        """Entries-per-node histogram over the global tables (Figure 10)."""
         distribution: Dict[int, int] = {}
         for inner in self._tables.values():
             if not inner:

@@ -14,6 +14,18 @@ The paper's evaluation (Section 4) is largely about *counting things*:
 they run.  It is intentionally lightweight — a handful of integer attributes —
 so that enabling instrumentation does not meaningfully perturb the timings
 used for Figures 6 and 12.
+
+**Concurrency contract.**  Counter bumps are plain ``+=`` on integer
+attributes — a read-modify-write that can lose updates when two threads hit
+one instance unsynchronized, so a shared :class:`Metrics` must only be
+advanced under a lock the writers agree on.  The two multi-threaded users
+in the tree both do exactly that, each in one of the two sanctioned
+patterns: the compiled :class:`~repro.compile.automaton.GrammarTable`
+advances its metrics only on paths serialized by the table lock (warm,
+lock-free walks never touch metrics), and :class:`repro.serve.ParseService`
+gives each worker its own private instance and folds them into an aggregate
+with :meth:`Metrics.merge` under the service's metrics lock.  Everything
+else — one parser, one thread — needs no synchronization at all.
 """
 
 from __future__ import annotations
@@ -111,6 +123,18 @@ class Metrics:
         """Zero every counter."""
         for f in fields(self):
             setattr(self, f.name, 0)
+
+    def merge(self, other: "Metrics") -> None:
+        """Add ``other``'s counters into this instance (aggregation primitive).
+
+        The contention-safe way to meter parallel work: give each worker a
+        private :class:`Metrics`, then fold the workers' bags into one
+        aggregate under a lock the aggregator owns (``merge`` itself does
+        not synchronize — the caller's lock is the contract, see the module
+        docstring).
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary."""

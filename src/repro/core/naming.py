@@ -35,9 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from .languages import Language, reachable_nodes
+from .languages import Language, Reduce, Ref, reachable_nodes
 
-__all__ = ["NodeName", "NamingScheme", "NamingAuditResult"]
+__all__ = ["NodeName", "NamingScheme", "NamingAuditResult", "grammar_label"]
 
 
 @dataclass(frozen=True)
@@ -198,6 +198,30 @@ class NamingScheme:
             initial_symbols=self.initial_symbols,
             input_length=input_length,
         )
+
+
+def grammar_label(root: Language) -> str:
+    """A short human-readable label identifying a grammar by its root node.
+
+    Used by ``repr``/diagnostics (e.g. :class:`repro.core.parse.ParserState`)
+    to say *which* grammar a state belongs to.  Preference order: the root's
+    Definition 5 :class:`NodeName` when the naming instrumentation assigned
+    one, the non-terminal name when the root is (or trivially wraps) a
+    :class:`~repro.core.languages.Ref` — the shape every
+    :meth:`repro.cfg.grammar.Grammar.to_language` conversion produces — and
+    otherwise the node's own ``describe()`` rendering.
+    """
+    node = root
+    for _ in range(3):
+        if node.name is not None:
+            return str(node.name)
+        if isinstance(node, Ref):
+            return node.ref_name
+        if isinstance(node, Reduce) and node.lang is not None:
+            node = node.lang
+            continue
+        break
+    return root.describe()
 
 
 def _spreadsheet_symbol(index: int) -> str:

@@ -77,6 +77,7 @@ class NullabilityAnalysis(FixpointAnalysis):
 
     # ------------------------------------------------------------- the lattice
     def bottom(self, node: Language) -> bool:
+        """Start every node at the lattice bottom: not (yet) nullable."""
         return False
 
     def dependencies(self, node: Language) -> tuple:
@@ -121,6 +122,7 @@ class NullabilityAnalysis(FixpointAnalysis):
 
     # --------------------------------------------------------- final promotion
     def final(self, node: Language):
+        """Read a previously promoted per-node result, if any."""
         state = node.null_state
         if state == NULLABLE:
             return True
@@ -129,6 +131,7 @@ class NullabilityAnalysis(FixpointAnalysis):
         return NOT_FINAL
 
     def finalize(self, node: Language, value: bool) -> None:
+        """Promote a fixed-point value into the node's cache fields."""
         # Nodes still at False are promoted from assumed- to
         # definitely-not-nullable; this is what lets later derive steps
         # answer nullability in O(1).
@@ -136,6 +139,7 @@ class NullabilityAnalysis(FixpointAnalysis):
 
     # ------------------------------------------------------------------ hooks
     def on_evaluate(self, node: Language) -> None:
+        """Count one transfer evaluation toward the Figure 7 metric."""
         self.metrics.nullable_calls += 1
 
 

@@ -72,7 +72,7 @@ from .languages import (
 )
 from .memo import DeriveMemo, make_memo
 from .metrics import Metrics
-from .naming import NamingScheme
+from .naming import NamingScheme, grammar_label
 from .nullability import NullabilityAnalyzer
 from .productivity import ProductivityAnalyzer
 from .prune import AdaptivePruneSchedule, prune_empty
@@ -137,8 +137,13 @@ class ParserState:
     ...         break
     >>> accepted = state.accepts()
 
-    ``feed`` on a failed state is a no-op (the failure position is kept), so
-    driving loops do not need to special-case dead streams.
+    **``feed`` after failure is a no-op.**  Once the derived language
+    collapses to ``∅`` the state is dead for good: further :meth:`feed` (and
+    :meth:`feed_all`) calls return immediately without deriving, without
+    advancing :attr:`position` and without touching
+    :attr:`failure_position`, which keeps pointing at the token that killed
+    the stream.  Driving loops therefore never need to special-case dead
+    streams — feeding a corpse is free and changes nothing.
 
     ``failed`` reports *structural* death — the derived language collapsed to
     the ``∅`` node.  A semantically dead language can survive structurally
@@ -234,9 +239,11 @@ class ParserState:
                 position=self.position,
             ) from None
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+    def __repr__(self) -> str:
         status = "failed@{}".format(self.failure_position) if self.failed else "alive"
-        return "ParserState(position={}, {})".format(self.position, status)
+        return "ParserState(grammar={}, position={}, {})".format(
+            grammar_label(self.parser.root), self.position, status
+        )
 
 
 class DerivativeParser:

@@ -88,9 +88,11 @@ class ProductivityAnalysis(FixpointAnalysis):
 
     # ------------------------------------------------------------- the lattice
     def bottom(self, node: Language) -> bool:
+        """Start every node at the lattice bottom: not (yet) productive."""
         return False
 
     def dependencies(self, node: Language) -> tuple:
+        """The children whose productivity this node's transfer reads."""
         if isinstance(node, (Alt, Cat)):
             return tuple(child for child in (node.left, node.right) if child is not None)
         if isinstance(node, Reduce):
@@ -102,6 +104,7 @@ class ProductivityAnalysis(FixpointAnalysis):
         return ()
 
     def transfer(self, node: Language, get) -> bool:
+        """One monotone productivity step for ``node``."""
         if isinstance(node, (Epsilon, Token)):
             return True
         if isinstance(node, Empty):
@@ -128,9 +131,11 @@ class ProductivityAnalysis(FixpointAnalysis):
 
     # --------------------------------------------------------- final promotion
     def final(self, node: Language):
+        """Read the cached final productivity of ``node``, if promoted."""
         return self.cache.get(node, NOT_FINAL)
 
     def finalize(self, node: Language, value: bool) -> None:
+        """Cache ``value`` as ``node``'s final productivity."""
         self.cache[node] = value
 
 

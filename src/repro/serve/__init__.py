@@ -1,0 +1,50 @@
+"""repro.serve — a concurrent, batched parsing service over the engines.
+
+The engines below this package are single-caller artifacts: an interpreted
+:class:`~repro.core.parse.DerivativeParser` is thread-confined with its
+graph, and a compiled :class:`~repro.compile.automaton.GrammarTable` is a
+shared read-mostly structure with a lock on its cold paths.
+:class:`ParseService` packages those contracts into something a server can
+hold: compiled tables cached in a bounded LRU keyed by grammar *structure*,
+batches fanned over a worker pool (recognition on the shared table, tree
+extraction on per-worker thread-confined parsers), an asyncio front door
+that coalesces identical in-flight requests, and checkpointable streaming
+sessions with idle eviction.
+
+Quickstart::
+
+    from repro.serve import ParseService
+    from repro.grammars import pl0_grammar
+    from repro.workloads import pl0_tokens
+
+    service = ParseService(workers=4)
+    grammar = pl0_grammar()
+    streams = [pl0_tokens(1_000, seed=s) for s in range(32)]
+
+    accepted = service.recognize_many(grammar, streams)   # shared warm table
+    outcomes = service.parse_many(grammar, streams)       # trees per stream
+    session = service.open_session(grammar)               # streaming
+    session.feed_all(streams[0]); session.accepts()
+    service.stats()["service"]["table_hit_rate"]
+
+``python -m repro.serve`` exposes the same machinery as a file-parsing
+smoke-test CLI (:mod:`repro.serve.cli`).
+"""
+
+from .cache import CacheEntry, TableCache
+from .metrics import ServiceMetrics
+from .service import ParseOutcome, ParseService, ServiceClosed
+from .sessions import ParseSession, SessionCheckpoint, SessionError, SessionManager
+
+__all__ = [
+    "ParseService",
+    "ParseOutcome",
+    "ServiceClosed",
+    "TableCache",
+    "CacheEntry",
+    "ServiceMetrics",
+    "ParseSession",
+    "SessionManager",
+    "SessionCheckpoint",
+    "SessionError",
+]

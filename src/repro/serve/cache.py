@@ -1,0 +1,171 @@
+"""A bounded LRU cache of compiled grammar tables, keyed by structure.
+
+The service's unit of warmth is the compiled
+:class:`~repro.compile.automaton.GrammarTable`.  Compiling one is the
+expensive, once-per-grammar step; everything after it is dictionary probes.
+:class:`TableCache` owns that step for the service:
+
+* **Keyed by** :func:`~repro.core.languages.structural_fingerprint` of the
+  *caller's* root, so two structurally identical grammar objects — a
+  grammar re-parsed from the same BNF in two requests, say — resolve to the
+  one warm table, which the root-anchored sharing of
+  :func:`~repro.compile.automaton.compile_grammar` (keyed on object
+  identity) cannot do.
+* **Service-private graphs.**  A cache miss clones the caller's graph
+  twice (:func:`~repro.core.languages.clone_graph`): the table compiles —
+  and locks, memoizes, prunes — one clone, and the second stays *pristine*,
+  never derived on, as the read-only seed from which worker threads clone
+  their own thread-confined interpreted parsers.  The service never
+  mutates, locks or anchors anything the caller handed it.
+* **Bounded.**  At most ``capacity`` tables are retained, LRU-evicted.
+  Eviction only drops the *cache's* reference: batches, sessions and
+  checkpoints hold the :class:`CacheEntry` strongly, so an in-flight parse
+  keeps its table alive and intact (the concurrency suite asserts this).
+* **Compile-once under contention.**  Concurrent misses on one fingerprint
+  coalesce on a future; a single thread compiles, the rest wait.
+
+Hit/miss/eviction counts land in the service's
+:class:`~repro.serve.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+from ..compile.automaton import GrammarTable, as_root
+from ..core.languages import Language, clone_graph, structural_fingerprint
+from ..core.metrics import Metrics
+from .metrics import ServiceMetrics
+
+__all__ = ["CacheEntry", "TableCache"]
+
+
+class CacheEntry:
+    """One cached grammar: the shared compiled table plus a pristine seed.
+
+    ``table`` is the service-private :class:`GrammarTable` every
+    recognition rides (thread-safe per its own contract).
+    ``pristine_root`` is a clone of the same grammar that is never parsed
+    on — its only job is to be read by :func:`clone_graph` when a worker
+    thread needs a private graph for tree extraction, which makes
+    concurrent seeding safe without any lock.  Holders of an entry keep the
+    table alive across cache eviction.
+    """
+
+    __slots__ = ("fingerprint", "table", "pristine_root", "engine_metrics")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        table: GrammarTable,
+        pristine_root: Language,
+        engine_metrics: Metrics,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.table = table
+        self.pristine_root = pristine_root
+        #: The table's private engine counter bag (advanced only under the
+        #: table lock); aggregated by :meth:`repro.serve.ParseService.stats`.
+        self.engine_metrics = engine_metrics
+
+    def __repr__(self) -> str:
+        return "CacheEntry({}..., {!r})".format(self.fingerprint[:12], self.table)
+
+
+class TableCache:
+    """Bounded LRU of :class:`CacheEntry` objects keyed by grammar structure."""
+
+    def __init__(self, capacity: int = 32, metrics: Optional[ServiceMetrics] = None) -> None:
+        if capacity < 1:
+            raise ValueError("table cache capacity must be >= 1, got {}".format(capacity))
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        #: In-flight compilations, so concurrent misses compile once.
+        self._building: Dict[str, "Future[CacheEntry]"] = {}
+
+    # ------------------------------------------------------------------ API
+    def get_or_compile(self, grammar: object, fingerprint: Optional[str] = None) -> CacheEntry:
+        """Return the warm entry for ``grammar``, compiling it on first sight.
+
+        A hit (by structural fingerprint) refreshes the entry's LRU
+        position.  A miss compiles a service-private table; a miss that
+        races another thread's in-flight compile of the same grammar waits
+        for it instead of compiling twice (counted as a hit — the table was
+        shared, not rebuilt).  Callers that already know the grammar's
+        fingerprint (the service memoizes it per root object) pass it in to
+        skip the O(graph) hash walk on warm lookups.
+        """
+        root = as_root(grammar)
+        if fingerprint is None:
+            fingerprint = structural_fingerprint(root)
+        future: "Optional[Future[CacheEntry]]" = None
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.metrics.inc("table_hits")
+                return entry
+            future = self._building.get(fingerprint)
+            if future is None:
+                future = Future()
+                self._building[fingerprint] = future
+                building = True
+            else:
+                building = False
+        if not building:
+            self.metrics.inc("table_hits")
+            return future.result()
+        try:
+            entry = self._compile(root, fingerprint)
+        except BaseException as exc:
+            with self._lock:
+                self._building.pop(fingerprint, None)
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._building.pop(fingerprint, None)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.inc("tables_evicted")
+        self.metrics.inc("table_misses")
+        future.set_result(entry)
+        return entry
+
+    def _compile(self, root: Language, fingerprint: str) -> CacheEntry:
+        """Build a service-private table (and pristine seed) for ``root``."""
+        engine_metrics = Metrics()
+        table = GrammarTable(clone_graph(root), metrics=engine_metrics)
+        pristine = clone_graph(root)
+        return CacheEntry(fingerprint, table, pristine, engine_metrics)
+
+    # ------------------------------------------------------------ inspection
+    def peek(self, fingerprint: str) -> Optional[CacheEntry]:
+        """The entry for ``fingerprint`` without touching LRU order, or None."""
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def entries(self) -> List[CacheEntry]:
+        """The cached entries, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached table (in-flight holders keep theirs alive)."""
+        with self._lock:
+            evicted = len(self._entries)
+            self._entries.clear()
+        if evicted:
+            self.metrics.inc("tables_evicted", evicted)
+
+    def __repr__(self) -> str:
+        return "TableCache({}/{} entries)".format(len(self), self.capacity)

@@ -1,0 +1,80 @@
+"""Contention-safe counters for the parsing service.
+
+The engine's :class:`~repro.core.metrics.Metrics` is deliberately a plain
+counter bag — fast, but only safe when its writers already share a lock
+(the compiled table's paths do) or keep private instances.  The service
+sits above many threads and an event loop, so its own bookkeeping needs an
+explicitly synchronized counter type: :class:`ServiceMetrics` takes one
+small lock per bump/read, which is nothing next to the parses being
+counted.
+
+Engine-level counters (derive calls, memo hits, ...) stay sharded: every
+compiled table and every per-worker parser meters into its own private
+:class:`~repro.core.metrics.Metrics`, and
+:meth:`repro.serve.ParseService.stats` folds the shards into one aggregate
+with :meth:`~repro.core.metrics.Metrics.merge` at read time — the
+sharded-then-merged pattern described in :mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["ServiceMetrics"]
+
+
+#: Counter names, all starting at zero; ``snapshot()`` reports exactly these.
+_COUNTERS = (
+    "table_hits",
+    "table_misses",
+    "tables_evicted",
+    "recognize_requests",
+    "parse_requests",
+    "batch_calls",
+    "coalesced_requests",
+    "sessions_opened",
+    "sessions_closed",
+    "sessions_evicted",
+    "checkpoints_taken",
+)
+
+
+class ServiceMetrics:
+    """Locked counters for :class:`repro.serve.ParseService`.
+
+    Every increment and read takes the instance's lock, so any number of
+    worker threads plus the asyncio front door can meter through one
+    instance without losing updates.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = {name: 0 for name in _COUNTERS}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the counter ``name``."""
+        with self._lock:
+            self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        """Read one counter (atomically)."""
+        with self._lock:
+            return self._values[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent copy of the service counters.
+
+        ``table_hit_rate`` is included pre-computed (0.0 when nothing has
+        been requested yet) because it is the number everyone asks of a
+        cache.
+        """
+        with self._lock:
+            values: Dict[str, float] = dict(self._values)
+        lookups = values["table_hits"] + values["table_misses"]
+        values["table_hit_rate"] = values["table_hits"] / lookups if lookups else 0.0
+        return values
+
+    def __repr__(self) -> str:
+        parts = ["{}={}".format(k, v) for k, v in self.snapshot().items() if v]
+        return "ServiceMetrics({})".format(", ".join(parts))

@@ -1,0 +1,383 @@
+"""`ParseService` — the concurrent, batched front door to the parsing engines.
+
+One object owns everything a server process needs to parse heavy traffic:
+
+* a bounded LRU of compiled grammar tables
+  (:class:`~repro.serve.cache.TableCache`, keyed by structural
+  fingerprint, hit/miss metered),
+* a thread pool running batched :meth:`ParseService.recognize_many` /
+  :meth:`ParseService.parse_many` over token-stream batches,
+* an asyncio front door (:meth:`ParseService.parse` /
+  :meth:`ParseService.recognize`) that coalesces identical
+  grammar+input requests in flight,
+* a :class:`~repro.serve.sessions.SessionManager` for long-lived streaming
+  parses with checkpoints and idle eviction.
+
+**Division of labour between the engines.**  Recognition rides the shared
+compiled table: warm tokens are lock-free dictionary probes from any number
+of threads, cold edges derive once under the table lock
+(:mod:`repro.compile.automaton`'s contract).  Tree extraction cannot ride
+class-interned transitions, so :meth:`parse_many` runs the *interpreted*
+engine instead — one thread-confined
+:class:`~repro.core.parse.DerivativeParser` per (worker thread × grammar),
+each over its own private :func:`~repro.core.languages.clone_graph` copy,
+so workers never contend and never touch a shared graph.  That per-worker
+pool is how the service enforces the engine's concurrency contract rather
+than asking callers to read it.
+
+A note on expectations: CPython's GIL means the thread pool interleaves
+rather than parallelizes pure-Python parsing, so worker count buys
+*concurrency* (slow streams don't block fast ones; C-level work overlaps),
+not linear speedup.  The service's throughput win over a naive sequential
+caller comes from the warm shared table and the amortized compile — see
+``benchmarks/bench_serve_throughput.py`` for the measured factors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compile.automaton import as_root
+from ..compile.executor import CompiledParser
+from ..core.errors import ParseError, ReproError
+from ..core.languages import clone_graph, structural_fingerprint
+from ..core.metrics import Metrics
+from ..core.parse import DerivativeParser
+from .cache import CacheEntry, TableCache
+from .metrics import ServiceMetrics
+from .sessions import ParseSession, SessionCheckpoint, SessionManager
+
+__all__ = ["ParseOutcome", "ParseService", "ServiceClosed"]
+
+
+class ServiceClosed(ReproError):
+    """The service was used after :meth:`ParseService.close`."""
+
+
+class ParseOutcome:
+    """The result of one service-side parse: a tree or a diagnosed failure.
+
+    Batch APIs must not let one malformed stream blow up the other
+    thousand, so :meth:`ParseService.parse_many` reports per-stream
+    outcomes instead of raising: ``ok`` with the ``tree``, or ``not ok``
+    with the engine's :class:`~repro.core.errors.ParseError` (whose
+    ``position`` pins the exact offending token, Earley-identical).
+    """
+
+    __slots__ = ("ok", "tree", "error")
+
+    def __init__(self, ok: bool, tree: Any = None, error: Optional[ParseError] = None) -> None:
+        self.ok = ok
+        self.tree = tree
+        self.error = error
+
+    @property
+    def failure_position(self) -> Optional[int]:
+        """The failing token index reported by the diagnosis (None when ok)."""
+        return self.error.position if self.error is not None else None
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "ParseOutcome(ok)"
+        return "ParseOutcome(failed@{})".format(self.failure_position)
+
+
+class ParseService:
+    """Concurrent batched parsing over cached compiled grammar tables.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size for the batch and async APIs (>= 1).
+    table_cache_size:
+        Maximum number of compiled grammar tables retained (LRU).
+    session_idle_ttl:
+        Seconds of inactivity after which a streaming session is evicted;
+        ``None`` (default) keeps sessions until closed.
+    metrics:
+        Optional shared :class:`ServiceMetrics`.
+
+    The service is a context manager; :meth:`close` shuts the pool down and
+    closes every session.  All public methods are safe to call from any
+    thread; the ``async`` front door additionally coalesces duplicate
+    in-flight requests per event loop.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        table_cache_size: int = 32,
+        session_idle_ttl: Optional[float] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got {}".format(workers))
+        self.workers = workers
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.tables = TableCache(table_cache_size, self.metrics)
+        self.sessions = SessionManager(self.metrics, idle_ttl=session_idle_ttl)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._local = threading.local()
+        #: Live per-worker engine Metrics shards for stats()-time aggregation
+        #: (reads of stale ints are acceptable there).  When a worker's
+        #: per-thread pool evicts a parser, its shard is folded into
+        #: ``_retired_engine`` and removed, so neither list nor memory grows
+        #: with the number of grammars the service has ever seen.
+        self._worker_metrics: List[Metrics] = []
+        self._retired_engine = Metrics()
+        self._worker_metrics_lock = threading.Lock()
+        #: In-flight async requests keyed by (op, fingerprint, tokens) —
+        #: touched only from event-loop callbacks, per-loop by construction.
+        self._inflight: Dict[Tuple[Any, ...], "asyncio.Future[Any]"] = {}
+        #: Tiny id-keyed memo for structural fingerprints (strong root refs
+        #: keep the ids stable); bounded, lock-guarded.
+        self._fingerprints: "OrderedDict[int, Tuple[Any, str]]" = OrderedDict()
+        self._fingerprints_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool and close every session (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.sessions.close_all()
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ParseService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("this ParseService has been closed")
+
+    # ---------------------------------------------------------------- tables
+    def table_for(self, grammar: Any) -> CacheEntry:
+        """The warm cache entry for ``grammar`` (compiling on first sight).
+
+        The structural fingerprint is memoized per root object, so a warm
+        lookup costs two dictionary probes instead of an O(graph) hash walk.
+        """
+        self._require_open()
+        return self.tables.get_or_compile(grammar, fingerprint=self._fingerprint(grammar))
+
+    def _fingerprint(self, grammar: Any) -> str:
+        """Structural fingerprint of ``grammar``, memoized per root object."""
+        root = as_root(grammar)
+        key = id(root)
+        with self._fingerprints_lock:
+            hit = self._fingerprints.get(key)
+            if hit is not None and hit[0] is root:
+                self._fingerprints.move_to_end(key)
+                return hit[1]
+        fingerprint = structural_fingerprint(root)
+        with self._fingerprints_lock:
+            self._fingerprints[key] = (root, fingerprint)
+            while len(self._fingerprints) > 64:
+                self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    # ------------------------------------------------------------ batch APIs
+    def recognize_many(self, grammar: Any, streams: Iterable[Sequence[Any]]) -> List[bool]:
+        """Recognize a batch of token streams; one bool per stream, in order.
+
+        All streams ride the one shared compiled table: the first batch
+        warms it, later batches (and later streams of this one) are pure
+        table walks fanned across the worker pool.
+        """
+        self._require_open()
+        entry = self.table_for(grammar)
+        streams = list(streams)
+        self.metrics.inc("batch_calls")
+        self.metrics.inc("recognize_requests", len(streams))
+        parser = CompiledParser(table=entry.table)
+        return list(self._executor.map(parser.recognize, streams))
+
+    def parse_many(self, grammar: Any, streams: Iterable[Sequence[Any]]) -> List[ParseOutcome]:
+        """Parse a batch of token streams into :class:`ParseOutcome` objects.
+
+        Tree extraction runs on the per-worker interpreted parser pool
+        (thread-confined graphs — the concurrency contract), so outcomes
+        carry real parse trees and exact failure positions and the workers
+        never contend on shared state.
+        """
+        self._require_open()
+        entry = self.table_for(grammar)
+        streams = list(streams)
+        self.metrics.inc("batch_calls")
+        self.metrics.inc("parse_requests", len(streams))
+        return list(
+            self._executor.map(lambda stream: self._parse_one(entry, stream), streams)
+        )
+
+    # -------------------------------------------------------- worker parsers
+    def _worker_parser(self, entry: CacheEntry) -> DerivativeParser:
+        """This thread's private interpreted parser for ``entry``'s grammar.
+
+        Built on first use per (worker thread × grammar) from the entry's
+        pristine seed — cloning is a read-only traversal, safe to run from
+        any number of workers at once.  The pool is LRU-bounded per thread
+        by the table cache's capacity so a worker cannot hoard graphs for
+        grammars the service itself has forgotten.
+        """
+        pool: "Optional[OrderedDict[str, DerivativeParser]]" = getattr(
+            self._local, "parsers", None
+        )
+        if pool is None:
+            pool = OrderedDict()
+            self._local.parsers = pool
+        parser = pool.get(entry.fingerprint)
+        if parser is None:
+            worker_metrics = Metrics()
+            with self._worker_metrics_lock:
+                self._worker_metrics.append(worker_metrics)
+            parser = DerivativeParser(
+                clone_graph(entry.pristine_root), metrics=worker_metrics
+            )
+            pool[entry.fingerprint] = parser
+            while len(pool) > self.tables.capacity:
+                _, evicted = pool.popitem(last=False)
+                with self._worker_metrics_lock:
+                    self._retired_engine.merge(evicted.metrics)
+                    try:
+                        self._worker_metrics.remove(evicted.metrics)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+        else:
+            pool.move_to_end(entry.fingerprint)
+        return parser
+
+    def _parse_one(self, entry: CacheEntry, stream: Sequence[Any]) -> ParseOutcome:
+        """Parse one stream on this worker's thread-confined parser."""
+        parser = self._worker_parser(entry)
+        try:
+            tree = parser.parse(list(stream))
+            return ParseOutcome(True, tree=tree)
+        except ParseError as error:
+            return ParseOutcome(False, error=error)
+        finally:
+            # Per-parse caches (memo + hash-consing table) grow with every
+            # distinct input; clearing them bounds a worker's memory by one
+            # parse instead of its whole service lifetime.
+            parser.reset()
+
+    def _recognize_one(self, entry: CacheEntry, stream: Sequence[Any]) -> bool:
+        """Recognize one stream on the shared compiled table."""
+        return CompiledParser(table=entry.table).recognize(stream)
+
+    # ------------------------------------------------------ asyncio front door
+    async def parse(self, grammar: Any, tokens: Sequence[Any]) -> ParseOutcome:
+        """Parse one stream from async code, coalescing duplicates in flight.
+
+        Two coroutines awaiting ``parse`` with the same grammar (by
+        structural fingerprint) and the same token sequence while the first
+        is still running share one worker execution and one result
+        (``coalesced_requests`` counts the saved runs).  Requires a running
+        event loop; the blocking work happens on the service's pool.
+        """
+        return await self._coalesced("parse", grammar, tokens, self._parse_one)
+
+    async def recognize(self, grammar: Any, tokens: Sequence[Any]) -> bool:
+        """Recognize one stream from async code (coalesced like :meth:`parse`)."""
+        return await self._coalesced("recognize", grammar, tokens, self._recognize_one)
+
+    async def _coalesced(
+        self,
+        op: str,
+        grammar: Any,
+        tokens: Sequence[Any],
+        blocking: Callable[[CacheEntry, Sequence[Any]], Any],
+    ) -> Any:
+        # The shared future is completed by a done-callback on the executor
+        # job, not by the leader coroutine: cancelling the leader (client
+        # timeout) must not fan CancelledError out to coalesced followers
+        # whose requests are still valid.  Every awaiter shields the shared
+        # future for the same reason — an awaiting task's cancellation would
+        # otherwise cancel the future under everyone else.
+        self._require_open()
+        loop = asyncio.get_running_loop()
+        tokens = tuple(tokens)
+        key = (op, id(loop), self._fingerprint(grammar), tokens)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.inc("coalesced_requests")
+            return await asyncio.shield(existing)
+        self.metrics.inc("parse_requests" if op == "parse" else "recognize_requests")
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._inflight[key] = future
+
+        def work() -> Any:
+            return blocking(self.table_for(grammar), tokens)
+
+        def transfer(done: "asyncio.Future[Any]") -> None:
+            self._inflight.pop(key, None)
+            exception = done.exception()
+            if future.cancelled():
+                return
+            if exception is not None:
+                future.set_exception(exception)
+                # Mark retrieved: an awaiter-less failure must not warn.
+                future.exception()
+            else:
+                future.set_result(done.result())
+
+        loop.run_in_executor(self._executor, work).add_done_callback(transfer)
+        return await asyncio.shield(future)
+
+    # --------------------------------------------------------------- sessions
+    def open_session(self, grammar: Any, keep_tokens: bool = True) -> ParseSession:
+        """Begin a long-lived streaming parse; see :class:`ParseSession`.
+
+        ``keep_tokens=False`` gives O(1) memory per token for
+        recognition-only streams (``tree()``/``checkpoint`` token replay
+        become unavailable).
+        """
+        self._require_open()
+        entry = self.table_for(grammar)
+        return self.sessions.open(entry, keep_tokens=keep_tokens)
+
+    def restore_session(self, checkpoint: SessionCheckpoint) -> ParseSession:
+        """Resume a new session from a checkpoint (see :meth:`SessionManager.restore`)."""
+        self._require_open()
+        return self.sessions.restore(checkpoint)
+
+    # ------------------------------------------------------------- inspection
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus aggregated engine metrics and cache state.
+
+        Engine counters are folded from the per-table and per-worker shards
+        at read time; values may trail in-flight work by a few increments
+        (stale reads of integers are harmless), which is the price of
+        keeping the hot paths lock-free.
+        """
+        snapshot = self.metrics.snapshot()
+        engine = Metrics()
+        for entry in self.tables.entries():
+            engine.merge(entry.engine_metrics)
+        with self._worker_metrics_lock:
+            shards = list(self._worker_metrics)
+            engine.merge(self._retired_engine)
+        for shard in shards:
+            engine.merge(shard)
+        return {
+            "service": snapshot,
+            "engine": engine.as_dict(),
+            "tables_cached": len(self.tables),
+            "table_capacity": self.tables.capacity,
+            "live_sessions": len(self.sessions),
+            "workers": self.workers,
+        }
+
+    def __repr__(self) -> str:
+        return "ParseService(workers={}, tables={}/{}, sessions={})".format(
+            self.workers, len(self.tables), self.tables.capacity, len(self.sessions)
+        )

@@ -1,0 +1,319 @@
+"""Long-lived streaming parse sessions over the shared compiled tables.
+
+A :class:`ParseSession` is the service-side wrapper around one streaming
+parse — the ``create / feed / checkpoint / close`` lifecycle a network
+front-end needs when a client's token stream arrives in pieces over
+minutes.  Under the hood a session drives a
+:class:`~repro.compile.executor.CompiledState` over the service's shared
+:class:`~repro.compile.automaton.GrammarTable`: warm tokens cost two dict
+probes, cold edges derive once under the table lock, and any number of
+sessions stream over one table concurrently.
+
+Lifecycle rules, all asserted by ``tests/serve``:
+
+* Each session owns a lock, so *the session object itself* may be driven
+  from any thread — but one feed at a time (a token stream has an order).
+* A session holds its :class:`~repro.serve.cache.CacheEntry` strongly, so
+  evicting the grammar's table from the service's LRU cache mid-stream
+  never corrupts the session: it keeps its table until it closes.
+* :meth:`ParseSession.checkpoint` snapshots the automaton position in O(1)
+  (plus the retained token prefix when tree extraction is enabled);
+  :meth:`SessionManager.restore` rehydrates a new session from the
+  snapshot — speculative feeding, client retry, "fork the stream here".
+* Sessions idle longer than the manager's TTL are evicted by an
+  opportunistic sweep (no reaper thread: sweeps piggyback on opens and on
+  explicit :meth:`SessionManager.sweep` calls).  An evicted session is
+  closed: feeding it raises :class:`SessionError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..compile.automaton import AutomatonState
+from ..compile.executor import CompiledParser, CompiledState
+from ..core.errors import ReproError
+from .cache import CacheEntry
+from .metrics import ServiceMetrics
+
+__all__ = ["SessionError", "SessionCheckpoint", "ParseSession", "SessionManager"]
+
+
+class SessionError(ReproError):
+    """A session was used after it was closed or evicted, or never existed."""
+
+
+class SessionCheckpoint:
+    """An immutable snapshot of a session's progress, restorable later.
+
+    Holds the automaton state reference, the stream position, and (when the
+    session retains tokens) the consumed-token prefix — plus a strong
+    reference to the session's cache entry so the table the state belongs
+    to outlives any cache eviction.
+    """
+
+    __slots__ = ("entry", "state", "position", "failure_position", "tokens")
+
+    def __init__(
+        self,
+        entry: CacheEntry,
+        state: AutomatonState,
+        position: int,
+        failure_position: Optional[int],
+        tokens: Optional[Tuple[Any, ...]],
+    ) -> None:
+        self.entry = entry
+        self.state = state
+        self.position = position
+        self.failure_position = failure_position
+        self.tokens = tokens
+
+    def __repr__(self) -> str:
+        return "SessionCheckpoint(position={}, grammar={}...)".format(
+            self.position, self.entry.fingerprint[:12]
+        )
+
+
+class ParseSession:
+    """One streaming parse: feed tokens, query acceptance, checkpoint, close.
+
+    Mirrors the :class:`~repro.core.parse.ParserState` streaming surface
+    (``feed``/``feed_all``/``accepts``/``failed``) with the service
+    lifecycle on top.  Like the engine states, **feed after failure is a
+    no-op** — the failure position is kept and the corpse is cheap to feed;
+    feed after *close* is different and raises :class:`SessionError`,
+    because a closed session's resources may already be reused.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        entry: CacheEntry,
+        manager: "SessionManager",
+        keep_tokens: bool = True,
+    ) -> None:
+        self.session_id = session_id
+        self.entry = entry
+        self._manager = manager
+        self._parser = CompiledParser(table=entry.table)
+        self._state: CompiledState = self._parser.start(keep_tokens=keep_tokens)
+        self._lock = threading.Lock()
+        self.closed = False
+        #: Why the session ended: None while live, "closed" or "evicted".
+        self.end_reason: Optional[str] = None
+        self.last_used = manager.clock()
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def position(self) -> int:
+        """Number of tokens consumed so far."""
+        return self._state.position
+
+    @property
+    def failed(self) -> bool:
+        """True once the automaton entered the ``∅`` sink."""
+        return self._state.failed
+
+    @property
+    def failure_position(self) -> Optional[int]:
+        """Index of the token that killed the stream, or None while alive."""
+        return self._state.failure_position
+
+    def accepts(self) -> bool:
+        """True when the tokens consumed so far form a complete parse.
+
+        Raises :class:`SessionError` once closed/evicted, like every other
+        operation — a liveness probe must not silently answer from a
+        deregistered session.
+        """
+        with self._lock:
+            self._require_open()
+            self._touch()
+            return self._state.accepts()
+
+    # ---------------------------------------------------------------- driving
+    def feed(self, token: Any) -> "ParseSession":
+        """Consume one token (no-op once failed; raises once closed)."""
+        with self._lock:
+            self._require_open()
+            self._touch()
+            self._state.feed(token)
+        return self
+
+    def feed_all(self, tokens: Iterable[Any]) -> "ParseSession":
+        """Consume every token from an iterable (stops pulling on failure)."""
+        with self._lock:
+            self._require_open()
+            self._touch()
+            self._state.feed_all(tokens)
+        return self
+
+    # ---------------------------------------------------------------- results
+    def tree(self) -> Any:
+        """One parse tree of the consumed tokens (needs token retention).
+
+        Falls back to interpreted derivation under the table lock (see
+        :class:`~repro.compile.executor.CompiledState`); raises
+        :class:`~repro.core.errors.ParseError` when the consumed prefix is
+        not a complete parse.
+        """
+        with self._lock:
+            self._require_open()
+            self._touch()
+            return self._state.tree()
+
+    # ------------------------------------------------------------- lifecycle
+    def checkpoint(self) -> SessionCheckpoint:
+        """Snapshot the current progress for a later :meth:`SessionManager.restore`."""
+        with self._lock:
+            self._require_open()
+            self._touch()
+            retained = self._state.tokens
+            self._manager.metrics.inc("checkpoints_taken")
+            return SessionCheckpoint(
+                entry=self.entry,
+                state=self._state.state,
+                position=self._state.position,
+                failure_position=self._state.failure_position,
+                tokens=tuple(retained) if retained is not None else None,
+            )
+
+    def close(self) -> None:
+        """End the session and release it from the manager (idempotent)."""
+        self._manager.close(self.session_id)
+
+    def _end(self, reason: str) -> None:
+        """Mark the session dead (manager-internal; registry already updated)."""
+        with self._lock:
+            if not self.closed:
+                self.closed = True
+                self.end_reason = reason
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionError(
+                "session {!r} is {} and cannot be used".format(
+                    self.session_id, self.end_reason or "closed"
+                )
+            )
+
+    def _touch(self) -> None:
+        self.last_used = self._manager.clock()
+
+    def __repr__(self) -> str:
+        status = self.end_reason if self.closed else (
+            "failed@{}".format(self.failure_position) if self.failed else "alive"
+        )
+        return "ParseSession({}, position={}, {})".format(
+            self.session_id, self.position, status
+        )
+
+
+class SessionManager:
+    """Registry of live sessions with TTL-based idle eviction.
+
+    ``idle_ttl`` is in seconds of ``clock`` time (``time.monotonic`` by
+    default; tests inject a fake clock); ``None`` disables eviction.
+    Sweeps run opportunistically on :meth:`open` — a service that opens
+    sessions keeps its registry tidy without a background thread — and on
+    demand via :meth:`sweep`.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        metrics: Optional[ServiceMetrics] = None,
+        idle_ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.idle_ttl = idle_ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ParseSession] = {}
+
+    # ------------------------------------------------------------------ API
+    def open(self, entry: CacheEntry, keep_tokens: bool = True) -> ParseSession:
+        """Create and register a session over ``entry``'s compiled table."""
+        self.sweep()
+        session_id = "s{}".format(next(SessionManager._ids))
+        session = ParseSession(session_id, entry, self, keep_tokens=keep_tokens)
+        with self._lock:
+            self._sessions[session_id] = session
+        self.metrics.inc("sessions_opened")
+        return session
+
+    def restore(self, checkpoint: SessionCheckpoint) -> ParseSession:
+        """Open a new session resuming exactly at ``checkpoint``.
+
+        The new session is independent of the one that took the snapshot
+        (which may since have advanced, failed or closed): same automaton
+        state, same position, its own lifecycle.
+        """
+        session = self.open(checkpoint.entry, keep_tokens=checkpoint.tokens is not None)
+        state = session._state
+        state.state = checkpoint.state
+        state.position = checkpoint.position
+        state.failure_position = checkpoint.failure_position
+        if checkpoint.tokens is not None:
+            state.tokens = list(checkpoint.tokens)
+        return session
+
+    def get(self, session_id: str) -> ParseSession:
+        """Look up a live session by id (raises :class:`SessionError` if gone)."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError("no live session {!r}".format(session_id))
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Close and deregister a session (idempotent)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is not None and not session.closed:
+            session._end("closed")
+            self.metrics.inc("sessions_closed")
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Evict every session idle longer than ``idle_ttl``; return the count."""
+        if self.idle_ttl is None:
+            return 0
+        if now is None:
+            now = self.clock()
+        cutoff = now - self.idle_ttl
+        with self._lock:
+            idle = [s for s in self._sessions.values() if s.last_used <= cutoff]
+            for session in idle:
+                del self._sessions[session.session_id]
+        for session in idle:
+            session._end("evicted")
+        if idle:
+            self.metrics.inc("sessions_evicted", len(idle))
+        return len(idle)
+
+    def live_sessions(self) -> List[ParseSession]:
+        """Every currently registered session."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close_all(self) -> None:
+        """Close every registered session (service shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        closed = 0
+        for session in sessions:
+            if not session.closed:
+                session._end("closed")
+                closed += 1
+        if closed:
+            self.metrics.inc("sessions_closed", closed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -180,3 +180,41 @@ class TestGraphTraversal:
 class TestLanguageBaseIsAbstractEnough:
     def test_language_children_default(self):
         assert Language().children() == ()
+
+
+class TestCloneGraph:
+    def test_clone_preserves_structure_and_language(self):
+        from repro.core.languages import clone_graph, structural_fingerprint
+        from repro.core.parse import DerivativeParser
+
+        e, t, f = Ref("E"), Ref("T"), Ref("F")
+        e.set((e + token("+") + t) | t)
+        t.set((t + token("*") + f) | f)
+        f.set((token("(") + e + token(")")) | token("n"))
+        clone = clone_graph(e)
+        assert structural_fingerprint(clone) == structural_fingerprint(e)
+        for text, expected in [("n+n*n", True), ("n+", False), ("(n)", True)]:
+            assert DerivativeParser(clone).recognize(list(text)) is expected
+
+    def test_clone_shares_no_nodes_with_the_original(self):
+        from repro.core.languages import EMPTY, clone_graph
+
+        e = Ref("E")
+        e.set((e + token("+") + token("n")) | token("n"))
+        originals = {id(node) for node in reachable_nodes(e)}
+        clone = clone_graph(e)
+        shared = [n for n in reachable_nodes(clone) if id(n) in originals and n is not EMPTY]
+        assert shared == []
+
+    def test_clone_starts_cache_free(self):
+        from repro.core.languages import clone_graph
+        from repro.core.parse import DerivativeParser
+
+        e = Ref("E")
+        e.set((e + token("+") + token("n")) | token("n"))
+        DerivativeParser(e, optimize_grammar=False).recognize(["n", "+", "n"])
+        clone = clone_graph(e)
+        for node in reachable_nodes(clone):
+            assert node.memo_epoch == -1
+            assert node.memo_table is None
+            assert node.compiled_table is None

@@ -242,3 +242,34 @@ class TestResetHygiene:
         assert parser.recognize(list("n+n")) is True
         parser.reset()
         assert parser.recognize(list("n*n")) is True
+
+
+class TestParserStateRepr:
+    """Regression: repr must identify the grammar, not just position/status."""
+
+    def test_repr_names_the_grammar_and_position(self):
+        parser = DerivativeParser(classic_expression())
+        state = parser.start()
+        assert repr(state) == "ParserState(grammar=E, position=0, alive)"
+        state.feed("n").feed("+").feed("n")
+        assert repr(state) == "ParserState(grammar=E, position=3, alive)"
+
+    def test_repr_reports_failure_position(self):
+        parser = DerivativeParser(right_recursive_list())
+        state = parser.start().feed("a").feed("b")
+        assert state.failed
+        assert repr(state) == "ParserState(grammar=L, position=2, failed@1)"
+
+    def test_repr_uses_cfg_start_symbol(self):
+        from repro.grammars import pl0_grammar
+
+        state = DerivativeParser(pl0_grammar().to_language()).start()
+        assert "grammar=program" in repr(state)
+
+    def test_feed_after_failure_keeps_position_and_failure(self):
+        # The documented no-op semantics: a dead state swallows feeds.
+        parser = DerivativeParser(right_recursive_list())
+        state = parser.start().feed("b")
+        assert (state.position, state.failure_position) == (1, 0)
+        state.feed("a").feed_all(["a", "a", "a"])
+        assert (state.position, state.failure_position) == (1, 0)

@@ -1,0 +1,138 @@
+"""Concurrency stress: shared-table agreement under threads, plus properties.
+
+The contract under test (see :mod:`repro.compile.automaton`): one compiled
+table may be walked by any number of threads — warm reads lock-free, cold
+edges derived under the table lock — and must produce byte-for-byte the
+results a sequential interpreted parser produces, no matter how the threads
+interleave or how cold the table starts.
+"""
+
+import threading
+
+import pytest
+
+from repro.compile import CompiledParser, GrammarTable
+from repro.core import DerivativeParser, ParseError
+from repro.grammars import pl0_grammar
+from repro.lexer.tokens import Tok
+from repro.serve import ParseService
+from repro.workloads import pl0_tokens
+
+N_THREADS = 8
+PARSES_PER_THREAD = 5
+
+
+def corrupt(stream, at):
+    bad = list(stream)
+    bad[at:] = bad[: at // 2]
+    return bad
+
+
+def mixed_streams():
+    """A deterministic mix of valid and corrupted PL/0 streams."""
+    streams = [pl0_tokens(120, seed=s) for s in range(6)]
+    streams.append(corrupt(streams[0], 15))
+    streams.append(corrupt(streams[2], 40))
+    streams.append([Tok("begin"), Tok("end")])  # missing final '.'
+    return streams
+
+
+class TestSharedTableThreadAgreement:
+    def test_n_threads_m_parses_agree_with_sequential(self):
+        streams = mixed_streams()
+        sequential = DerivativeParser(pl0_grammar().to_language())
+        expected = [sequential.recognize(s) for s in streams]
+
+        table = GrammarTable(pl0_grammar().language())  # cold: threads race on every edge
+        results = [None] * N_THREADS
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(index):
+            parser = CompiledParser(table=table)
+            barrier.wait()  # maximize cold-edge contention
+            mine = []
+            for _ in range(PARSES_PER_THREAD):
+                mine.append([parser.recognize(s) for s in streams])
+            results[index] = mine
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for per_thread in results:
+            for round_results in per_thread:
+                assert round_results == expected
+
+    def test_service_trees_and_failure_positions_agree_under_threads(self):
+        streams = mixed_streams()
+        sequential = DerivativeParser(pl0_grammar().to_language())
+        expected = []
+        for stream in streams:
+            try:
+                expected.append(("ok", sequential.parse(stream)))
+            except ParseError as error:
+                expected.append(("fail", error.position))
+
+        with ParseService(workers=N_THREADS) as service:
+            grammar = pl0_grammar()
+            for _ in range(3):  # repeated batches re-exercise warm caches
+                outcomes = service.parse_many(grammar, streams)
+                for outcome, want in zip(outcomes, expected):
+                    if want[0] == "ok":
+                        assert outcome.ok and outcome.tree == want[1]
+                    else:
+                        assert not outcome.ok
+                        assert outcome.failure_position == want[1]
+
+    def test_concurrent_sessions_share_one_table(self):
+        with ParseService(workers=4) as service:
+            grammar = pl0_grammar()
+            streams = [pl0_tokens(100, seed=s) for s in range(N_THREADS)]
+            sessions = [service.open_session(grammar) for _ in streams]
+            errors = []
+
+            def drive(session, stream):
+                try:
+                    session.feed_all(stream)
+                    assert session.accepts()
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=drive, args=(session, stream))
+                for session, stream in zip(sessions, streams)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert service.metrics.get("table_misses") == 1
+
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+PL0_TOKENS = st.one_of(
+    st.sampled_from(
+        ["begin", "end", ";", ":=", ".", "if", "then", "while", "do", "+", "*", "odd", "="]
+    ).map(Tok),
+    st.sampled_from(["x", "y"]).map(lambda s: Tok("IDENT", s)),
+    st.integers(min_value=0, max_value=9).map(lambda n: Tok("NUMBER", str(n))),
+)
+
+# Shared across examples so the table keeps getting warmer — cache hits
+# must never flip a result relative to the always-cold oracle.
+_SERVICE = ParseService(workers=4)
+_ORACLE = DerivativeParser(pl0_grammar().to_language())
+_GRAMMAR = pl0_grammar()
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams=st.lists(st.lists(PL0_TOKENS, max_size=15), min_size=1, max_size=6))
+def test_property_batched_recognition_matches_sequential(streams):
+    expected = [_ORACLE.recognize(stream) for stream in streams]
+    assert _SERVICE.recognize_many(_GRAMMAR, streams) == expected

@@ -1,0 +1,199 @@
+"""ParseService: batch results, table caching, coalescing, CLI, isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.core import DerivativeParser
+from repro.grammars import arithmetic_grammar, balanced_parens_grammar, pl0_grammar
+from repro.lexer.tokens import Tok
+from repro.serve import ParseService, ServiceClosed, TableCache
+from repro.serve.cli import main as cli_main
+from repro.workloads import pl0_source, pl0_tokens
+
+
+@pytest.fixture
+def service():
+    with ParseService(workers=4) as svc:
+        yield svc
+
+
+def corrupt(stream, at=10):
+    """A copy of ``stream`` whose tail is replaced by an earlier slice."""
+    bad = list(stream)
+    bad[at:] = bad[: at // 2]
+    return bad
+
+
+class TestBatchAPIs:
+    def test_recognize_many_matches_sequential(self, service):
+        grammar = pl0_grammar()
+        streams = [pl0_tokens(150, seed=s) for s in range(6)]
+        streams.append(corrupt(streams[0]))
+        sequential = DerivativeParser(grammar.to_language())
+        expected = [sequential.recognize(s) for s in streams]
+        assert service.recognize_many(grammar, streams) == expected
+        # The batch ran on one cached table; re-batching is a pure hit.
+        assert service.recognize_many(grammar, streams) == expected
+        assert service.metrics.get("table_misses") == 1
+        assert service.metrics.get("table_hits") >= 1
+
+    def test_parse_many_trees_and_failure_positions_match_sequential(self, service):
+        grammar = pl0_grammar()
+        streams = [pl0_tokens(120, seed=s) for s in range(4)]
+        bad = corrupt(streams[1])
+        sequential = DerivativeParser(grammar.to_language())
+        outcomes = service.parse_many(grammar, streams + [bad])
+        for stream, outcome in zip(streams, outcomes):
+            assert outcome.ok
+            assert outcome.tree == sequential.parse(stream)
+        failed = outcomes[-1]
+        assert not failed.ok
+        with pytest.raises(Exception) as excinfo:
+            sequential.parse(bad)
+        assert failed.failure_position == excinfo.value.position
+
+    def test_results_preserve_batch_order(self, service):
+        grammar = balanced_parens_grammar()
+        streams = [
+            [Tok("("), Tok(")")],
+            [Tok("(")],
+            [Tok("("), Tok("("), Tok(")"), Tok(")")],
+            [Tok(")")],
+        ]
+        assert service.recognize_many(grammar, streams) == [True, False, True, False]
+
+    def test_caller_grammar_is_never_touched(self, service):
+        # The service clones: no table is anchored on (and no derivation
+        # cache ever lands in) the caller's own graph.  Built inline —
+        # the lru_cached evaluation grammars are shared across the whole
+        # test run and other suites legitimately cache on them.
+        from repro.core import Ref, reachable_nodes, token
+
+        grammar = Ref("E")
+        grammar.set((token("a") + grammar) | token("a"))
+        stream = [Tok("a"), Tok("a"), Tok("a")]
+        assert service.recognize_many(grammar, [stream]) == [True]
+        assert service.parse_many(grammar, [stream])[0].ok
+        for node in reachable_nodes(grammar):
+            assert node.compiled_table is None
+            assert node.memo_table is None
+            assert node.memo_epoch == -1
+            assert node.null_generation == -1
+
+
+class TestTableCache:
+    def test_structurally_identical_grammars_share_one_table(self, service):
+        streams = [pl0_tokens(60)]
+        service.recognize_many(pl0_grammar(), streams)
+        # A structurally identical but distinct grammar object: same
+        # fingerprint, so the second call must hit.
+        other = pl0_grammar()
+        service.recognize_many(other, streams)
+        assert service.metrics.get("table_misses") == 1
+        assert service.metrics.get("table_hits") == 1
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        with ParseService(workers=2, table_cache_size=2) as svc:
+            grammars = [pl0_grammar(), arithmetic_grammar(), balanced_parens_grammar()]
+            for grammar in grammars:
+                svc.table_for(grammar)
+            assert len(svc.tables) == 2
+            assert svc.metrics.get("tables_evicted") == 1
+            # The oldest (pl0) was evicted: asking again recompiles.
+            svc.table_for(pl0_grammar())
+            assert svc.metrics.get("table_misses") == 4
+
+    def test_eviction_does_not_invalidate_held_entry(self):
+        cache = TableCache(capacity=1)
+        entry = cache.get_or_compile(pl0_grammar())
+        cache.get_or_compile(arithmetic_grammar())  # evicts the pl0 entry
+        assert cache.peek(entry.fingerprint) is None
+        # The held entry keeps working after eviction.
+        from repro.compile import CompiledParser
+
+        assert CompiledParser(table=entry.table).recognize(pl0_tokens(60)) is True
+
+
+class TestAsyncFrontDoor:
+    def test_parse_coalesces_identical_inflight_requests(self, service):
+        grammar = pl0_grammar()
+        tokens = tuple(pl0_tokens(200, seed=3))
+
+        async def fan_out():
+            return await asyncio.gather(*(service.parse(grammar, tokens) for _ in range(6)))
+
+        outcomes = asyncio.run(fan_out())
+        assert all(outcome.ok for outcome in outcomes)
+        first_tree = outcomes[0].tree
+        assert all(outcome.tree == first_tree for outcome in outcomes)
+        assert service.metrics.get("coalesced_requests") >= 1
+        assert service.metrics.get("parse_requests") + service.metrics.get(
+            "coalesced_requests"
+        ) == 6
+
+    def test_leader_cancellation_does_not_poison_followers(self, service):
+        # Cancelling the first (leading) request must not fan its
+        # CancelledError out to coalesced followers: the shared future is
+        # completed by the executor job, independent of the leader.
+        grammar = pl0_grammar()
+        tokens = tuple(pl0_tokens(400, seed=9))
+
+        async def run():
+            leader = asyncio.ensure_future(service.parse(grammar, tokens))
+            await asyncio.sleep(0)  # let the leader register in flight
+            follower = asyncio.ensure_future(service.parse(grammar, tokens))
+            await asyncio.sleep(0)
+            leader.cancel()
+            outcome = await follower
+            assert outcome.ok
+            try:
+                await leader
+            except asyncio.CancelledError:
+                pass  # the leader itself is allowed to observe cancellation
+
+        asyncio.run(run())
+
+    def test_recognize_async_and_distinct_inputs_not_coalesced(self, service):
+        grammar = pl0_grammar()
+
+        async def two_different():
+            return await asyncio.gather(
+                service.recognize(grammar, tuple(pl0_tokens(80, seed=1))),
+                service.recognize(grammar, tuple(pl0_tokens(80, seed=2))),
+            )
+
+        assert asyncio.run(two_different()) == [True, True]
+
+
+class TestLifecycle:
+    def test_closed_service_raises(self):
+        service = ParseService(workers=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.recognize_many(pl0_grammar(), [[]])
+        service.close()  # idempotent
+
+    def test_stats_shape(self, service):
+        service.recognize_many(pl0_grammar(), [pl0_tokens(60)])
+        service.parse_many(pl0_grammar(), [pl0_tokens(60)])
+        stats = service.stats()
+        assert stats["tables_cached"] == 1
+        assert stats["service"]["table_hit_rate"] > 0
+        assert stats["engine"]["derive_calls"] > 0
+        assert stats["workers"] == 4
+
+
+class TestCli:
+    def test_cli_recognizes_files_and_reports_stats(self, tmp_path, capsys):
+        good = tmp_path / "good.pl0"
+        good.write_text(pl0_source(120, seed=1))
+        assert cli_main(["--grammar", "pl0", str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "tok/s" in out
+
+    def test_cli_parse_mode_reports_failure_and_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pl0"
+        bad.write_text("var x; begin x := end.")
+        assert cli_main(["--grammar", "pl0", "--parse", str(bad)]) == 1
+        assert "parse error" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Streaming sessions: lifecycle, checkpoints, idle eviction, cache safety."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.grammars import arithmetic_grammar, pl0_grammar
+from repro.serve import ParseService, SessionError
+from repro.serve.sessions import SessionManager
+from repro.workloads import pl0_tokens
+
+
+@pytest.fixture
+def service():
+    with ParseService(workers=2) as svc:
+        yield svc
+
+
+class TestSessionLifecycle:
+    def test_feed_accept_tree_roundtrip(self, service):
+        tokens = pl0_tokens(150, seed=7)
+        session = service.open_session(pl0_grammar())
+        for tok in tokens[:75]:
+            session.feed(tok)
+        assert not session.failed
+        session.feed_all(tokens[75:])
+        assert session.accepts()
+        assert session.position == len(tokens)
+        assert session.tree() is not None
+
+    def test_feed_after_failure_is_noop_feed_after_close_raises(self, service):
+        session = service.open_session(pl0_grammar())
+        session.feed_all(pl0_tokens(60))  # complete program; '.' already seen
+        session.feed(pl0_tokens(60)[0])  # one token past the end kills it
+        failed_at = session.failure_position
+        position = session.position
+        session.feed(pl0_tokens(60)[1])  # corpse: nothing changes
+        assert session.failure_position == failed_at
+        assert session.position == position
+        session.close()
+        assert session.closed and session.end_reason == "closed"
+        with pytest.raises(SessionError):
+            session.feed(pl0_tokens(60)[0])
+        with pytest.raises(SessionError):
+            session.accepts()  # liveness probes must not answer from a corpse
+
+    def test_keep_tokens_false_disables_tree(self, service):
+        session = service.open_session(pl0_grammar(), keep_tokens=False)
+        session.feed_all(pl0_tokens(60))
+        assert session.accepts()
+        with pytest.raises(ValueError):
+            session.tree()
+
+    def test_rejected_prefix_tree_raises_parse_error(self, service):
+        tokens = pl0_tokens(60)
+        session = service.open_session(pl0_grammar())
+        session.feed_all(tokens[: len(tokens) // 2])
+        if not session.accepts():
+            with pytest.raises(ParseError):
+                session.tree()
+
+
+class TestCheckpoints:
+    def test_checkpoint_restore_forks_the_stream(self, service):
+        tokens = pl0_tokens(200, seed=3)
+        session = service.open_session(pl0_grammar())
+        session.feed_all(tokens[:100])
+        checkpoint = session.checkpoint()
+        # The original keeps going and finishes.
+        session.feed_all(tokens[100:])
+        assert session.accepts()
+        # The fork resumes at 100 and finishes independently.
+        fork = service.restore_session(checkpoint)
+        assert fork.position == 100
+        fork.feed_all(tokens[100:])
+        assert fork.accepts()
+        assert fork.tree() == session.tree()
+        assert service.metrics.get("checkpoints_taken") == 1
+
+    def test_restored_session_has_own_lifecycle(self, service):
+        session = service.open_session(pl0_grammar())
+        session.feed_all(pl0_tokens(80)[:10])
+        fork = service.restore_session(session.checkpoint())
+        session.close()
+        # Closing the original does not close the fork.
+        fork.feed(pl0_tokens(80)[10])
+        assert not fork.closed
+
+
+class TestIdleEviction:
+    def test_idle_sessions_are_evicted_and_marked(self):
+        clock = [0.0]
+        manager = SessionManager(idle_ttl=10.0, clock=lambda: clock[0])
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            idle = manager.open(entry)
+            clock[0] = 5.0
+            fresh = manager.open(entry)
+            clock[0] = 14.0
+            assert manager.sweep() == 1  # idle (last used 0.0) is gone
+            assert idle.closed and idle.end_reason == "evicted"
+            assert not fresh.closed
+            with pytest.raises(SessionError):
+                idle.feed(pl0_tokens(60)[0])
+            with pytest.raises(SessionError):
+                manager.get(idle.session_id)
+            assert manager.metrics.get("sessions_evicted") == 1
+
+    def test_activity_defers_eviction(self):
+        clock = [0.0]
+        manager = SessionManager(idle_ttl=10.0, clock=lambda: clock[0])
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            session = manager.open(entry)
+            tokens = pl0_tokens(60)
+            for step in range(3):
+                clock[0] += 8.0
+                session.feed(tokens[step])  # touches last_used
+            assert manager.sweep() == 0
+            assert not session.closed
+
+
+class TestCacheEvictionSafety:
+    def test_table_cache_eviction_never_corrupts_inflight_session(self):
+        # Capacity-1 cache: compiling a second grammar evicts the first
+        # mid-stream.  The session holds its entry strongly, so it finishes
+        # on the (now cache-orphaned) table with correct results.
+        with ParseService(workers=2, table_cache_size=1) as service:
+            tokens = pl0_tokens(200, seed=5)
+            session = service.open_session(pl0_grammar())
+            session.feed_all(tokens[:100])
+            service.table_for(arithmetic_grammar())  # evicts the pl0 table
+            assert len(service.tables) == 1
+            session.feed_all(tokens[100:])
+            assert session.accepts()
+            assert session.tree() is not None
+            # A fresh pl0 request recompiles independently and still agrees.
+            assert service.recognize_many(pl0_grammar(), [tokens]) == [True]
