@@ -1,0 +1,257 @@
+"""Edit-aware incremental reparsing vs. full reparse (repro.incremental).
+
+The incremental layer's claim: once a document carries a checkpoint trail
+(one O(1) snapshot per *k* tokens — possible because the PLDI'16
+structures are persistent), an edit costs a rewind to the nearest
+checkpoint plus a replay of the changed region, instead of a reparse of
+the whole buffer.  On the compiled engine the replay additionally
+*re-converges* with the old parse (interned automaton states are
+value-insensitive), so a single-token value edit re-derives at most
+``checkpoint interval + edit size`` tokens no matter where it lands.  The
+interpreted engine replays checkpoint-to-end — its derived graphs carry
+parse payloads and never re-join by identity — so its win scales with
+``position / suffix`` and is largest for late edits.
+
+Per workload (PL/0 per arXiv:2207.08972, and the Python subset) and per
+engine this benchmark applies single-token value edits at 10% / 50% / 90%
+of the buffer plus a 6-token block edit mid-buffer, and prints full-vs-
+incremental timings, speedups and re-fed token counts.
+
+Gates:
+
+* **Full mode** — compiled single-token *mid-document* edits on the
+  ≥5 000-token PL/0 buffer must beat full reparse by ≥ 10×; interpreted
+  *late* edits must beat it by ≥ 2× (the honest suffix-replay floor).
+* **Quick mode** (``REPRO_BENCH_QUICK=1``, the CI smoke job) — the
+  wall-clock gates are replaced by deterministic ones: every edit keeps
+  recognition parity, compiled value edits re-converge with
+  ``re-fed tokens ≤ checkpoint interval + edit size``, and interpreted
+  edits re-feed exactly ``buffer length − rewind checkpoint`` tokens with
+  the rewind within one interval of the edit.
+
+Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON
+(the CI job uploads it as the ``BENCH_incremental.json`` artifact).
+"""
+
+import json
+import os
+
+from repro.bench import format_table, time_call
+from repro.compile import CompiledParser
+from repro.core import DerivativeParser
+from repro.grammars import pl0_grammar, python_grammar
+from repro.incremental import IncrementalDocument
+from repro.workloads import generate_program, pl0_tokens, value_edit_at
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+CHECKPOINT_EVERY = 32 if QUICK else 64
+#: (workload, engine) -> token count.  The interpreted engine parses a few
+#: orders of magnitude slower than the warm automaton, so its full-mode
+#: buffers are smaller; the ≥10× acceptance gate rides the compiled engine
+#: on the ≥5k-token PL/0 buffer.
+SIZES = {
+    ("pl0", "compiled"): 600 if QUICK else 5_000,
+    ("pl0", "interpreted"): 400 if QUICK else 1_500,
+    ("python-subset", "compiled"): 400 if QUICK else 3_000,
+    ("python-subset", "interpreted"): 300 if QUICK else 1_000,
+}
+EDIT_FRACTIONS = (("early", 0.1), ("mid", 0.5), ("late", 0.9))
+BLOCK_WIDTH = 6
+MIN_COMPILED_MID_SPEEDUP = 10.0
+MIN_INTERPRETED_LATE_SPEEDUP = 2.0
+REPEATS = {"compiled": 5, "interpreted": 2}
+
+
+def workloads():
+    return [
+        ("pl0", pl0_grammar(), pl0_tokens, ("NUMBER", "IDENT")),
+        (
+            "python-subset",
+            python_grammar(),
+            lambda length, seed=0: generate_program(length, seed=seed).tokens,
+            ("NUMBER", "NAME"),
+        ),
+    ]
+
+
+def block_edit(tokens, position, width, kinds, seed=0):
+    """A multi-token value edit: re-value every editable token in a window."""
+    start = value_edit_at(tokens, position, seed=seed, kinds=kinds).start
+    end = min(len(tokens), start + width)
+    replacement = []
+    for index in range(start, end):
+        token = tokens[index]
+        if token.kind in kinds:
+            replacement.append(
+                value_edit_at(tokens, index, seed=seed + index, kinds=kinds).tokens[0]
+            )
+        else:
+            replacement.append(token)
+    return start, end, replacement
+
+
+def scratch_seconds(grammar, tokens, engine):
+    """Median wall-clock of a from-scratch recognition on ``engine``."""
+    if engine == "compiled":
+        parser = CompiledParser(grammar)
+        parser.recognize(tokens)  # warm the shared table once
+        return time_call(lambda: parser.recognize(tokens), repeats=3)
+    parser = DerivativeParser(grammar.to_language())
+    return time_call(lambda: parser.recognize(tokens), repeats=1)
+
+
+def timed_edit(document, start, end, replacement, repeats):
+    """Mean seconds per apply_edit, alternating values so every run edits."""
+    alternate = list(document.tokens[start : start + len(replacement)])
+    results = []
+    total = time_call(
+        lambda: results.append(
+            document.apply_edit(start, start + len(replacement), replacement)
+            if len(results) % 2 == 0
+            else document.apply_edit(start, start + len(replacement), alternate)
+        ),
+        repeats=max(2, repeats),
+    )
+    return total, results[-1]
+
+
+def measure(name, grammar, generator, kinds, engine):
+    tokens = generator(SIZES[(name, engine)], seed=0)
+    document = IncrementalDocument(
+        grammar, tokens, checkpoint_every=CHECKPOINT_EVERY, engine=engine
+    )
+    assert document.recognize(), "workload stream must parse"
+    full = scratch_seconds(grammar, list(tokens), engine)
+
+    rows = []
+    for label, fraction in EDIT_FRACTIONS:
+        edit = value_edit_at(tokens, int(fraction * len(tokens)), seed=1, kinds=kinds)
+        seconds, result = timed_edit(
+            document, edit.start, edit.end, list(edit.tokens), REPEATS[engine]
+        )
+        assert document.recognize(), "value edit must keep the stream valid"
+        check_quick_gates(document, edit.start, result, edit.size)
+        rows.append(make_row(name, engine, len(tokens), "single@" + label, full, seconds, result))
+
+    start, end, replacement = block_edit(
+        tokens, len(tokens) // 2, BLOCK_WIDTH, kinds, seed=2
+    )
+    seconds, result = timed_edit(document, start, end, replacement, REPEATS[engine])
+    assert document.recognize(), "block edit must keep the stream valid"
+    check_quick_gates(document, start, result, (end - start) + len(replacement))
+    rows.append(make_row(name, engine, len(tokens), "block@mid", full, seconds, result))
+    return rows
+
+
+def check_quick_gates(document, start, result, edit_size):
+    """Deterministic re-fed-token gates, asserted in every mode."""
+    interval = document.checkpoint_every
+    assert start - result.rewound_to <= interval, (
+        "rewound {} tokens past the edit; interval is {}".format(
+            start - result.rewound_to, interval
+        )
+    )
+    if document.engine == "compiled":
+        # Value edits re-converge immediately: the replay is bounded by one
+        # checkpoint interval plus the edit itself.
+        assert result.converged_at is not None, "compiled value edit did not converge"
+        assert result.refed_tokens <= interval + edit_size, (
+            "compiled edit re-fed {} tokens (> interval {} + edit {})".format(
+                result.refed_tokens, interval, edit_size
+            )
+        )
+    else:
+        # Interpreted replay is exactly checkpoint-to-end, never more.
+        assert result.refed_tokens == result.length - result.rewound_to, (
+            "interpreted edit re-fed {} tokens, expected the {}-token suffix".format(
+                result.refed_tokens, result.length - result.rewound_to
+            )
+        )
+
+
+def make_row(name, engine, tokens, edit, full_seconds, edit_seconds, result):
+    return {
+        "workload": name,
+        "engine": engine,
+        "tokens": tokens,
+        "edit": edit,
+        "full_reparse_s": full_seconds,
+        "edit_s": edit_seconds,
+        "speedup": full_seconds / max(edit_seconds, 1e-9),
+        "refed_tokens": result.refed_tokens,
+        "converged": result.converged_at is not None,
+    }
+
+
+def test_incremental_editing(run_once):
+    all_rows = []
+    for name, grammar, generator, kinds in workloads():
+        for engine in ("compiled", "interpreted"):
+            all_rows.extend(measure(name, grammar, generator, kinds, engine))
+
+    print()
+    print(
+        format_table(
+            ["workload", "engine", "tokens", "edit", "full (ms)", "edit (ms)",
+             "speedup", "refed", "spliced"],
+            [
+                [
+                    row["workload"],
+                    row["engine"],
+                    "{:,}".format(row["tokens"]),
+                    row["edit"],
+                    "{:.2f}".format(row["full_reparse_s"] * 1e3),
+                    "{:.3f}".format(row["edit_s"] * 1e3),
+                    "{:.1f}x".format(row["speedup"]),
+                    str(row["refed_tokens"]),
+                    "yes" if row["converged"] else "no",
+                ]
+                for row in all_rows
+            ],
+            title="Incremental apply_edit vs. full reparse"
+            + (" [quick]" if QUICK else ""),
+        )
+    )
+    print(
+        "note: compiled edits re-converge with the old automaton run "
+        "(value-insensitive interned states); interpreted edits replay "
+        "checkpoint-to-end because derived graphs carry parse payloads."
+    )
+
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {"quick": QUICK, "checkpoint_every": CHECKPOINT_EVERY, "rows": all_rows},
+                handle,
+                indent=2,
+            )
+        print("wrote {} rows to {}".format(len(all_rows), json_path))
+
+    # Wall-clock acceptance gates run only in full mode; quick mode's gates
+    # are the deterministic re-fed-token assertions inside measure().
+    if not QUICK:
+        by_key = {
+            (row["workload"], row["engine"], row["edit"]): row["speedup"]
+            for row in all_rows
+        }
+        compiled_mid = by_key[("pl0", "compiled", "single@mid")]
+        assert compiled_mid >= MIN_COMPILED_MID_SPEEDUP, (
+            "compiled mid-document edit only {:.1f}x faster than full "
+            "reparse (needs {}x)".format(compiled_mid, MIN_COMPILED_MID_SPEEDUP)
+        )
+        interpreted_late = by_key[("pl0", "interpreted", "single@late")]
+        assert interpreted_late >= MIN_INTERPRETED_LATE_SPEEDUP, (
+            "interpreted late edit only {:.1f}x faster than full reparse "
+            "(needs {}x)".format(interpreted_late, MIN_INTERPRETED_LATE_SPEEDUP)
+        )
+
+    # One representative configuration under pytest-benchmark's timer: a
+    # warm compiled mid-document value edit on the PL/0 buffer.
+    name, grammar, generator, kinds = workloads()[0]
+    tokens = generator(SIZES[(name, "compiled")], seed=0)
+    document = IncrementalDocument(
+        grammar, tokens, checkpoint_every=CHECKPOINT_EVERY, engine="compiled"
+    )
+    edit = value_edit_at(tokens, len(tokens) // 2, seed=3, kinds=kinds)
+    run_once(lambda: document.apply_edit(edit.start, edit.end, list(edit.tokens)))

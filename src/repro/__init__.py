@@ -11,6 +11,10 @@ The package provides:
   BNF front end, conversion to parsing expressions).
 * :mod:`repro.earley` and :mod:`repro.glr` — the Earley and GLR baseline
   parsers used by the paper's evaluation.
+* :mod:`repro.incremental` — edit-aware incremental reparsing on checkpoint
+  trails over either engine (:class:`IncrementalDocument`).
+* :mod:`repro.serve` — the concurrent batched parsing service (cached
+  compiled tables, worker pools, async coalescing, editable sessions).
 * :mod:`repro.regex` and :mod:`repro.lexer` — Brzozowski regular-expression
   derivatives and a derivative-based lexer.
 * :mod:`repro.grammars`, :mod:`repro.workloads`, :mod:`repro.bench`,
@@ -54,6 +58,7 @@ from .core import (
     recognize,
     token,
 )
+from .incremental import EditResult, IncrementalDocument
 
 __version__ = "1.0.0"
 
@@ -61,6 +66,8 @@ __all__ = [
     "__version__",
     "DerivativeParser",
     "ParserState",
+    "IncrementalDocument",
+    "EditResult",
     "CompiledParser",
     "GrammarTable",
     "compile_grammar",

@@ -44,12 +44,13 @@ from .automaton import (
     discard_table,
 )
 from .classes import TokenClassifier
-from .executor import CompiledParser, CompiledState
+from .executor import CompiledParser, CompiledSnapshot, CompiledState
 from .serialize import dump_table, load_table, restore_table, save_table
 
 __all__ = [
     "CompiledParser",
     "CompiledState",
+    "CompiledSnapshot",
     "GrammarTable",
     "AutomatonState",
     "TokenClassifier",

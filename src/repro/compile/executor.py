@@ -36,14 +36,50 @@ parallel tree extraction should give each worker its own thread-confined
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.forest import ForestNode
 from ..core.languages import Language, token_kind
 from ..core.parse import DerivativeParser
 from .automaton import AutomatonState, GrammarTable, compile_grammar
 
-__all__ = ["CompiledParser", "CompiledState"]
+__all__ = ["CompiledParser", "CompiledState", "CompiledSnapshot"]
+
+
+class CompiledSnapshot:
+    """An O(1) snapshot of a :class:`CompiledState` at one stream position.
+
+    Automaton states are interned and grammar-lifetime, so the snapshot is
+    one reference plus two integers — the compiled analogue of
+    :class:`~repro.core.parse.ParserSnapshot`, and the unit
+    :mod:`repro.incremental` checkpoint trails are made of.  Consumed
+    tokens are deliberately *not* captured (trail owners keep the one
+    authoritative token buffer); resume with
+    :meth:`CompiledParser.resume`, passing ``tokens`` when the resumed
+    state must support ``tree()``/``forest()``.
+    """
+
+    __slots__ = ("state", "position", "failure_position")
+
+    def __init__(
+        self,
+        state: AutomatonState,
+        position: int,
+        failure_position: Optional[int],
+    ) -> None:
+        self.state = state
+        self.position = position
+        self.failure_position = failure_position
+
+    def __repr__(self) -> str:
+        status = (
+            "failed@{}".format(self.failure_position)
+            if self.failure_position is not None
+            else "alive"
+        )
+        return "CompiledSnapshot(state={}, position={}, {})".format(
+            self.state.index, self.position, status
+        )
 
 
 class CompiledState:
@@ -61,9 +97,28 @@ class CompiledState:
     memory drops to O(1) per token and ``forest()``/``tree()`` raise.
     """
 
-    __slots__ = ("parser", "table", "state", "position", "failure_position", "tokens")
+    __slots__ = (
+        "parser",
+        "table",
+        "state",
+        "position",
+        "failure_position",
+        "tokens",
+        "snapshot_every",
+        "on_snapshot",
+    )
 
-    def __init__(self, parser: "CompiledParser", keep_tokens: bool = True) -> None:
+    def __init__(
+        self,
+        parser: "CompiledParser",
+        keep_tokens: bool = True,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[["CompiledSnapshot"], None]] = None,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                "snapshot_every must be >= 1, got {}".format(snapshot_every)
+            )
         self.parser = parser
         self.table = parser.table
         self.state: AutomatonState = parser.table.start
@@ -74,6 +129,10 @@ class CompiledState:
         #: Every consumed token, retained for the forest fallback — or None
         #: when the caller opted out of retention.
         self.tokens: Optional[List[Any]] = [] if keep_tokens else None
+        #: Emit a snapshot to ``on_snapshot`` every this many tokens (the
+        #: checkpoint-trail hook; None disables it); alive states only.
+        self.snapshot_every = snapshot_every
+        self.on_snapshot = on_snapshot
 
     # ------------------------------------------------------------- predicates
     @property
@@ -84,6 +143,11 @@ class CompiledState:
     def accepts(self) -> bool:
         """True when the tokens consumed so far form a complete parse."""
         return self.failure_position is None and self.state.accepting
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> CompiledSnapshot:
+        """An O(1) reference snapshot of this state (see :class:`CompiledSnapshot`)."""
+        return CompiledSnapshot(self.state, self.position, self.failure_position)
 
     # ---------------------------------------------------------------- driving
     def feed(self, tok: Any) -> "CompiledState":
@@ -99,7 +163,15 @@ class CompiledState:
         self.position += 1
         if successor.dead:
             self.failure_position = self.position - 1
+            self.state = successor
+            return self
         self.state = successor
+        if (
+            self.snapshot_every is not None
+            and self.on_snapshot is not None
+            and self.position % self.snapshot_every == 0
+        ):
+            self.on_snapshot(self.snapshot())
         return self
 
     def feed_all(self, tokens: Iterable[Any]) -> "CompiledState":
@@ -198,14 +270,54 @@ class CompiledParser:
             self._fallback = DerivativeParser(self.table.root, optimize_grammar=False)
         return self._fallback
 
-    def start(self, keep_tokens: bool = True) -> CompiledState:
+    def start(
+        self,
+        keep_tokens: bool = True,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[[CompiledSnapshot], None]] = None,
+    ) -> CompiledState:
         """Begin a streaming run; see :class:`CompiledState`.
 
         Pass ``keep_tokens=False`` for recognition-only streaming over
         unbounded input: the state stops retaining consumed tokens (O(1)
         memory per token) and ``forest()``/``tree()`` become unavailable.
+        ``snapshot_every``/``on_snapshot`` enable the checkpoint-trail
+        hook: every ``snapshot_every`` consumed tokens the (alive) state
+        hands an O(1) :class:`CompiledSnapshot` to ``on_snapshot``.
         """
-        return CompiledState(self, keep_tokens=keep_tokens)
+        return CompiledState(
+            self,
+            keep_tokens=keep_tokens,
+            snapshot_every=snapshot_every,
+            on_snapshot=on_snapshot,
+        )
+
+    def resume(
+        self,
+        snapshot: CompiledSnapshot,
+        tokens: Optional[Sequence[Any]] = None,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[[CompiledSnapshot], None]] = None,
+    ) -> CompiledState:
+        """A new :class:`CompiledState` positioned exactly at ``snapshot``.
+
+        The snapshot must come from a state over this parser's table (state
+        indices are table-scoped).  Snapshots do not capture consumed
+        tokens, so the resumed state supports ``tree()``/``forest()`` only
+        when the caller supplies the consumed prefix via ``tokens``.
+        """
+        state = CompiledState(
+            self,
+            keep_tokens=tokens is not None,
+            snapshot_every=snapshot_every,
+            on_snapshot=on_snapshot,
+        )
+        state.state = snapshot.state
+        state.position = snapshot.position
+        state.failure_position = snapshot.failure_position
+        if tokens is not None:
+            state.tokens = list(tokens)
+        return state
 
     def reset(self) -> None:
         """Reset per-parse state (the grammar table deliberately survives).

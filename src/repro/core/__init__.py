@@ -73,6 +73,7 @@ from .productivity import ProductivityAnalysis, ProductivityAnalyzer
 from .parse import (
     DEFAULT_RECURSION_LIMIT,
     DerivativeParser,
+    ParserSnapshot,
     ParserState,
     parse,
     recognize,
@@ -117,6 +118,7 @@ __all__ = [
     # parsing
     "DerivativeParser",
     "ParserState",
+    "ParserSnapshot",
     "parse",
     "recognize",
     "validate_grammar",

@@ -93,6 +93,12 @@ class Metrics:
         Number of times a smart constructor applied a reduction rule.
     parse_null_calls:
         Non-cached invocations of ``parse_null``.
+    edits_applied / edit_tokens_refed / edit_splices:
+        Incremental-reparse activity (:mod:`repro.incremental`): edits
+        applied to documents, tokens actually re-derived while replaying
+        the suffix after an edit, and edits that re-converged with the old
+        parse and spliced its checkpoint trail instead of re-feeding to
+        the end.
     """
 
     nodes_created: int = 0
@@ -114,6 +120,9 @@ class Metrics:
     compaction_rewrites: int = 0
     parse_null_calls: int = 0
     tokens_consumed: int = 0
+    edits_applied: int = 0
+    edit_tokens_refed: int = 0
+    edit_splices: int = 0
 
     def snapshot(self) -> MetricsSnapshot:
         """Capture the current counter values."""

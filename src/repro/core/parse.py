@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import itertools
 import warnings
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
 from .derivative import Deriver
@@ -80,6 +80,7 @@ from .prune import AdaptivePruneSchedule, prune_empty
 __all__ = [
     "DerivativeParser",
     "ParserState",
+    "ParserSnapshot",
     "parse",
     "recognize",
     "validate_grammar",
@@ -121,6 +122,40 @@ def validate_grammar(root: Language) -> None:
             raise GrammarError("node {!r} is missing its language".format(node))
 
 
+class ParserSnapshot:
+    """An O(1) snapshot of a :class:`ParserState` at one stream position.
+
+    Because derived languages are persistent graphs (derivation only ever
+    builds new nodes; the in-place rewrites of
+    :func:`repro.core.prune.prune_empty` replace provably-empty children
+    with the semantically identical ``∅``), a snapshot is a *reference*
+    copy: it pins the derived-language node for a prefix, never a deep
+    copy of it.  Resume one with :meth:`DerivativeParser.resume` — this is
+    the substrate :mod:`repro.incremental` builds its checkpoint trails
+    on.
+    """
+
+    __slots__ = ("language", "position", "failure_position")
+
+    def __init__(
+        self,
+        language: Language,
+        position: int,
+        failure_position: Optional[int],
+    ) -> None:
+        self.language = language
+        self.position = position
+        self.failure_position = failure_position
+
+    def __repr__(self) -> str:
+        status = (
+            "failed@{}".format(self.failure_position)
+            if self.failure_position is not None
+            else "alive"
+        )
+        return "ParserSnapshot(position={}, {})".format(self.position, status)
+
+
 class ParserState:
     """Incremental (streaming) parsing state over a :class:`DerivativeParser`.
 
@@ -154,15 +189,36 @@ class ParserState:
     diagnosis to pin failures to their exact position.
     """
 
-    __slots__ = ("parser", "language", "position", "failure_position")
+    __slots__ = (
+        "parser",
+        "language",
+        "position",
+        "failure_position",
+        "snapshot_every",
+        "on_snapshot",
+    )
 
-    def __init__(self, parser: "DerivativeParser") -> None:
+    def __init__(
+        self,
+        parser: "DerivativeParser",
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[["ParserSnapshot"], None]] = None,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                "snapshot_every must be >= 1, got {}".format(snapshot_every)
+            )
         self.parser = parser
         self.language: Language = parser.root
         #: Number of tokens consumed so far.
         self.position = 0
         #: Index of the token that killed the language, or None while alive.
         self.failure_position: Optional[int] = None
+        #: Emit a snapshot to ``on_snapshot`` every this many tokens (the
+        #: checkpoint-trail hook; None disables it).  Snapshots fire only
+        #: while the state is alive — a dead language has no trail to grow.
+        self.snapshot_every = snapshot_every
+        self.on_snapshot = on_snapshot
 
     # ------------------------------------------------------------- predicates
     @property
@@ -176,6 +232,11 @@ class ParserState:
             return False
         return self.parser.nullability.nullable(self.language)
 
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> ParserSnapshot:
+        """An O(1) reference snapshot of this state (see :class:`ParserSnapshot`)."""
+        return ParserSnapshot(self.language, self.position, self.failure_position)
+
     # ---------------------------------------------------------------- driving
     def feed(self, token: Any) -> "ParserState":
         """Consume one token, deriving the current language by it."""
@@ -188,6 +249,12 @@ class ParserState:
             self.language = EMPTY
         else:
             self.language = language
+            if (
+                self.snapshot_every is not None
+                and self.on_snapshot is not None
+                and self.position % self.snapshot_every == 0
+            ):
+                self.on_snapshot(self.snapshot())
         return self
 
     def feed_all(self, tokens: Iterable[Any]) -> "ParserState":
@@ -377,9 +444,38 @@ class DerivativeParser:
         self.compactor.reset_interning()
         self._prune_schedule.reanchor(self.metrics.derive_uncached)
 
-    def start(self) -> ParserState:
-        """Begin a streaming parse; see :class:`ParserState`."""
-        return ParserState(self)
+    def start(
+        self,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[[ParserSnapshot], None]] = None,
+    ) -> ParserState:
+        """Begin a streaming parse; see :class:`ParserState`.
+
+        ``snapshot_every``/``on_snapshot`` enable the checkpoint-trail hook:
+        every ``snapshot_every`` consumed tokens the (alive) state hands an
+        O(1) :class:`ParserSnapshot` to ``on_snapshot``.
+        """
+        return ParserState(self, snapshot_every=snapshot_every, on_snapshot=on_snapshot)
+
+    def resume(
+        self,
+        snapshot: ParserSnapshot,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[[ParserSnapshot], None]] = None,
+    ) -> ParserState:
+        """A new :class:`ParserState` positioned exactly at ``snapshot``.
+
+        The snapshot must have been taken over this parser's grammar graph
+        (states of other parsers reference foreign nodes whose caches this
+        parser does not own).  Resuming is O(1): the snapshot's language is
+        adopted by reference, and re-deriving from it is sound because every
+        node-resident cache is owner- or epoch-tagged.
+        """
+        state = ParserState(self, snapshot_every=snapshot_every, on_snapshot=on_snapshot)
+        state.language = snapshot.language
+        state.position = snapshot.position
+        state.failure_position = snapshot.failure_position
+        return state
 
     def compile(self) -> "Any":
         """Return a :class:`~repro.compile.CompiledParser` over this grammar.

@@ -8,8 +8,12 @@ shared read-mostly structure with a lock on its cold paths.
 hold: compiled tables cached in a bounded LRU keyed by grammar *structure*,
 batches fanned over a worker pool (recognition on the shared table, tree
 extraction on per-worker thread-confined parsers), an asyncio front door
-that coalesces identical in-flight requests, and checkpointable streaming
-sessions with idle eviction.
+that coalesces identical in-flight requests (``parse``/``recognize``/
+``edit``), and checkpointable streaming sessions with idle eviction whose
+token buffers are *editable* — each token-retaining session is an
+:class:`~repro.incremental.IncrementalDocument` over the shared table, so
+``apply_edit`` reparses by rewinding a checkpoint trail instead of from
+scratch.
 
 Quickstart::
 

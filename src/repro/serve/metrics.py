@@ -36,7 +36,11 @@ _COUNTERS = (
     "sessions_opened",
     "sessions_closed",
     "sessions_evicted",
+    "sessions_restored",
     "checkpoints_taken",
+    "edit_requests",
+    "edits_applied",
+    "edit_tokens_refed",
 )
 
 

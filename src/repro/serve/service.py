@@ -47,6 +47,7 @@ from ..core.errors import ParseError, ReproError
 from ..core.languages import clone_graph, structural_fingerprint
 from ..core.metrics import Metrics
 from ..core.parse import DerivativeParser
+from ..incremental import DEFAULT_CHECKPOINT_EVERY
 from .cache import CacheEntry, TableCache
 from .metrics import ServiceMetrics
 from .sessions import ParseSession, SessionCheckpoint, SessionManager
@@ -284,18 +285,62 @@ class ParseService:
         (``coalesced_requests`` counts the saved runs).  Requires a running
         event loop; the blocking work happens on the service's pool.
         """
-        return await self._coalesced("parse", grammar, tokens, self._parse_one)
+        tokens = tuple(tokens)
+        key = (self._fingerprint(grammar), tokens)
+        return await self._coalesced(
+            "parse",
+            key,
+            "parse_requests",
+            lambda: self._parse_one(self.table_for(grammar), tokens),
+        )
 
     async def recognize(self, grammar: Any, tokens: Sequence[Any]) -> bool:
         """Recognize one stream from async code (coalesced like :meth:`parse`)."""
-        return await self._coalesced("recognize", grammar, tokens, self._recognize_one)
+        tokens = tuple(tokens)
+        key = (self._fingerprint(grammar), tokens)
+        return await self._coalesced(
+            "recognize",
+            key,
+            "recognize_requests",
+            lambda: self._recognize_one(self.table_for(grammar), tokens),
+        )
+
+    async def edit(
+        self, session: Any, start: int, end: int, new_tokens: Sequence[Any]
+    ):
+        """Apply one edit to a streaming session from async code.
+
+        ``session`` is a session id or a :class:`ParseSession` of this
+        service.  Gets the same treatment as :meth:`parse`/:meth:`recognize`:
+        metered (``edit_requests``), run on the worker pool, and coalesced —
+        two coroutines submitting the *identical* edit to the same session
+        while the first is in flight share one application.  Returns the
+        :class:`~repro.incremental.EditResult`.
+
+        Coalescing is by value and scoped to the in-flight window, so read
+        it as best-effort retry dedup, not transactional semantics: a retry
+        arriving *after* the first application completes applies again, and
+        two *independent* clients submitting byte-identical concurrent edits
+        share one application.  Callers needing exactly-once across clients
+        should disambiguate their edits (distinct content/positions) or
+        serialize through :meth:`edit_session`.
+        """
+        session_id = session.session_id if isinstance(session, ParseSession) else session
+        new_tokens = tuple(new_tokens)
+        key = (session_id, start, end, new_tokens)
+        return await self._coalesced(
+            "edit",
+            key,
+            "edit_requests",
+            lambda: self.edit_session(session_id, start, end, new_tokens, _metered=False),
+        )
 
     async def _coalesced(
         self,
         op: str,
-        grammar: Any,
-        tokens: Sequence[Any],
-        blocking: Callable[[CacheEntry, Sequence[Any]], Any],
+        key: Tuple[Any, ...],
+        request_metric: str,
+        blocking: Callable[[], Any],
     ) -> Any:
         # The shared future is completed by a done-callback on the executor
         # job, not by the leader coroutine: cancelling the leader (client
@@ -305,18 +350,17 @@ class ParseService:
         # otherwise cancel the future under everyone else.
         self._require_open()
         loop = asyncio.get_running_loop()
-        tokens = tuple(tokens)
-        key = (op, id(loop), self._fingerprint(grammar), tokens)
+        key = (op, id(loop)) + key
         existing = self._inflight.get(key)
         if existing is not None:
             self.metrics.inc("coalesced_requests")
             return await asyncio.shield(existing)
-        self.metrics.inc("parse_requests" if op == "parse" else "recognize_requests")
+        self.metrics.inc(request_metric)
         future: "asyncio.Future[Any]" = loop.create_future()
         self._inflight[key] = future
 
         def work() -> Any:
-            return blocking(self.table_for(grammar), tokens)
+            return blocking()
 
         def transfer(done: "asyncio.Future[Any]") -> None:
             self._inflight.pop(key, None)
@@ -334,21 +378,54 @@ class ParseService:
         return await asyncio.shield(future)
 
     # --------------------------------------------------------------- sessions
-    def open_session(self, grammar: Any, keep_tokens: bool = True) -> ParseSession:
+    def open_session(
+        self,
+        grammar: Any,
+        keep_tokens: bool = True,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> ParseSession:
         """Begin a long-lived streaming parse; see :class:`ParseSession`.
 
+        Token-retaining sessions (the default) keep a checkpoint trail —
+        one O(1) snapshot per ``checkpoint_every`` tokens — and support
+        :meth:`ParseSession.apply_edit` / the :meth:`edit` front door.
         ``keep_tokens=False`` gives O(1) memory per token for
-        recognition-only streams (``tree()``/``checkpoint`` token replay
-        become unavailable).
+        recognition-only streams (``tree()``/``apply_edit``/checkpoint
+        token replay become unavailable).
         """
         self._require_open()
         entry = self.table_for(grammar)
-        return self.sessions.open(entry, keep_tokens=keep_tokens)
+        return self.sessions.open(
+            entry, keep_tokens=keep_tokens, checkpoint_every=checkpoint_every
+        )
 
     def restore_session(self, checkpoint: SessionCheckpoint) -> ParseSession:
         """Resume a new session from a checkpoint (see :meth:`SessionManager.restore`)."""
         self._require_open()
         return self.sessions.restore(checkpoint)
+
+    def edit_session(
+        self,
+        session: Any,
+        start: int,
+        end: int,
+        new_tokens: Sequence[Any],
+        _metered: bool = True,
+    ):
+        """Synchronously apply one edit to a session (id or object).
+
+        The blocking counterpart of :meth:`edit` — resolves the session in
+        this service's registry and delegates to
+        :meth:`ParseSession.apply_edit`.
+        """
+        self._require_open()
+        if _metered:
+            self.metrics.inc("edit_requests")
+        if isinstance(session, ParseSession):
+            session = self.sessions.get(session.session_id)
+        else:
+            session = self.sessions.get(session)
+        return session.apply_edit(start, end, new_tokens)
 
     # ------------------------------------------------------------- inspection
     def stats(self) -> Dict[str, Any]:

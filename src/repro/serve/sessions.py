@@ -1,13 +1,18 @@
 """Long-lived streaming parse sessions over the shared compiled tables.
 
 A :class:`ParseSession` is the service-side wrapper around one streaming
-parse — the ``create / feed / checkpoint / close`` lifecycle a network
-front-end needs when a client's token stream arrives in pieces over
-minutes.  Under the hood a session drives a
+parse — the ``create / feed / edit / checkpoint / close`` lifecycle a
+network front-end needs when a client's token stream arrives in pieces
+(and is then *edited*) over minutes.  Under the hood a token-retaining
+session owns an :class:`~repro.incremental.IncrementalDocument` driving a
 :class:`~repro.compile.executor.CompiledState` over the service's shared
 :class:`~repro.compile.automaton.GrammarTable`: warm tokens cost two dict
-probes, cold edges derive once under the table lock, and any number of
-sessions stream over one table concurrently.
+probes, cold edges derive once under the table lock, any number of
+sessions stream over one table concurrently, and
+:meth:`ParseSession.apply_edit` rewinds the document's checkpoint trail
+instead of reparsing from scratch.  ``keep_tokens=False`` sessions skip
+the document (no buffer, O(1) memory per token) and are recognition-only:
+``tree()`` and ``apply_edit`` are unavailable.
 
 Lifecycle rules, all asserted by ``tests/serve``:
 
@@ -16,14 +21,24 @@ Lifecycle rules, all asserted by ``tests/serve``:
 * A session holds its :class:`~repro.serve.cache.CacheEntry` strongly, so
   evicting the grammar's table from the service's LRU cache mid-stream
   never corrupts the session: it keeps its table until it closes.
-* :meth:`ParseSession.checkpoint` snapshots the automaton position in O(1)
-  (plus the retained token prefix when tree extraction is enabled);
+* :meth:`ParseSession.checkpoint` snapshots the automaton position in
+  O(1) (plus the retained token buffer and the O(1)-per-entry checkpoint
+  trail when the session keeps tokens);
   :meth:`SessionManager.restore` rehydrates a new session from the
-  snapshot — speculative feeding, client retry, "fork the stream here".
+  snapshot — trail included, so a restored session edits as cheaply as
+  the original — for speculative feeding, client retry, "fork the stream
+  here".
+* Session ids are **manager-scoped**: every manager tags its ids with a
+  process-unique prefix (``m3-s1``), so an id from one manager can never
+  silently resolve against another manager's registry.
 * Sessions idle longer than the manager's TTL are evicted by an
   opportunistic sweep (no reaper thread: sweeps piggyback on opens and on
-  explicit :meth:`SessionManager.sweep` calls).  An evicted session is
-  closed: feeding it raises :class:`SessionError`.
+  explicit :meth:`SessionManager.sweep` calls).  Idleness is decided
+  *twice*: a candidate selected under the manager lock is re-validated
+  under its own lock before eviction, so a session that a concurrent
+  ``feed``/``tree`` just touched always survives — the sweep can never
+  evict a session mid-use.  An evicted session is closed: feeding it
+  raises :class:`SessionError`.
 """
 
 from __future__ import annotations
@@ -34,8 +49,9 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..compile.automaton import AutomatonState
-from ..compile.executor import CompiledParser, CompiledState
+from ..compile.executor import CompiledParser, CompiledSnapshot, CompiledState
 from ..core.errors import ReproError
+from ..incremental import DEFAULT_CHECKPOINT_EVERY, EditResult, IncrementalDocument
 from .cache import CacheEntry
 from .metrics import ServiceMetrics
 
@@ -49,13 +65,23 @@ class SessionError(ReproError):
 class SessionCheckpoint:
     """An immutable snapshot of a session's progress, restorable later.
 
-    Holds the automaton state reference, the stream position, and (when the
-    session retains tokens) the consumed-token prefix — plus a strong
-    reference to the session's cache entry so the table the state belongs
-    to outlives any cache eviction.
+    Holds the automaton state reference and the stream position, plus —
+    for token-retaining sessions — the consumed-token buffer and the
+    document's checkpoint trail (every entry an O(1) reference), so a
+    restored session can keep applying edits without rebuilding anything.
+    A strong reference to the session's cache entry keeps the table the
+    state belongs to alive across any cache eviction.
     """
 
-    __slots__ = ("entry", "state", "position", "failure_position", "tokens")
+    __slots__ = (
+        "entry",
+        "state",
+        "position",
+        "failure_position",
+        "tokens",
+        "trail",
+        "checkpoint_every",
+    )
 
     def __init__(
         self,
@@ -64,28 +90,37 @@ class SessionCheckpoint:
         position: int,
         failure_position: Optional[int],
         tokens: Optional[Tuple[Any, ...]],
+        trail: Optional[Tuple[CompiledSnapshot, ...]] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
         self.entry = entry
         self.state = state
         self.position = position
         self.failure_position = failure_position
         self.tokens = tokens
+        self.trail = trail
+        self.checkpoint_every = checkpoint_every
 
     def __repr__(self) -> str:
-        return "SessionCheckpoint(position={}, grammar={}...)".format(
-            self.position, self.entry.fingerprint[:12]
+        return "SessionCheckpoint(position={}, trail={}, grammar={}...)".format(
+            self.position,
+            len(self.trail) if self.trail is not None else None,
+            self.entry.fingerprint[:12],
         )
 
 
 class ParseSession:
-    """One streaming parse: feed tokens, query acceptance, checkpoint, close.
+    """One streaming parse: feed tokens, edit them, checkpoint, close.
 
     Mirrors the :class:`~repro.core.parse.ParserState` streaming surface
     (``feed``/``feed_all``/``accepts``/``failed``) with the service
-    lifecycle on top.  Like the engine states, **feed after failure is a
-    no-op** — the failure position is kept and the corpse is cheap to feed;
-    feed after *close* is different and raises :class:`SessionError`,
-    because a closed session's resources may already be reused.
+    lifecycle on top, plus :meth:`apply_edit` for edit-aware incremental
+    reparsing when the session retains tokens.  Like the engine states,
+    **feed after failure is a no-op** — the failure position is kept, the
+    corpse is cheap to feed, and the buffer does not grow (an
+    :meth:`apply_edit` that repairs the stream revives it); feed after
+    *close* is different and raises :class:`SessionError`, because a
+    closed session's resources may already be reused.
     """
 
     def __init__(
@@ -94,12 +129,21 @@ class ParseSession:
         entry: CacheEntry,
         manager: "SessionManager",
         keep_tokens: bool = True,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
         self.session_id = session_id
         self.entry = entry
+        self.checkpoint_every = checkpoint_every
         self._manager = manager
         self._parser = CompiledParser(table=entry.table)
-        self._state: CompiledState = self._parser.start(keep_tokens=keep_tokens)
+        self._doc: Optional[IncrementalDocument] = None
+        self._state: Optional[CompiledState] = None
+        if keep_tokens:
+            self._doc = IncrementalDocument(
+                parser=self._parser, checkpoint_every=checkpoint_every
+            )
+        else:
+            self._state = self._parser.start(keep_tokens=False)
         self._lock = threading.Lock()
         self.closed = False
         #: Why the session ended: None while live, "closed" or "evicted".
@@ -110,16 +154,22 @@ class ParseSession:
     @property
     def position(self) -> int:
         """Number of tokens consumed so far."""
+        if self._doc is not None:
+            return self._doc.position
         return self._state.position
 
     @property
     def failed(self) -> bool:
         """True once the automaton entered the ``∅`` sink."""
+        if self._doc is not None:
+            return self._doc.failed
         return self._state.failed
 
     @property
     def failure_position(self) -> Optional[int]:
         """Index of the token that killed the stream, or None while alive."""
+        if self._doc is not None:
+            return self._doc.structural_failure_position
         return self._state.failure_position
 
     def accepts(self) -> bool:
@@ -132,7 +182,7 @@ class ParseSession:
         with self._lock:
             self._require_open()
             self._touch()
-            return self._state.accepts()
+            return self._target().accepts()
 
     # ---------------------------------------------------------------- driving
     def feed(self, token: Any) -> "ParseSession":
@@ -140,7 +190,11 @@ class ParseSession:
         with self._lock:
             self._require_open()
             self._touch()
-            self._state.feed(token)
+            if self._doc is not None:
+                if not self._doc.failed:
+                    self._doc.append(token)
+            else:
+                self._state.feed(token)
         return self
 
     def feed_all(self, tokens: Iterable[Any]) -> "ParseSession":
@@ -148,8 +202,48 @@ class ParseSession:
         with self._lock:
             self._require_open()
             self._touch()
-            self._state.feed_all(tokens)
+            if self._doc is not None:
+                for token in tokens:
+                    if self._doc.failed:
+                        break
+                    self._doc.append(token)
+            else:
+                self._state.feed_all(tokens)
         return self
+
+    # ----------------------------------------------------------------- edits
+    def apply_edit(
+        self, start: int, end: int, new_tokens: Iterable[Any]
+    ) -> EditResult:
+        """Replace ``tokens[start:end]`` with ``new_tokens``, reparsing cheaply.
+
+        Rewinds the session's checkpoint trail to the nearest checkpoint
+        at or before ``start`` and replays only the changed region (see
+        :meth:`repro.incremental.IncrementalDocument.apply_edit`).  Only
+        token-retaining sessions can edit: a ``keep_tokens=False`` session
+        has no buffer to edit and raises :class:`SessionError`.
+        """
+        with self._lock:
+            self._require_open()
+            self._touch()
+            if self._doc is None:
+                raise SessionError(
+                    "session {!r} was opened with keep_tokens=False and has "
+                    "no token buffer to edit".format(self.session_id)
+                )
+            result = self._doc.apply_edit(start, end, list(new_tokens))
+        self._manager.metrics.inc("edits_applied")
+        self._manager.metrics.inc("edit_tokens_refed", result.refed_tokens)
+        return result
+
+    @property
+    def tokens(self) -> Optional[Tuple[Any, ...]]:
+        """The retained token buffer (None for ``keep_tokens=False`` sessions)."""
+        with self._lock:
+            self._require_open()
+            if self._doc is None:
+                return None
+            return self._doc.tokens
 
     # ---------------------------------------------------------------- results
     def tree(self) -> Any:
@@ -163,34 +257,63 @@ class ParseSession:
         with self._lock:
             self._require_open()
             self._touch()
+            if self._doc is not None:
+                return self._doc.tree()
             return self._state.tree()
 
     # ------------------------------------------------------------- lifecycle
     def checkpoint(self) -> SessionCheckpoint:
-        """Snapshot the current progress for a later :meth:`SessionManager.restore`."""
+        """Snapshot the current progress for a later :meth:`SessionManager.restore`.
+
+        Token-retaining sessions capture their buffer and checkpoint trail
+        too (each trail entry is one state reference), so the restored
+        session supports :meth:`apply_edit` at full fidelity.
+        """
         with self._lock:
             self._require_open()
             self._touch()
-            retained = self._state.tokens
-            self._manager.metrics.inc("checkpoints_taken")
-            return SessionCheckpoint(
-                entry=self.entry,
-                state=self._state.state,
-                position=self._state.position,
-                failure_position=self._state.failure_position,
-                tokens=tuple(retained) if retained is not None else None,
-            )
+            if self._doc is not None:
+                snapshot = self._doc.state_snapshot()
+                checkpoint = SessionCheckpoint(
+                    entry=self.entry,
+                    state=snapshot.state,
+                    position=snapshot.position,
+                    failure_position=snapshot.failure_position,
+                    tokens=self._doc.tokens,
+                    trail=self._doc.trail_snapshots(),
+                    checkpoint_every=self.checkpoint_every,
+                )
+            else:
+                state = self._state
+                checkpoint = SessionCheckpoint(
+                    entry=self.entry,
+                    state=state.state,
+                    position=state.position,
+                    failure_position=state.failure_position,
+                    tokens=None,
+                    trail=None,
+                    checkpoint_every=self.checkpoint_every,
+                )
+        self._manager.metrics.inc("checkpoints_taken")
+        return checkpoint
 
     def close(self) -> None:
         """End the session and release it from the manager (idempotent)."""
         self._manager.close(self.session_id)
 
+    def _target(self) -> Any:
+        return self._doc if self._doc is not None else self._state
+
     def _end(self, reason: str) -> None:
         """Mark the session dead (manager-internal; registry already updated)."""
         with self._lock:
-            if not self.closed:
-                self.closed = True
-                self.end_reason = reason
+            self._end_locked(reason)
+
+    def _end_locked(self, reason: str) -> None:
+        """Mark the session dead; caller already holds the session lock."""
+        if not self.closed:
+            self.closed = True
+            self.end_reason = reason
 
     def _require_open(self) -> None:
         if self.closed:
@@ -220,9 +343,17 @@ class SessionManager:
     Sweeps run opportunistically on :meth:`open` — a service that opens
     sessions keeps its registry tidy without a background thread — and on
     demand via :meth:`sweep`.
+
+    Session ids are drawn from a **per-manager** counter and prefixed
+    with a process-unique manager tag, so co-resident managers (two
+    services in one process, a test harness next to a service) can never
+    mint colliding ids or resolve each other's sessions by accident.
     """
 
-    _ids = itertools.count(1)
+    #: Process-wide source of manager tags only; session counters are
+    #: per-instance (a shared session counter once let ids from different
+    #: managers interleave — and resolve — across registries).
+    _manager_tags = itertools.count(1)
 
     def __init__(
         self,
@@ -233,15 +364,28 @@ class SessionManager:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.idle_ttl = idle_ttl
         self.clock = clock
+        self.tag = "m{}".format(next(SessionManager._manager_tags))
+        self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._sessions: Dict[str, ParseSession] = {}
 
     # ------------------------------------------------------------------ API
-    def open(self, entry: CacheEntry, keep_tokens: bool = True) -> ParseSession:
+    def open(
+        self,
+        entry: CacheEntry,
+        keep_tokens: bool = True,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> ParseSession:
         """Create and register a session over ``entry``'s compiled table."""
         self.sweep()
-        session_id = "s{}".format(next(SessionManager._ids))
-        session = ParseSession(session_id, entry, self, keep_tokens=keep_tokens)
+        session_id = "{}-s{}".format(self.tag, next(self._ids))
+        session = ParseSession(
+            session_id,
+            entry,
+            self,
+            keep_tokens=keep_tokens,
+            checkpoint_every=checkpoint_every,
+        )
         with self._lock:
             self._sessions[session_id] = session
         self.metrics.inc("sessions_opened")
@@ -252,15 +396,49 @@ class SessionManager:
 
         The new session is independent of the one that took the snapshot
         (which may since have advanced, failed or closed): same automaton
-        state, same position, its own lifecycle.
+        state, same position, same checkpoint trail when one was captured,
+        its own lifecycle.  It is registered, touched and evictable like
+        any freshly opened session, and counted in ``sessions_restored``.
         """
-        session = self.open(checkpoint.entry, keep_tokens=checkpoint.tokens is not None)
-        state = session._state
-        state.state = checkpoint.state
-        state.position = checkpoint.position
-        state.failure_position = checkpoint.failure_position
-        if checkpoint.tokens is not None:
-            state.tokens = list(checkpoint.tokens)
+        session = self.open(
+            checkpoint.entry,
+            keep_tokens=checkpoint.tokens is not None,
+            checkpoint_every=checkpoint.checkpoint_every,
+        )
+        snapshot = CompiledSnapshot(
+            checkpoint.state, checkpoint.position, checkpoint.failure_position
+        )
+        try:
+            # The session is already published in the registry: mutate its
+            # state only under its own lock, like every other session op.
+            with session._lock:
+                if checkpoint.tokens is not None:
+                    trail = checkpoint.trail
+                    if not trail:
+                        # A checkpoint built without a trail (the pre-trail
+                        # SessionCheckpoint signature still constructs) is
+                        # restorable too — anchor it at the automaton's
+                        # start state; edits just rewind further.
+                        trail = (
+                            CompiledSnapshot(session._parser.table.start, 0, None),
+                        )
+                    session._doc = IncrementalDocument.restore(
+                        session._parser,
+                        checkpoint.tokens,
+                        trail,
+                        snapshot,
+                        checkpoint_every=checkpoint.checkpoint_every,
+                    )
+                else:
+                    state = session._state
+                    state.state = checkpoint.state
+                    state.position = checkpoint.position
+                    state.failure_position = checkpoint.failure_position
+        except BaseException:
+            # Never leak a half-initialized session in the registry.
+            self.close(session.session_id)
+            raise
+        self.metrics.inc("sessions_restored")
         return session
 
     def get(self, session_id: str) -> ParseSession:
@@ -280,21 +458,41 @@ class SessionManager:
             self.metrics.inc("sessions_closed")
 
     def sweep(self, now: Optional[float] = None) -> int:
-        """Evict every session idle longer than ``idle_ttl``; return the count."""
+        """Evict every session idle longer than ``idle_ttl``; return the count.
+
+        Eviction is two-phase to close the select-then-evict race: idle
+        *candidates* are gathered under the manager lock, then each is
+        re-validated — and marked ended — under its **own** lock, so a
+        session whose ``feed``/``tree`` touched it between the two reads
+        (or is holding its lock mid-operation right now) is skipped, never
+        ended mid-use.  Only then are the confirmed corpses deregistered.
+        """
         if self.idle_ttl is None:
             return 0
         if now is None:
             now = self.clock()
         cutoff = now - self.idle_ttl
         with self._lock:
-            idle = [s for s in self._sessions.values() if s.last_used <= cutoff]
-            for session in idle:
-                del self._sessions[session.session_id]
-        for session in idle:
-            session._end("evicted")
-        if idle:
-            self.metrics.inc("sessions_evicted", len(idle))
-        return len(idle)
+            candidates = [
+                session
+                for session in self._sessions.values()
+                if session.last_used <= cutoff
+            ]
+        evicted: List[ParseSession] = []
+        for session in candidates:
+            with session._lock:
+                # Re-validate under the session's lock: a concurrent op may
+                # have touched (or closed) it after the candidate scan.
+                if session.closed or session.last_used > cutoff:
+                    continue
+                session._end_locked("evicted")
+                evicted.append(session)
+        if evicted:
+            with self._lock:
+                for session in evicted:
+                    self._sessions.pop(session.session_id, None)
+            self.metrics.inc("sessions_evicted", len(evicted))
+        return len(evicted)
 
     def live_sessions(self) -> List[ParseSession]:
         """Every currently registered session."""

@@ -1,6 +1,13 @@
-"""Workload generators: synthetic Python programs, token streams, stdlib corpus."""
+"""Workload generators: synthetic programs, token streams, corpus, edit scripts."""
 
 from .corpus import CorpusFile, iter_corpus, load_corpus_sample, stdlib_paths
+from .edits import (
+    Edit,
+    apply_edits,
+    random_edit_script,
+    single_token_edits,
+    value_edit_at,
+)
 from .pl0 import pl0_source, pl0_tokens
 from .python_source import PythonProgramGenerator, SyntheticProgram, generate_program
 from .token_streams import (
@@ -30,4 +37,9 @@ __all__ = [
     "repeated_token_stream",
     "pl0_tokens",
     "pl0_source",
+    "Edit",
+    "value_edit_at",
+    "single_token_edits",
+    "random_edit_script",
+    "apply_edits",
 ]

@@ -1,0 +1,142 @@
+"""Deterministic edit-script generators for incremental-reparsing workloads.
+
+An *edit* is a triple ``(start, end, tokens)`` — replace the buffer slice
+``[start:end)`` with ``tokens`` — matching
+:meth:`repro.incremental.IncrementalDocument.apply_edit` exactly.  This
+module generates the two shapes the benchmarks and differential suites
+need:
+
+* **value edits** (:func:`value_edit_at`, :func:`single_token_edits`) —
+  replace one token with a fresh token of the *same kind* (a new NUMBER
+  literal, a renamed IDENT), the "typing inside a literal" case every
+  editor session is made of.  Value edits never change what a grammar
+  accepts, and on the compiled engine they re-converge with the old parse
+  immediately (transitions are token-class-interned).
+* **random edit scripts** (:func:`random_edit_script`) — seeded sequences
+  of arbitrary splices (insert/delete/replace spans, tokens drawn from
+  the stream's own vocabulary), most of which *break* the parse; the
+  differential suite replays them to assert that incremental results
+  equal from-scratch results on valid and invalid buffers alike.
+
+Everything is deterministic in its ``seed`` so benchmark runs and
+regression failures are repeatable.  :func:`apply_edits` is the obvious
+list-splicing reference implementation the property tests compare
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, NamedTuple, Optional, Sequence
+
+from ..lexer.tokens import Tok
+
+__all__ = [
+    "Edit",
+    "value_edit_at",
+    "single_token_edits",
+    "random_edit_script",
+    "apply_edits",
+]
+
+
+class Edit(NamedTuple):
+    """One splice: replace ``buffer[start:end)`` with ``tokens``."""
+
+    start: int
+    end: int
+    tokens: List[Any]
+
+    @property
+    def size(self) -> int:
+        """Edit magnitude: tokens removed plus tokens inserted."""
+        return (self.end - self.start) + len(self.tokens)
+
+
+def _fresh_value(token: Any, rng: random.Random) -> Any:
+    """A same-kind token with a different value (NUMBER/IDENT aware)."""
+    kind = getattr(token, "kind", None)
+    if kind == "NUMBER":
+        return Tok("NUMBER", str(rng.randrange(10_000, 99_999)))
+    if kind in ("IDENT", "NAME"):
+        return Tok(kind, "edited_{}".format(rng.randrange(1_000)))
+    return token
+
+
+def value_edit_at(
+    tokens: Sequence[Any],
+    position: int,
+    seed: int = 0,
+    kinds: Sequence[str] = ("NUMBER", "IDENT", "NAME"),
+) -> Edit:
+    """A single-token same-kind replacement at (or just after) ``position``.
+
+    Scans forward (wrapping once) for the nearest token whose kind is in
+    ``kinds`` and replaces it with a fresh same-kind value, which keeps
+    any grammar's verdict unchanged.  Raises :class:`LookupError` when
+    the stream has no such token.
+    """
+    rng = random.Random("{}:{}".format(seed, position))
+    total = len(tokens)
+    for offset in range(total):
+        index = (position + offset) % total
+        if getattr(tokens[index], "kind", None) in kinds:
+            return Edit(index, index + 1, [_fresh_value(tokens[index], rng)])
+    raise LookupError(
+        "no token of kind {} to edit in a stream of {}".format(kinds, total)
+    )
+
+
+def single_token_edits(
+    tokens: Sequence[Any],
+    fractions: Sequence[float] = (0.1, 0.5, 0.9),
+    seed: int = 0,
+) -> List[Edit]:
+    """One value edit per requested position fraction (early/mid/late)."""
+    return [
+        value_edit_at(tokens, int(fraction * len(tokens)), seed=seed)
+        for fraction in fractions
+    ]
+
+
+def random_edit_script(
+    tokens: Sequence[Any],
+    count: int,
+    seed: int = 0,
+    max_span: int = 3,
+    max_insert: int = 3,
+    vocabulary: Optional[Sequence[Any]] = None,
+) -> List[Edit]:
+    """A seeded sequence of arbitrary splices, valid against the evolving buffer.
+
+    Each edit's range is drawn against the buffer length *after* the
+    previous edits (the script is meant to be applied in order);
+    insertions draw tokens from ``vocabulary`` (default: the original
+    stream itself, so the token alphabet stays the grammar's own).  The
+    script exercises every shape — pure inserts, pure deletes, replaces,
+    empty-buffer edits — and makes no validity promise: most random
+    splices break the parse, which is exactly what the differential
+    parity suite wants to stress.
+    """
+    rng = random.Random(seed)
+    pool = list(vocabulary if vocabulary is not None else tokens)
+    length = len(tokens)
+    script: List[Edit] = []
+    for _ in range(count):
+        start = rng.randrange(length + 1)
+        end = min(length, start + rng.randrange(max_span + 1))
+        inserted = [
+            pool[rng.randrange(len(pool))]
+            for _ in range(rng.randrange(max_insert + 1))
+        ] if pool else []
+        script.append(Edit(start, end, inserted))
+        length += len(inserted) - (end - start)
+    return script
+
+
+def apply_edits(tokens: Sequence[Any], edits: Sequence[Edit]) -> List[Any]:
+    """Reference implementation: apply a script by plain list splicing."""
+    buffer = list(tokens)
+    for edit in edits:
+        buffer[edit.start : edit.end] = list(edit.tokens)
+    return buffer

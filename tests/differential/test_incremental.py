@@ -1,0 +1,186 @@
+"""Differential testing: incremental reparsing vs. from-scratch parsing.
+
+The parity contract of :mod:`repro.incremental`: after *any* sequence of
+edits, an :class:`~repro.incremental.IncrementalDocument`'s
+``recognize()``, ``tree()`` and diagnosed failure position must agree
+exactly with a from-scratch parse of the current buffer — on the
+interpreted engine, on the compiled engine, and between the two.  These
+tests replay hand-picked edge cases (empty input, edits landing exactly
+on checkpoint boundaries) and hypothesis-generated random edit scripts,
+comparing each document against a fresh
+:class:`~repro.core.parse.DerivativeParser` oracle after every splice.
+"""
+
+import pytest
+
+from repro.compile import CompiledParser
+from repro.core import DerivativeParser, ParseError
+from repro.grammars import arithmetic_grammar, pl0_grammar
+from repro.incremental import IncrementalDocument
+from repro.lexer.tokens import Tok
+from repro.workloads import apply_edits, pl0_tokens, random_edit_script
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+ENGINES = ("interpreted", "compiled")
+
+
+def scratch_failure_position(grammar, tokens, engine):
+    """The exact failing index a from-scratch batch parse reports, or None."""
+    if engine == "compiled":
+        parser = CompiledParser(grammar)
+    else:
+        parser = DerivativeParser(grammar.to_language())
+    try:
+        parser.parse(list(tokens))
+    except ParseError as error:
+        return error.position
+    return None
+
+
+def assert_parity(document, grammar, buffer, engine):
+    """One document vs. the from-scratch oracles on the same buffer."""
+    oracle = DerivativeParser(grammar.to_language())
+    expected = oracle.recognize(list(buffer))
+    assert document.recognize() == expected, (
+        "{} incremental recognize diverged on {!r}".format(engine, buffer)
+    )
+    assert list(document.tokens) == list(buffer)
+    expected_failure = scratch_failure_position(grammar, buffer, engine)
+    assert document.failure_position() == expected_failure, (
+        "{} incremental failure position diverged on {!r}".format(engine, buffer)
+    )
+    if expected:
+        assert document.tree() == oracle.parse(list(buffer)), (
+            "{} incremental tree diverged on {!r}".format(engine, buffer)
+        )
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_input_parity(self, engine):
+        grammar = pl0_grammar()
+        document = IncrementalDocument(grammar, [], engine=engine)
+        assert_parity(document, grammar, [], engine)
+        # Growing out of — and shrinking back to — empty stays in parity.
+        document.apply_edit(0, 0, [Tok(".")])
+        assert_parity(document, grammar, [Tok(".")], engine)
+        document.apply_edit(0, 1, [])
+        assert_parity(document, grammar, [], engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_edit_exactly_on_checkpoint_boundary(self, engine):
+        grammar = pl0_grammar()
+        tokens = pl0_tokens(200, seed=21)
+        document = IncrementalDocument(
+            grammar, tokens, checkpoint_every=25, engine=engine
+        )
+        boundary = document.checkpoints()[2]
+        # Replace the token *at* the boundary with junk: the rewind must
+        # land exactly on the checkpoint and parity must hold on the now
+        # invalid buffer...
+        result = document.apply_edit(boundary, boundary + 1, [Tok("@")])
+        assert result.rewound_to == boundary
+        buffer = list(tokens)
+        buffer[boundary : boundary + 1] = [Tok("@")]
+        assert_parity(document, grammar, buffer, engine)
+        # ...and again after repairing it.
+        document.apply_edit(boundary, boundary + 1, [tokens[boundary]])
+        assert_parity(document, grammar, tokens, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_whole_buffer_replacement(self, engine):
+        grammar = pl0_grammar()
+        old = pl0_tokens(120, seed=22)
+        new = pl0_tokens(150, seed=23)
+        document = IncrementalDocument(grammar, old, engine=engine)
+        document.apply_edit(0, len(old), new)
+        assert_parity(document, grammar, new, engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_arithmetic_edit_failure_positions(self, engine):
+        grammar = arithmetic_grammar()
+        tokens = [Tok("NUMBER", "1"), Tok("+"), Tok("NUMBER", "2")]
+        document = IncrementalDocument(grammar, tokens, engine=engine)
+        for edit in [
+            (1, 2, [Tok("*")]),  # 1 * 2 — still valid
+            (2, 3, []),  # 1 * — unexpected end of input
+            (0, 1, [Tok("+")]),  # + * — fails at 1
+            (0, 2, [Tok("NUMBER", "7")]),  # 7 — valid again
+        ]:
+            start, end, replacement = edit
+            buffer = list(document.tokens)
+            buffer[start:end] = replacement
+            document.apply_edit(start, end, replacement)
+            assert_parity(document, grammar, buffer, engine)
+
+
+class TestRandomEditScripts:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scripted_edits_stay_in_parity(self, engine, seed):
+        grammar = pl0_grammar()
+        tokens = pl0_tokens(150, seed=seed)
+        script = random_edit_script(tokens, 6, seed=seed)
+        document = IncrementalDocument(
+            grammar, tokens, checkpoint_every=16, engine=engine
+        )
+        buffer = list(tokens)
+        for edit in script:
+            buffer[edit.start : edit.end] = list(edit.tokens)
+            document.apply_edit(edit.start, edit.end, edit.tokens)
+            assert_parity(document, grammar, buffer, engine)
+        assert buffer == apply_edits(tokens, script)
+
+
+# A compact arithmetic token alphabet keeps hypothesis shrinks readable
+# while still exercising valid and invalid buffers.
+ARITH_TOKENS = st.sampled_from(
+    [Tok("NUMBER", "1"), Tok("NUMBER", "2"), Tok("NAME", "x"), Tok("+"),
+     Tok("*"), Tok("("), Tok(")")]
+)
+
+
+@st.composite
+def edit_scripts(draw):
+    """An initial buffer plus a sequence of splices valid when applied in order."""
+    buffer = draw(st.lists(ARITH_TOKENS, max_size=18))
+    length = len(buffer)
+    edits = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        start = draw(st.integers(min_value=0, max_value=length))
+        end = draw(st.integers(min_value=start, max_value=min(length, start + 3)))
+        inserted = draw(st.lists(ARITH_TOKENS, max_size=3))
+        edits.append((start, end, inserted))
+        length += len(inserted) - (end - start)
+    return buffer, edits
+
+
+class TestHypothesisParity:
+    """Random edit scripts ⇒ incremental result == from-scratch result."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=edit_scripts())
+    def test_interpreted_document_matches_scratch(self, script):
+        self._run("interpreted", script)
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=edit_scripts())
+    def test_compiled_document_matches_scratch(self, script):
+        self._run("compiled", script)
+
+    def _run(self, engine, script):
+        grammar = arithmetic_grammar()
+        initial, edits = script
+        document = IncrementalDocument(
+            grammar, initial, checkpoint_every=4, engine=engine
+        )
+        buffer = list(initial)
+        assert_parity(document, grammar, buffer, engine)
+        for start, end, inserted in edits:
+            buffer[start:end] = list(inserted)
+            document.apply_edit(start, end, inserted)
+            assert_parity(document, grammar, buffer, engine)

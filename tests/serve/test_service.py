@@ -166,6 +166,54 @@ class TestAsyncFrontDoor:
         assert asyncio.run(two_different()) == [True, True]
 
 
+class TestEditFrontDoor:
+    def test_async_edit_applies_and_coalesces_retries(self, service):
+        from repro.workloads import value_edit_at
+
+        tokens = pl0_tokens(300, seed=6)
+        session = service.open_session(pl0_grammar(), checkpoint_every=32)
+        session.feed_all(tokens)
+        edit = value_edit_at(tokens, 150, seed=0)
+
+        async def retry_storm():
+            return await asyncio.gather(
+                *(
+                    service.edit(session, edit.start, edit.end, edit.tokens)
+                    for _ in range(5)
+                )
+            )
+
+        results = asyncio.run(retry_storm())
+        # One application shared by every retry: the edit was not
+        # double-applied, and all callers saw the same result.
+        assert service.metrics.get("edits_applied") == 1
+        assert service.metrics.get("edit_requests") == 1
+        assert service.metrics.get("coalesced_requests") == 4
+        assert {r.refed_tokens for r in results} == {results[0].refed_tokens}
+        assert session.accepts()
+
+    def test_sync_edit_session_resolves_by_id(self, service):
+        session = service.open_session(pl0_grammar())
+        session.feed_all(pl0_tokens(100, seed=7))
+        result = service.edit_session(
+            session.session_id, 5, 6, [list(session.tokens)[5]]
+        )
+        assert result.length == session.position
+        assert service.metrics.get("edit_requests") == 1
+
+    def test_edit_of_unknown_session_raises(self, service):
+        from repro.serve import SessionError
+
+        with pytest.raises(SessionError):
+            service.edit_session("m0-s999", 0, 0, [])
+
+        async def one():
+            return await service.edit("m0-s999", 0, 0, [])
+
+        with pytest.raises(SessionError):
+            asyncio.run(one())
+
+
 class TestLifecycle:
     def test_closed_service_raises(self):
         service = ParseService(workers=1)

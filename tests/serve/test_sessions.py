@@ -1,12 +1,16 @@
-"""Streaming sessions: lifecycle, checkpoints, idle eviction, cache safety."""
+"""Streaming sessions: lifecycle, edits, checkpoints, idle eviction, races."""
+
+import threading
+import time
 
 import pytest
 
-from repro.core import ParseError
+from repro.core import DerivativeParser, ParseError
 from repro.grammars import arithmetic_grammar, pl0_grammar
+from repro.lexer.tokens import Tok
 from repro.serve import ParseService, SessionError
 from repro.serve.sessions import SessionManager
-from repro.workloads import pl0_tokens
+from repro.workloads import pl0_tokens, value_edit_at
 
 
 @pytest.fixture
@@ -117,6 +121,244 @@ class TestIdleEviction:
                 session.feed(tokens[step])  # touches last_used
             assert manager.sweep() == 0
             assert not session.closed
+
+
+class TestSessionEdits:
+    def test_apply_edit_reparses_incrementally(self, service):
+        tokens = pl0_tokens(400, seed=11)
+        session = service.open_session(pl0_grammar(), checkpoint_every=32)
+        session.feed_all(tokens)
+        assert session.accepts()
+        edit = value_edit_at(tokens, 200, seed=1)
+        result = session.apply_edit(edit.start, edit.end, edit.tokens)
+        assert result.refed_tokens < len(tokens) // 2
+        assert session.accepts()
+        # Parity: the session's tree equals a from-scratch parse of the
+        # edited buffer.
+        buffer = list(session.tokens)
+        scratch = DerivativeParser(pl0_grammar().to_language())
+        assert session.tree() == scratch.parse(buffer)
+        assert service.metrics.get("edits_applied") == 1
+        assert service.metrics.get("edit_tokens_refed") == result.refed_tokens
+
+    def test_edit_can_break_and_repair_the_stream(self, service):
+        tokens = pl0_tokens(200, seed=12)
+        session = service.open_session(pl0_grammar(), checkpoint_every=16)
+        session.feed_all(tokens)
+        session.apply_edit(50, 51, [Tok("@")])
+        assert not session.accepts()
+        session.apply_edit(50, 51, [tokens[50]])
+        assert session.accepts()
+
+    def test_keep_tokens_false_sessions_cannot_edit(self, service):
+        session = service.open_session(pl0_grammar(), keep_tokens=False)
+        session.feed_all(pl0_tokens(60))
+        assert session.tokens is None
+        with pytest.raises(SessionError):
+            session.apply_edit(0, 1, [Tok(".")])
+
+    def test_restored_session_keeps_its_trail_for_cheap_edits(self, service):
+        tokens = pl0_tokens(400, seed=13)
+        session = service.open_session(pl0_grammar(), checkpoint_every=32)
+        session.feed_all(tokens)
+        fork = service.restore_session(session.checkpoint())
+        edit = value_edit_at(tokens, 250, seed=2)
+        original = session.apply_edit(edit.start, edit.end, edit.tokens)
+        forked = fork.apply_edit(edit.start, edit.end, edit.tokens)
+        # The trail traveled with the checkpoint: the fork rewinds to the
+        # same checkpoint and re-derives the same token count.
+        assert forked.rewound_to == original.rewound_to
+        assert forked.refed_tokens == original.refed_tokens
+        assert fork.accepts() and session.accepts()
+
+
+class TestRestore:
+    def test_restore_is_metered_and_restored_session_is_observable(self):
+        clock = [0.0]
+        manager = SessionManager(idle_ttl=10.0, clock=lambda: clock[0])
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            session = manager.open(entry)
+            session.feed_all(pl0_tokens(80)[:20])
+            restored = manager.restore(session.checkpoint())
+            assert manager.metrics.get("sessions_restored") == 1
+            # Observable like any other session...
+            assert manager.get(restored.session_id) is restored
+            assert restored in manager.live_sessions()
+            assert restored.position == 20
+            # ...and evictable like any other session.
+            clock[0] = 20.0
+            session._touch()  # keep the original alive
+            assert manager.sweep() == 1
+            assert restored.closed and restored.end_reason == "evicted"
+            assert not session.closed
+
+    def test_restore_of_legacy_trail_less_checkpoint(self):
+        # The pre-trail SessionCheckpoint signature (tokens but no trail)
+        # still constructs; restoring it must neither raise nor leak a
+        # half-initialized session — it anchors a fresh trail at the
+        # automaton's start state and edits simply rewind further.
+        from repro.serve.sessions import SessionCheckpoint
+
+        manager = SessionManager()
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            tokens = pl0_tokens(120, seed=17)
+            session = manager.open(entry)
+            session.feed_all(tokens)
+            modern = session.checkpoint()
+            legacy = SessionCheckpoint(
+                modern.entry,
+                modern.state,
+                modern.position,
+                modern.failure_position,
+                modern.tokens,
+            )
+            assert legacy.trail is None
+            restored = manager.restore(legacy)
+            assert restored.accepts()
+            edit = value_edit_at(tokens, 60, seed=0)
+            restored.apply_edit(edit.start, edit.end, edit.tokens)
+            assert restored.accepts()
+            assert len(manager) == 2  # original + restored, nothing leaked
+
+    def test_failed_restore_does_not_leak_a_session(self):
+        # A checkpoint whose trail is malformed must fail cleanly: the
+        # freshly opened session is closed and deregistered, not leaked.
+        from repro.serve.sessions import SessionCheckpoint
+
+        manager = SessionManager()
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            tokens = pl0_tokens(80, seed=18)
+            session = manager.open(entry)
+            session.feed_all(tokens)
+            modern = session.checkpoint()
+            # Trail missing its position-0 anchor: invalid.
+            bad = SessionCheckpoint(
+                modern.entry,
+                modern.state,
+                modern.position,
+                modern.failure_position,
+                modern.tokens,
+                trail=modern.trail[1:],
+                checkpoint_every=modern.checkpoint_every,
+            )
+            live_before = len(manager)
+            with pytest.raises(ValueError):
+                manager.restore(bad)
+            assert len(manager) == live_before
+            assert manager.metrics.get("sessions_restored") == 0
+
+    def test_restore_of_stateless_checkpoint(self):
+        manager = SessionManager()
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            tokens = pl0_tokens(100, seed=3)
+            session = manager.open(entry, keep_tokens=False)
+            session.feed_all(tokens[:50])
+            restored = manager.restore(session.checkpoint())
+            assert restored.position == 50
+            restored.feed_all(tokens[50:])
+            assert restored.accepts()
+
+
+class TestManagerScopedIds:
+    def test_two_managers_never_mint_colliding_ids(self):
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            first = SessionManager()
+            second = SessionManager()
+            sessions_a = [first.open(entry) for _ in range(3)]
+            sessions_b = [second.open(entry) for _ in range(3)]
+            ids_a = {session.session_id for session in sessions_a}
+            ids_b = {session.session_id for session in sessions_b}
+            assert not ids_a & ids_b
+            assert all(session.session_id.startswith(first.tag + "-") for session in sessions_a)
+
+    def test_cross_manager_get_and_restore_do_not_resolve(self):
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            first = SessionManager()
+            second = SessionManager()
+            session = first.open(entry)
+            second.open(entry)  # same per-manager counter value (1) as `session`
+            # Before ids were manager-tagged, both managers minted "s1" from
+            # one shared class counter — or, worse, interleaved counters let
+            # an id from one manager silently resolve a *different* session
+            # in the other.  Now a foreign id never resolves.
+            with pytest.raises(SessionError):
+                second.get(session.session_id)
+            # A checkpoint restored against the other manager opens a
+            # session registered (and id-tagged) there, not in the original.
+            checkpoint = session.checkpoint()
+            foreign = second.restore(checkpoint)
+            assert foreign.session_id.startswith(second.tag + "-")
+            with pytest.raises(SessionError):
+                first.get(foreign.session_id)
+
+
+class TestSweepRace:
+    def test_sweep_revalidates_under_the_session_lock(self):
+        # Regression for the select-then-evict TOCTOU: a session that looks
+        # idle under the manager lock but is touched (or mid-operation,
+        # holding its own lock) before the eviction decision must survive
+        # the sweep.  The test freezes the race window deterministically:
+        # the session's lock is held — as a feed would hold it — while a
+        # sweeper thread runs; the touch happens inside the lock, and the
+        # sweeper's re-validation must observe it.
+        clock = [0.0]
+        manager = SessionManager(idle_ttl=10.0, clock=lambda: clock[0])
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            session = manager.open(entry)  # last_used = 0.0
+            clock[0] = 30.0  # stale last_used: a sweep candidate
+
+            sweep_started = threading.Event()
+
+            def observed_clock():
+                sweep_started.set()
+                return clock[0]
+
+            manager.clock = observed_clock
+            result = []
+            with session._lock:  # an in-flight feed/tree holds this
+                sweeper = threading.Thread(
+                    target=lambda: result.append(manager.sweep())
+                )
+                sweeper.start()
+                assert sweep_started.wait(5)
+                # Give the sweeper time to pass candidate selection and
+                # block on the session lock we hold.
+                time.sleep(0.1)
+                session.last_used = clock[0]  # the in-flight op touches
+            sweeper.join(5)
+            assert result == [0]
+            assert not session.closed
+            assert manager.get(session.session_id) is session
+            assert manager.metrics.get("sessions_evicted") == 0
+
+    def test_sweep_still_evicts_genuinely_idle_sessions_under_contention(self):
+        # The re-validation must not make the sweep toothless: concurrent
+        # sweeps racing each other still evict an idle session exactly once.
+        clock = [0.0]
+        manager = SessionManager(idle_ttl=10.0, clock=lambda: clock[0])
+        with ParseService(workers=1) as service:
+            entry = service.table_for(pl0_grammar())
+            idle = manager.open(entry)
+            clock[0] = 30.0
+            results = []
+            threads = [
+                threading.Thread(target=lambda: results.append(manager.sweep()))
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(5)
+            assert sum(results) == 1
+            assert idle.closed and idle.end_reason == "evicted"
+            assert manager.metrics.get("sessions_evicted") == 1
 
 
 class TestCacheEvictionSafety:

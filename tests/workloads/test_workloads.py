@@ -8,14 +8,19 @@ from repro.grammars import (
     balanced_parens_grammar,
     binary_sum_grammar,
     json_grammar,
+    pl0_grammar,
     python_grammar,
     sexpr_grammar,
 )
 from repro.workloads import (
     PythonProgramGenerator,
     ambiguous_sum_tokens,
+    apply_edits,
     arithmetic_tokens,
     generate_program,
+    random_edit_script,
+    single_token_edits,
+    value_edit_at,
     json_tokens,
     load_corpus_sample,
     nested_parens_tokens,
@@ -118,6 +123,41 @@ class TestTokenStreamGenerators:
     def test_generators_are_deterministic(self):
         assert arithmetic_tokens(30, seed=4) == arithmetic_tokens(30, seed=4)
         assert json_tokens(30, seed=4) == json_tokens(30, seed=4)
+
+
+class TestEditScripts:
+    def test_value_edit_preserves_validity(self):
+        tokens = pl0_tokens(200, seed=1)
+        parser = DerivativeParser(pl0_grammar().to_language())
+        for edit in single_token_edits(tokens, seed=3):
+            assert edit.end == edit.start + 1
+            assert edit.tokens[0].kind == tokens[edit.start].kind
+            assert edit.tokens[0].value != tokens[edit.start].value
+            assert parser.recognize(apply_edits(tokens, [edit]))
+
+    def test_value_edit_wraps_and_rejects_kindless_streams(self):
+        tokens = pl0_tokens(100, seed=2)
+        # A position past every NUMBER/IDENT wraps around to the front.
+        edit = value_edit_at(tokens, len(tokens) - 1, seed=0)
+        assert 0 <= edit.start < len(tokens)
+        with pytest.raises(LookupError):
+            value_edit_at(tokens, 0, kinds=("NO_SUCH_KIND",))
+
+    def test_random_edit_script_is_deterministic_and_in_bounds(self):
+        tokens = pl0_tokens(120, seed=4)
+        first = random_edit_script(tokens, 10, seed=9)
+        second = random_edit_script(tokens, 10, seed=9)
+        assert first == second
+        buffer = list(tokens)
+        for edit in first:
+            assert 0 <= edit.start <= edit.end <= len(buffer)
+            buffer[edit.start : edit.end] = list(edit.tokens)
+        assert buffer == apply_edits(tokens, first)
+
+    def test_edit_size(self):
+        tokens = pl0_tokens(60)
+        edit = value_edit_at(tokens, 10)
+        assert edit.size == 2  # one removed, one inserted
 
 
 class TestCorpus:
