@@ -24,12 +24,15 @@ gates for deterministic ones — warm and loaded runs must perform **zero**
 derivations — because sub-millisecond timings on shared CI runners are too
 noisy to gate a build on.  Full mode keeps the timing assertions (the
 acceptance bar: warm compiled ≥ 3× warm interpreted at 10k+ tokens).
+
+Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON via
+the shared :func:`repro.bench.emit_json` helper.
 """
 
 import os
 import time
 
-from repro.bench import format_table, time_call
+from repro.bench import emit_json, format_table, time_call
 from repro.compile import CompiledParser, GrammarTable, load_table, save_table
 from repro.core import DerivativeParser
 from repro.grammars import pl0_grammar, python_grammar
@@ -107,26 +110,16 @@ def measure(grammar, tokens, tmp_path):
 
 
 def test_compiled_vs_interpreted(run_once, tmp_path):
-    rows = []
-    checks = []
+    all_rows = []
     for name, grammar, tokens in workloads():
         result = measure(grammar, tokens, str(tmp_path / (name + ".table.json")))
-        warm_speedup = result["interp_warm"] / max(result["compiled_warm"], 1e-9)
-        loaded_speedup = result["interp_warm"] / max(result["compiled_loaded"], 1e-9)
-        rows.append(
-            [
-                name,
-                len(tokens),
-                "{:.2f}".format(result["interp_cold"]),
-                "{:.2f}".format(result["interp_warm"] * 1000.0),
-                "{:.2f}".format(result["compiled_cold"]),
-                "{:.2f}".format(result["compiled_warm"] * 1000.0),
-                "{:.2f}".format(result["compiled_loaded"] * 1000.0),
-                "{:.1f}x".format(warm_speedup),
-                "{:.1f}x".format(loaded_speedup),
-            ]
+        result["workload"] = name
+        result["tokens"] = len(tokens)
+        result["warm_speedup"] = result["interp_warm"] / max(result["compiled_warm"], 1e-9)
+        result["loaded_speedup"] = result["interp_warm"] / max(
+            result["compiled_loaded"], 1e-9
         )
-        checks.append((name, warm_speedup, loaded_speedup))
+        all_rows.append(result)
 
     print()
     print(
@@ -142,23 +135,40 @@ def test_compiled_vs_interpreted(run_once, tmp_path):
                 "warm speedup",
                 "loaded speedup",
             ],
-            rows,
+            [
+                [
+                    row["workload"],
+                    row["tokens"],
+                    "{:.2f}".format(row["interp_cold"]),
+                    "{:.2f}".format(row["interp_warm"] * 1000.0),
+                    "{:.2f}".format(row["compiled_cold"]),
+                    "{:.2f}".format(row["compiled_warm"] * 1000.0),
+                    "{:.2f}".format(row["compiled_loaded"] * 1000.0),
+                    "{:.1f}x".format(row["warm_speedup"]),
+                    "{:.1f}x".format(row["loaded_speedup"]),
+                ]
+                for row in all_rows
+            ],
             title="Compiled automaton vs. interpreted derivative parser"
             + (" [quick]" if QUICK else ""),
         )
     )
 
+    emit_json(all_rows, quick=QUICK, size=SIZE)
+
     # Wall-clock gates run only in full mode; quick mode's gates are the
     # deterministic zero-derivation assertions inside measure().
     if not QUICK:
-        for name, warm_speedup, loaded_speedup in checks:
-            assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        for row in all_rows:
+            assert row["warm_speedup"] >= MIN_WARM_SPEEDUP, (
                 "{}: warm compiled only {:.1f}x faster than warm interpreted "
-                "(needs {}x)".format(name, warm_speedup, MIN_WARM_SPEEDUP)
+                "(needs {}x)".format(row["workload"], row["warm_speedup"], MIN_WARM_SPEEDUP)
             )
-            assert loaded_speedup >= MIN_LOADED_SPEEDUP, (
+            assert row["loaded_speedup"] >= MIN_LOADED_SPEEDUP, (
                 "{}: loaded table only {:.1f}x faster than warm interpreted "
-                "(needs {}x)".format(name, loaded_speedup, MIN_LOADED_SPEEDUP)
+                "(needs {}x)".format(
+                    row["workload"], row["loaded_speedup"], MIN_LOADED_SPEEDUP
+                )
             )
 
     # One representative configuration under pytest-benchmark's timer: the

@@ -1,0 +1,167 @@
+"""Dense int-indexed core vs. the object-layer warm walk (repro.compile).
+
+The dense core's claim: once recognition has promoted a grammar's states and
+token kinds to contiguous ints, the warm hot loop is a single dict probe per
+token over compactly repacked linked rows — no ``by_kind`` dispatch, no
+attribute chains through :class:`AutomatonState` — and a table restored from
+the version-2 serialized layout reproduces that speed with **zero**
+derivations and **zero** dense fallbacks.  This benchmark prints, per
+workload (PL/0 and the Python subset):
+
+=================  ==========================================================
+row                what is measured
+=================  ==========================================================
+object warm        :meth:`CompiledParser.recognize_object` — the pre-dense
+                   warm loop (``by_kind`` probes on interned states)
+dense warm         :meth:`CompiledParser.recognize` — the linked-row int
+                   hot loop, after promotion and repack
+loaded dense       same stream through a table round-tripped with
+                   ``save_table``/``load_table`` (rows rebuilt from disk)
+=================  ==========================================================
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) shrinks the
+streams and swaps the wall-clock speedup gates for deterministic dense-hit
+gates — every warm token must be a dense hit (zero fallbacks), and the loaded
+table must recognize with zero derivations — because sub-millisecond timings
+on shared CI runners are too noisy to gate a build on.  Full mode keeps the
+timing assertion (the acceptance bar: dense warm ≥ 3× object warm on both
+workloads).
+
+Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON
+(the CI job uploads it as the ``BENCH_dense.json`` artifact).
+"""
+
+import os
+
+from repro.bench import emit_json, format_table, time_call
+from repro.compile import CompiledParser, GrammarTable, load_table, save_table
+from repro.grammars import pl0_grammar, python_grammar
+from repro.workloads import generate_program, pl0_tokens
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZE = 400 if QUICK else 4_000
+#: Dense warm vs. object warm: the tentpole acceptance bar.  Timing ratios
+#: are only asserted in full mode — quick mode (CI) gates on the
+#: deterministic dense-hit-rate checks instead.
+MIN_DENSE_SPEEDUP = 3.0
+#: Warm walks finish in microseconds at quick sizes, so every warm row takes
+#: the shared harness's median-of-N timing to keep ratios out of timer noise.
+WARM_ROUNDS = 5
+
+
+def workloads():
+    return [
+        ("pl0", pl0_grammar(), pl0_tokens(SIZE, seed=1)),
+        ("python-subset", python_grammar(), generate_program(SIZE, seed=1).tokens),
+    ]
+
+
+def measure(name, grammar, tokens, tmp_path):
+    table = GrammarTable(grammar.language())
+    parser = CompiledParser(table=table)
+    assert parser.recognize(tokens) is True  # cold: derive + promote + repack
+
+    object_warm = time_call(lambda: parser.recognize_object(tokens), repeats=WARM_ROUNDS)
+    dense_warm = time_call(lambda: parser.recognize(tokens), repeats=WARM_ROUNDS)
+
+    # Deterministic warmth gate: with the stream already walked once, every
+    # token resolves inside the dense core — not one falls back to the
+    # object layer.
+    accepted, hits, fallbacks = parser.recognize_with_stats(tokens)
+    assert accepted is True
+    assert fallbacks == 0, (
+        "{}: warm dense walk fell back {} times".format(name, fallbacks)
+    )
+    assert hits == len(tokens)
+
+    save_table(table, tmp_path)
+    loaded_table = load_table(tmp_path, grammar)
+    loaded = CompiledParser(table=loaded_table)
+    accepted, hits, fallbacks = loaded.recognize_with_stats(tokens)
+    assert accepted is True
+    # The serialized dense layout covers the workload end to end: zero
+    # derivations and zero dense fallbacks straight from disk.
+    assert loaded_table.transitions_derived == 0, (
+        "{}: loaded table derived {} transitions".format(
+            name, loaded_table.transitions_derived
+        )
+    )
+    assert fallbacks == 0, (
+        "{}: loaded dense walk fell back {} times".format(name, fallbacks)
+    )
+    assert hits == len(tokens)
+    loaded_warm = time_call(lambda: loaded.recognize(tokens), repeats=WARM_ROUNDS)
+
+    stats = table.stats()
+    return {
+        "workload": name,
+        "tokens": len(tokens),
+        "object_warm_s": object_warm,
+        "dense_warm_s": dense_warm,
+        "loaded_warm_s": loaded_warm,
+        "dense_speedup": object_warm / max(dense_warm, 1e-9),
+        "loaded_speedup": object_warm / max(loaded_warm, 1e-9),
+        "dense_states": stats["dense_states"],
+        "dense_kinds": stats["dense_kinds"],
+        "dense_row_fill": stats["dense_row_fill"],
+    }
+
+
+def test_dense_core_speedup(run_once, tmp_path):
+    all_rows = [
+        measure(name, grammar, tokens, str(tmp_path / (name + ".table.json")))
+        for name, grammar, tokens in workloads()
+    ]
+
+    print()
+    print(
+        format_table(
+            [
+                "workload",
+                "tokens",
+                "object warm (ms)",
+                "dense warm (ms)",
+                "loaded dense (ms)",
+                "dense speedup",
+                "loaded speedup",
+                "rows×kinds",
+                "row fill",
+            ],
+            [
+                [
+                    row["workload"],
+                    "{:,}".format(row["tokens"]),
+                    "{:.3f}".format(row["object_warm_s"] * 1e3),
+                    "{:.3f}".format(row["dense_warm_s"] * 1e3),
+                    "{:.3f}".format(row["loaded_warm_s"] * 1e3),
+                    "{:.1f}x".format(row["dense_speedup"]),
+                    "{:.1f}x".format(row["loaded_speedup"]),
+                    "{}x{}".format(row["dense_states"], row["dense_kinds"]),
+                    "{:.0%}".format(row["dense_row_fill"]),
+                ]
+                for row in all_rows
+            ],
+            title="Dense int-indexed core vs. object-layer warm recognition"
+            + (" [quick]" if QUICK else ""),
+        )
+    )
+
+    emit_json(all_rows, quick=QUICK, size=SIZE)
+
+    # Wall-clock gates run only in full mode; quick mode's gates are the
+    # deterministic zero-fallback / zero-derivation assertions in measure().
+    if not QUICK:
+        for row in all_rows:
+            assert row["dense_speedup"] >= MIN_DENSE_SPEEDUP, (
+                "{}: dense warm only {:.1f}x faster than object warm "
+                "(needs {}x)".format(
+                    row["workload"], row["dense_speedup"], MIN_DENSE_SPEEDUP
+                )
+            )
+
+    # One representative configuration under pytest-benchmark's timer: the
+    # warm dense walk of the PL/0 workload.
+    _, grammar, tokens = workloads()[0]
+    parser = CompiledParser(grammar)
+    parser.recognize(tokens)  # promote + repack the shared table
+    run_once(lambda: parser.recognize(tokens))

@@ -33,10 +33,9 @@ Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON
 (the CI job uploads it as the ``BENCH_incremental.json`` artifact).
 """
 
-import json
 import os
 
-from repro.bench import format_table, time_call
+from repro.bench import emit_json, format_table, time_call
 from repro.compile import CompiledParser
 from repro.core import DerivativeParser
 from repro.grammars import pl0_grammar, python_grammar
@@ -218,15 +217,7 @@ def test_incremental_editing(run_once):
         "checkpoint-to-end because derived graphs carry parse payloads."
     )
 
-    json_path = os.environ.get("REPRO_BENCH_JSON")
-    if json_path:
-        with open(json_path, "w") as handle:
-            json.dump(
-                {"quick": QUICK, "checkpoint_every": CHECKPOINT_EVERY, "rows": all_rows},
-                handle,
-                indent=2,
-            )
-        print("wrote {} rows to {}".format(len(all_rows), json_path))
+    emit_json(all_rows, quick=QUICK, checkpoint_every=CHECKPOINT_EVERY)
 
     # Wall-clock acceptance gates run only in full mode; quick mode's gates
     # are the deterministic re-fed-token assertions inside measure().

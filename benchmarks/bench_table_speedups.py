@@ -10,28 +10,48 @@ The reproduction measures the same three ratios on this machine.  Absolute
 factors differ (everything here is Python, the original baseline is only
 feasible on tiny inputs, and our GLR is not C), but the *ordering* must hold:
 original ≪ Earley < improved PWD < GLR.
+
+Set ``REPRO_BENCH_JSON=<path>`` to also write the measured factors as JSON
+via the shared :func:`repro.bench.emit_json` helper.
 """
 
-from repro.bench import format_table, python_workload, speedup_summary_table
+from repro.bench import emit_json, format_table, python_workload, speedup_summary_table
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
 
 def test_headline_speedup_factors(run_once):
     factors = speedup_summary_table()
-    rows = [
-        ("improved PWD vs original PWD", factors["improved_vs_original"], "≈951× (paper)"),
-        ("improved PWD vs Earley", factors["improved_vs_earley"], "≈64.6× (paper)"),
-        ("GLR vs improved PWD", factors["glr_vs_improved"], "≈25.2× (paper)"),
+    all_rows = [
+        {
+            "comparison": "improved PWD vs original PWD",
+            "measured": factors["improved_vs_original"],
+            "paper": "≈951×",
+        },
+        {
+            "comparison": "improved PWD vs Earley",
+            "measured": factors["improved_vs_earley"],
+            "paper": "≈64.6×",
+        },
+        {
+            "comparison": "GLR vs improved PWD",
+            "measured": factors["glr_vs_improved"],
+            "paper": "≈25.2×",
+        },
     ]
     print()
     print(
         format_table(
             ["comparison", "measured factor", "paper"],
-            rows,
+            [
+                (row["comparison"], row["measured"], row["paper"] + " (paper)")
+                for row in all_rows
+            ],
             title="Section 4.1 — headline relative factors",
         )
     )
+
+    emit_json(all_rows)
 
     assert factors["improved_vs_original"] > 5
     assert factors["improved_vs_earley"] > 0.01

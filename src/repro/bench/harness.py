@@ -11,12 +11,17 @@ produce those numbers reproducibly:
   across input sizes,
 * :func:`format_table` — fixed-width tables printed by every benchmark so the
   regenerated "figure" appears directly in the pytest output,
-* :func:`geometric_mean` — the averaging used for the headline factors.
+* :func:`geometric_mean` — the averaging used for the headline factors,
+* :func:`emit_json` — the shared ``REPRO_BENCH_JSON`` artifact writer (CI
+  smoke jobs upload each benchmark's measured rows as a ``BENCH_*.json``
+  artifact so regressions can be diffed across runs).
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
@@ -28,6 +33,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "speedup",
+    "emit_json",
 ]
 
 
@@ -86,6 +92,23 @@ def speedup(baseline: float, improved: float) -> float:
     if improved <= 0:
         return float("nan")
     return baseline / improved
+
+
+def emit_json(rows: Sequence[dict], **meta: object) -> Optional[str]:
+    """Write measured rows to the path named by ``REPRO_BENCH_JSON``.
+
+    Every benchmark funnels its row dicts through this helper so the JSON
+    artifacts all share one shape: ``{**meta, "rows": [...]}``.  Returns the
+    path written, or ``None`` when the environment variable is unset (the
+    common local case — benchmarks print their tables either way).
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return None
+    with open(path, "w") as handle:
+        json.dump({**meta, "rows": list(rows)}, handle, indent=2)
+    print("wrote {} rows to {}".format(len(rows), path))
+    return path
 
 
 def format_table(

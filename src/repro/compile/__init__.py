@@ -37,7 +37,10 @@ per-token parse-tree payloads).
 """
 
 from .automaton import (
+    DENSE_DEAD,
+    DENSE_UNEXPLORED,
     AutomatonState,
+    DenseCore,
     GrammarTable,
     as_root,
     compile_grammar,
@@ -53,6 +56,9 @@ __all__ = [
     "CompiledSnapshot",
     "GrammarTable",
     "AutomatonState",
+    "DenseCore",
+    "DENSE_UNEXPLORED",
+    "DENSE_DEAD",
     "TokenClassifier",
     "compile_grammar",
     "discard_table",

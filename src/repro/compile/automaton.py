@@ -88,11 +88,251 @@ from .classes import TokenClassifier
 
 __all__ = [
     "AutomatonState",
+    "DenseCore",
+    "DENSE_UNEXPLORED",
+    "DENSE_DEAD",
+    "DENSE_SID",
     "GrammarTable",
     "compile_grammar",
     "discard_table",
     "as_root",
 ]
+
+#: Dense-row sentinel: this ``state × kind`` edge has never been resolved —
+#: the executor must fall back to :meth:`GrammarTable.step_slow`.
+DENSE_UNEXPLORED = -2
+#: Dense-row sentinel: this edge provably leads to the ``∅`` sink.
+DENSE_DEAD = -1
+
+#: Reserved key in every linked row dict, mapping to the row's own dense
+#: state id.  A fresh ``object()`` can never compare equal to a token kind,
+#: so the reservation is invisible to ``row.get(kind)`` probes.
+DENSE_SID = object()
+
+
+class DenseCore:
+    """The automaton flattened to contiguous integers for the warm hot loop.
+
+    Token kinds and interned states are assigned dense ids in discovery
+    order; transitions live in ``rows[state_id][kind_id]`` — plain Python
+    lists of ints.  Entries are ints ``>= 0`` (the successor's dense id) or
+    one of two sentinels: :data:`DENSE_DEAD` (the ``∅`` sink) and
+    :data:`DENSE_UNEXPLORED` (never resolved — the executor falls back to
+    the object layer's :meth:`GrammarTable.step_slow`, which promotes the
+    freshly resolved edge into the row on its way out).  The int rows are
+    the *canonical* dense layout: they are what serializes, what
+    ``row_fill`` inspects, and what defines dense-id semantics.
+
+    Execution, however, does not index the int rows.  CPython resolves a
+    small-dict ``get`` faster than a pair of ``list`` subscripts plus the
+    int decoding around them, so the core additionally maintains ``links``
+    — one dict per state mapping token kind directly to the *successor's
+    link dict*.  The warm hot loop is then a pointer chase::
+
+        row = links[start_id]
+        for tok in stream:
+            row = row.get(tok.kind)      # next state's dict, or None
+
+    with no ids decoded per token at all.  Each link dict carries its own
+    state id under the reserved :data:`DENSE_SID` key so the executor can
+    re-enter the int/object world on a miss (cold edge, unknown kind) and
+    read off acceptance at end of input.  Dead edges are recorded only in
+    the int rows — a dead probe misses ``links`` and the fallback decodes
+    :data:`DENSE_DEAD` from the canonical row, keeping the per-token path
+    to a single ``None`` test.
+
+    The core is *built incrementally* alongside the object layer: every
+    non-transient interned state gets a row at interning time, and every
+    resolved ``kind → successor`` edge is mirrored into the row the moment
+    the object layer flattens it (cold derivation and warm
+    signature-hit promotion both land here).  The object layer remains the
+    source of truth — trees, forests, failure diagnosis and witness
+    materialization never read the dense core.
+
+    A core only exists on kind-*pure* tables (every terminal matches by
+    token kind alone); predicate terminals classify by value, which no
+    kind-indexed row can express, so impure tables keep ``dense = None``
+    and run the object path everywhere.
+
+    **Concurrency.**  Structure mutations (new state rows, kind interning
+    with its row extension) happen under the owning table's lock, with
+    publication ordered so lock-free readers are always safe: a state's
+    row is appended to ``rows`` before any transition entry can name its
+    id, and every row is extended to cover a new kind before the kind is
+    published in ``kind_ids``.  Transition-entry writes are idempotent
+    single-slot int stores (racing writers store the identical value), so
+    the warm promotion path may write them without the lock — the same
+    argument that covers ``by_kind`` flattening.
+    """
+
+    __slots__ = (
+        "kind_ids",
+        "kinds",
+        "rows",
+        "links",
+        "packed_states",
+        "states",
+        "accepting",
+        "hits",
+        "fallbacks",
+    )
+
+    def __init__(self) -> None:
+        #: Canonical token kind → dense kind id.
+        self.kind_ids: Dict[Any, int] = {}
+        #: Dense kind id → canonical token kind (the serialized kind table).
+        self.kinds: List[Any] = []
+        #: Dense state id → transition row (one int per interned kind).
+        self.rows: List[List[int]] = []
+        #: Dense state id → linked execution row: token kind → successor's
+        #: link dict (live edges only; :data:`DENSE_SID` maps to the row's
+        #: own state id).  Derived from ``rows``, maintained in lock-step
+        #: and periodically rebuilt compactly by :meth:`repack`.
+        self.links: List[Dict[Any, Any]] = []
+        #: How many link dicts the last :meth:`repack` laid out compactly
+        #: (states interned since then live wherever the allocator put
+        #: them, until the next repack).
+        self.packed_states = 0
+        #: Dense state id → the interned :class:`AutomatonState` behind it.
+        self.states: List["AutomatonState"] = []
+        #: Dense state id → nullability of the state's language.
+        self.accepting: List[bool] = []
+        #: Tokens resolved by a dense row since the table was built.
+        self.hits = 0
+        #: Tokens that fell back to the object layer (cold edge, unknown
+        #: kind, or a transient cursor past the state cap).
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------- structure
+    def add_state(self, state: "AutomatonState") -> int:
+        """Assign ``state`` a dense id and an unexplored row (table-locked)."""
+        dense_id = len(self.rows)
+        self.rows.append([DENSE_UNEXPLORED] * len(self.kinds))
+        self.links.append({DENSE_SID: dense_id})
+        self.states.append(state)
+        self.accepting.append(state.accepting)
+        state.dense_id = dense_id
+        return dense_id
+
+    def intern_kind(self, kind: Any) -> int:
+        """Intern ``kind``, growing every row first (table-locked).
+
+        Rows are extended *before* the kind is published in ``kind_ids``,
+        so a lock-free reader that obtained the new kind id always finds
+        every row long enough to index.
+        """
+        kid = self.kind_ids.get(kind)
+        if kid is not None:
+            return kid
+        kid = len(self.kinds)
+        for row in self.rows:
+            row.append(DENSE_UNEXPLORED)
+        self.kinds.append(kind)
+        self.kind_ids[kind] = kid
+        return kid
+
+    # ------------------------------------------------------------ promotion
+    def record_edge(
+        self,
+        lock: "threading.RLock",
+        state: "AutomatonState",
+        kind: Any,
+        successor: "AutomatonState",
+    ) -> None:
+        """Mirror a resolved ``state × kind → successor`` edge into the rows.
+
+        Safe to call with or without the table lock held: interning a
+        never-seen kind takes ``lock`` (structure mutation); the row store
+        itself is an idempotent int write.  Edges involving transient
+        states (no dense id) are skipped — exactly the states the object
+        layer also refuses to cache.
+        """
+        sid = state.dense_id
+        if sid is None:
+            return
+        if successor.dead:
+            target = DENSE_DEAD
+        else:
+            target = successor.dense_id
+            if target is None:
+                return
+        kid = self.kind_ids.get(kind)
+        if kid is None:
+            with lock:
+                kid = self.intern_kind(kind)
+        self.rows[sid][kid] = target
+        if target >= 0:
+            # Mirror live edges into the linked execution rows.  Both ends
+            # come from one snapshot of ``links`` so a concurrent repack
+            # never splices an old dict into a new chain; if the snapshot
+            # is the pre-repack list the edge lands in retired dicts and
+            # the packed chain recovers it from the canonical row on the
+            # fallback path.  The successor's link dict was created (under
+            # the lock) when the state was interned, so the reference is
+            # always resolvable; racing writers store the identical dict,
+            # so this is the same idempotent unlocked write as the row
+            # store above.  Dead edges stay out of ``links`` by design —
+            # see the class docstring.
+            links = self.links
+            links[sid][kind] = links[target]
+
+    # -------------------------------------------------------------- repacking
+    def needs_repack(self) -> bool:
+        """True when enough states were interned since the last repack.
+
+        Safe to call lock-free (two monotone int reads; worst case a
+        harmless extra or missed check).  The ``dirty * 8 >= packed``
+        threshold keeps the O(states + edges) repack amortized against at
+        least 12.5% automaton growth — and fires on the *first* warm run
+        after any cold compilation (``packed_states == 0``), which is the
+        case that matters most.
+        """
+        dirty = len(self.rows) - self.packed_states
+        return dirty > 0 and dirty * 8 >= self.packed_states
+
+    def repack(self) -> None:
+        """Rebuild the linked execution rows compactly (table-locked).
+
+        Link dicts created during cold compilation are interleaved with
+        the derivation's memo churn and end up scattered across the heap;
+        chasing them costs a cache/TLB miss per token, which erases the
+        representation's advantage.  Rebuilding every dict in one tight
+        allocation burst from the canonical int rows restores locality —
+        on the PL/0 workload this is the difference between ~80ns and
+        ~400ns per warm token.
+
+        The swap publishes a fully-built list in one reference store:
+        lock-free walkers holding the retired list keep walking internally
+        consistent dicts (every retired dict still resolves through its
+        own :data:`DENSE_SID`), and edges racing into retired dicts are
+        never lost — the canonical rows are the source of truth and the
+        executor's miss path re-reads them.
+        """
+        kinds = self.kinds
+        fresh = [{DENSE_SID: sid} for sid in range(len(self.rows))]
+        for sid, row in enumerate(self.rows):
+            links = fresh[sid]
+            for kid, target in enumerate(row):
+                if target >= 0:
+                    links[kinds[kid]] = fresh[target]
+        self.links = fresh
+        self.packed_states = len(fresh)
+
+    # ------------------------------------------------------------ inspection
+    def row_fill(self) -> float:
+        """Fraction of row slots holding a resolved edge (0.0 when empty)."""
+        total = len(self.rows) * len(self.kinds)
+        if not total:
+            return 0.0
+        explored = sum(
+            1 for row in self.rows for entry in row if entry != DENSE_UNEXPLORED
+        )
+        return explored / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "DenseCore(states={}, kinds={}, fill={:.2f})".format(
+            len(self.rows), len(self.kinds), self.row_fill()
+        )
 
 
 def as_root(grammar: Any) -> Language:
@@ -145,6 +385,7 @@ class AutomatonState:
         "by_signature",
         "parent",
         "via",
+        "dense_id",
     )
 
     def __init__(
@@ -165,9 +406,15 @@ class AutomatonState:
         self.by_signature: Dict[Any, "AutomatonState"] = {}
         self.parent = parent
         self.via = via
+        #: This state's id in the table's :class:`DenseCore` (row index), or
+        #: None when the state is transient, the ``∅`` sink, or the table is
+        #: kind-impure (no dense core at all).
+        self.dense_id: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         flags = []
+        if self.dense_id is not None:
+            flags.append("dense#{}".format(self.dense_id))
         if self.dead:
             flags.append("dead")
         if self.accepting:
@@ -271,6 +518,12 @@ class GrammarTable:
         #: classified by value (``by_kind`` stays empty everywhere).
         self.pure = self.classifier.pure
         self.max_states = max_states
+        #: The dense int-indexed execution core (kind-pure grammars only).
+        #: Built incrementally as states/edges are interned; the executor's
+        #: hot loop runs entirely on it and falls back to :meth:`step_slow`
+        #: on :data:`DENSE_UNEXPLORED` entries.  None when the alphabet has
+        #: predicate terminals (value-dependent classification).
+        self.dense: Optional[DenseCore] = DenseCore() if self.pure else None
         self._states: Dict[Language, AutomatonState] = {}
         self._by_index: List[AutomatonState] = []
         #: Number of transitions resolved by actually deriving (cache misses).
@@ -307,6 +560,8 @@ class GrammarTable:
             return state
         self._states[language] = state
         self._by_index.append(state)
+        if self.dense is not None:
+            self.dense.add_state(state)
         return state
 
     # ------------------------------------------------------------- stepping
@@ -331,7 +586,10 @@ class GrammarTable:
             successor = state.by_signature.get(signature)
             if successor is not None:
                 if self.pure and not successor.transient and not state.transient:
-                    state.by_kind[token_kind(tok)] = successor
+                    kind = token_kind(tok)
+                    state.by_kind[kind] = successor
+                    if self.dense is not None:
+                        self.dense.record_edge(self.lock, state, kind, successor)
                 return successor
         with self.lock:
             if state.language is None:
@@ -358,7 +616,10 @@ class GrammarTable:
                 if not successor.transient and not state.transient:
                     state.by_signature[signature] = successor
             if self.pure and not successor.transient and not state.transient:
-                state.by_kind[token_kind(tok)] = successor
+                kind = token_kind(tok)
+                state.by_kind[kind] = successor
+                if self.dense is not None:
+                    self.dense.record_edge(self.lock, state, kind, successor)
         return successor
 
     # -------------------------------------------------------- materialization
@@ -396,12 +657,31 @@ class GrammarTable:
                 )
             entry.language = language
             entry.accepting = self.nullability.nullable(language)
+            if self.dense is not None and entry.dense_id is not None:
+                self.dense.accepting[entry.dense_id] = entry.accepting
             # Reconnect the node-identity interning map; if another state
             # already claims this node the first claimant keeps it (both
             # remain correct — the persistent memo gives them identical
             # successor nodes).
             self._states.setdefault(language, entry)
         return state.language
+
+    # --------------------------------------------------------- dense metering
+    def note_dense_run(self, hits: int, fallbacks: int) -> None:
+        """Fold one recognition run's dense-hit/fallback counts into the table.
+
+        The executor counts locally during the run (zero per-token metering
+        cost) and reports once at the end; the fold takes :attr:`lock`, per
+        the shared-:class:`~repro.core.metrics.Metrics` contract.
+        """
+        if not hits and not fallbacks:
+            return
+        with self.lock:
+            if self.dense is not None:
+                self.dense.hits += hits
+                self.dense.fallbacks += fallbacks
+            self.metrics.dense_hits += hits
+            self.metrics.dense_fallbacks += fallbacks
 
     # ------------------------------------------------------------ inspection
     @property
@@ -432,8 +712,16 @@ class GrammarTable:
         return list(self._by_index)
 
     def stats(self) -> Dict[str, Any]:
-        """A summary dictionary for benchmarks and debugging."""
+        """A summary dictionary for benchmarks, serve logs and debugging.
+
+        The ``dense_*`` keys report promotion progress of the int-indexed
+        core: how many kinds/states have dense ids, what fraction of the
+        row slots hold a resolved edge, and how many tokens the executor
+        resolved densely vs. fell back on (all zero on kind-impure tables,
+        which have no core).
+        """
         flattened = sum(len(state.by_kind) for state in self._by_index)
+        dense = self.dense
         return {
             "states": self.state_count(),
             "class_transitions": self.transition_count(),
@@ -441,11 +729,24 @@ class GrammarTable:
             "transitions_derived": self.transitions_derived,
             "memo_entries": self.memo.entry_count(),
             "pure": self.pure,
+            "dense_states": len(dense.rows) if dense is not None else 0,
+            "dense_kinds": len(dense.kinds) if dense is not None else 0,
+            "dense_row_fill": dense.row_fill() if dense is not None else 0.0,
+            "dense_hits": dense.hits if dense is not None else 0,
+            "dense_fallbacks": dense.fallbacks if dense is not None else 0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return "GrammarTable(states={}, transitions={})".format(
-            self.state_count(), self.transition_count()
+        dense = self.dense
+        dense_part = (
+            ", dense={}x{} fill={:.2f}".format(
+                len(dense.rows), len(dense.kinds), dense.row_fill()
+            )
+            if dense is not None
+            else ""
+        )
+        return "GrammarTable(states={}, transitions={}{})".format(
+            self.state_count(), self.transition_count(), dense_part
         )
 
 

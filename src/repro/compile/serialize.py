@@ -26,6 +26,15 @@ together with the transitions pointing at them, as are ``kind`` edges whose
 kind is not a string.  Kind-impure states (predicate terminals) serialize
 without transitions — their classification is value-dependent and must be
 recomputed live.
+
+Version 2 additionally persists the table's dense layout
+(:class:`~repro.compile.automaton.DenseCore`): a top-level ``dense_kinds``
+table (scalar kinds only, in dense-kid order) and a per-state ``row`` of
+ints aligned with it — serialized state indices, ``-1`` for the dead sink,
+``-2`` for unexplored.  The loader re-interns both sides into the fresh
+table's core (and rebuilds the linked execution rows compactly), so a
+loaded table runs the dense hot path with zero derivations *and* zero
+dense fallbacks on input the saved automaton covered.
 """
 
 from __future__ import annotations
@@ -36,12 +45,15 @@ from typing import Any, Dict, List, Optional
 from ..core.errors import ReproError
 from ..core.languages import token_kind, token_value
 from ..lexer.tokens import Tok
-from .automaton import AutomatonState, GrammarTable
+from .automaton import DENSE_DEAD, DENSE_UNEXPLORED, AutomatonState, GrammarTable
 
 __all__ = ["save_table", "load_table", "dump_table", "restore_table", "FORMAT", "VERSION"]
 
 FORMAT = "repro-compiled-table"
-VERSION = 1
+#: Version 2: the dense-core layout (``dense_kinds`` + per-state ``row``)
+#: rides along with the object-layer transitions.  Version-1 documents
+#: predate the dense core and are rejected — re-save from a live table.
+VERSION = 2
 
 _SCALAR = (str, int, float, bool, type(None))
 
@@ -75,6 +87,21 @@ def dump_table(table: GrammarTable) -> Dict[str, Any]:
             state.parent.index, False
         )
 
+    # The dense layout ships as a top-level kind table (scalar kinds only,
+    # in dense-kid order) plus one int row per serialized state, aligned
+    # with it.  Row entries use serialized *state indices* — the same
+    # namespace as the ``kinds`` dicts — with the dead/unexplored
+    # sentinels passed through; targets whose state was dropped serialize
+    # as unexplored so the loaded table re-derives them on demand.
+    core = table.dense
+    dense_columns: List[int] = []
+    dense_kinds: List[Any] = []
+    if core is not None:
+        for kid, kind in enumerate(core.kinds):
+            if isinstance(kind, _SCALAR):
+                dense_columns.append(kid)
+                dense_kinds.append(kind)
+
     serialized: List[Dict[str, Any]] = []
     dropped = 0
     for state in states:
@@ -96,9 +123,24 @@ def dump_table(table: GrammarTable) -> Dict[str, Any]:
             "via": witnesses[state.index],
             "kinds": kinds,
         }
+        if core is not None and state.dense_id is not None:
+            dense_row = core.rows[state.dense_id]
+            row: List[int] = []
+            for kid in dense_columns:
+                target = dense_row[kid]
+                if target >= 0:
+                    successor = core.states[target]
+                    row.append(
+                        successor.index
+                        if placeable.get(successor.index, False)
+                        else DENSE_UNEXPLORED
+                    )
+                else:
+                    row.append(target)
+            entry["row"] = row
         serialized.append(entry)
 
-    return {
+    document = {
         "format": FORMAT,
         "version": VERSION,
         "fingerprint": table.fingerprint,
@@ -111,6 +153,9 @@ def dump_table(table: GrammarTable) -> Dict[str, Any]:
         "dropped_states": dropped,
         "states": serialized,
     }
+    if core is not None:
+        document["dense_kinds"] = dense_kinds
+    return document
 
 
 def save_table(table: GrammarTable, path: str) -> None:
@@ -137,7 +182,10 @@ def restore_table(
         raise ReproError("not a compiled-table document: {!r}".format(data.get("format")))
     if data.get("version") != VERSION:
         raise ReproError(
-            "unsupported compiled-table version {!r} (expected {})".format(
+            "unsupported compiled-table version {0!r}: this build reads only "
+            "version {1} (version {1} added the dense-core layout; older "
+            "documents carry no dense rows).  Re-save the table from a live "
+            "{1}-format build with save_table().".format(
                 data.get("version"), VERSION
             )
         )
@@ -159,7 +207,9 @@ def restore_table(
     start_index = data.get("start", 0)
     by_serialized_index: Dict[int, AutomatonState] = {}
 
-    # Pass 1: create (or adopt) one state per serialized entry.
+    # Pass 1: create (or adopt) one state per serialized entry.  Restored
+    # states register with the fresh table's dense core as they are
+    # created, so dense ids exist before pass 3 wires the rows.
     for entry in entries:
         if entry["index"] == start_index:
             by_serialized_index[entry["index"]] = table.start
@@ -170,6 +220,8 @@ def restore_table(
             accepting=bool(entry["accepting"]),
         )
         table._by_index.append(state)
+        if table.dense is not None:
+            table.dense.add_state(state)
         by_serialized_index[entry["index"]] = state
 
     # Pass 2: wire witnesses and flattened kind transitions.
@@ -188,6 +240,43 @@ def restore_table(
                 successor = by_serialized_index.get(successor_index)
                 if successor is not None:
                     state.by_kind[kind] = successor
+
+    # Pass 3: rebuild the dense core.  The serialized rows restore every
+    # scalar-kind edge (including non-string kinds the ``kinds`` dicts
+    # cannot carry); a sweep over the restored ``by_kind`` edges then
+    # covers documents without rows (e.g. a strict=False cross-attach),
+    # idempotently.  Built here in one allocation burst, the linked rows
+    # are already compact — mark them packed so the executor does not
+    # schedule a redundant repack.
+    core = table.dense
+    if core is not None:
+        dense_kinds = data.get("dense_kinds") or []
+        with table.lock:
+            kid_of_column = [core.intern_kind(kind) for kind in dense_kinds]
+        for entry in entries:
+            row_doc = entry.get("row")
+            if not row_doc:
+                continue
+            sid = by_serialized_index[entry["index"]].dense_id
+            if sid is None:
+                continue
+            for column, target in enumerate(row_doc):
+                if column >= len(kid_of_column) or target == DENSE_UNEXPLORED:
+                    continue
+                kid = kid_of_column[column]
+                if target == DENSE_DEAD:
+                    core.rows[sid][kid] = DENSE_DEAD
+                    continue
+                target_state = by_serialized_index.get(target)
+                if target_state is not None and target_state.dense_id is not None:
+                    tsid = target_state.dense_id
+                    core.rows[sid][kid] = tsid
+                    core.links[sid][core.kinds[kid]] = core.links[tsid]
+        for entry in entries:
+            state = by_serialized_index[entry["index"]]
+            for kind, successor in state.by_kind.items():
+                core.record_edge(table.lock, state, kind, successor)
+        core.packed_states = len(core.rows)
 
     return table
 

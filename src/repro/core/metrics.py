@@ -99,6 +99,13 @@ class Metrics:
         the suffix after an edit, and edits that re-converged with the old
         parse and spliced its checkpoint trail instead of re-feeding to
         the end.
+    dense_hits / dense_fallbacks:
+        Warm-recognition routing on the compiled engine's int-indexed
+        :class:`~repro.compile.automaton.DenseCore`: tokens resolved by a
+        dense transition row vs. tokens that fell back to the object
+        layer's ``step_slow`` (cold edge, never-seen kind, or a transient
+        cursor).  The executor counts locally per run and folds the totals
+        in under the table lock.
     """
 
     nodes_created: int = 0
@@ -123,6 +130,8 @@ class Metrics:
     edits_applied: int = 0
     edit_tokens_refed: int = 0
     edit_splices: int = 0
+    dense_hits: int = 0
+    dense_fallbacks: int = 0
 
     def snapshot(self) -> MetricsSnapshot:
         """Capture the current counter values."""

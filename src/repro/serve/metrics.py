@@ -41,6 +41,8 @@ _COUNTERS = (
     "edit_requests",
     "edits_applied",
     "edit_tokens_refed",
+    "dense_hits",
+    "dense_fallbacks",
 )
 
 

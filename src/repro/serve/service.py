@@ -14,9 +14,13 @@ One object owns everything a server process needs to parse heavy traffic:
   parses with checkpoints and idle eviction.
 
 **Division of labour between the engines.**  Recognition rides the shared
-compiled table: warm tokens are lock-free dictionary probes from any number
-of threads, cold edges derive once under the table lock
-(:mod:`repro.compile.automaton`'s contract).  Tree extraction cannot ride
+compiled table's dense core
+(:class:`~repro.compile.automaton.DenseCore`): warm tokens are lock-free
+linked-row probes from any number of threads, cold edges derive once under
+the table lock and are promoted into the core on the way out
+(:mod:`repro.compile.automaton`'s contract).  Batches meter their dense
+hit/fallback split into ``ServiceMetrics`` (``dense_hits`` /
+``dense_fallbacks``), so promotion progress shows up in :meth:`stats`.  Tree extraction cannot ride
 class-interned transitions, so :meth:`parse_many` runs the *interpreted*
 engine instead — one thread-confined
 :class:`~repro.core.parse.DerivativeParser` per (worker thread × grammar),
@@ -201,7 +205,14 @@ class ParseService:
         self.metrics.inc("batch_calls")
         self.metrics.inc("recognize_requests", len(streams))
         parser = CompiledParser(table=entry.table)
-        return list(self._executor.map(parser.recognize, streams))
+        results = list(self._executor.map(parser.recognize_with_stats, streams))
+        hits = sum(result[1] for result in results)
+        fallbacks = sum(result[2] for result in results)
+        if hits:
+            self.metrics.inc("dense_hits", hits)
+        if fallbacks:
+            self.metrics.inc("dense_fallbacks", fallbacks)
+        return [result[0] for result in results]
 
     def parse_many(self, grammar: Any, streams: Iterable[Sequence[Any]]) -> List[ParseOutcome]:
         """Parse a batch of token streams into :class:`ParseOutcome` objects.
@@ -272,8 +283,15 @@ class ParseService:
             parser.reset()
 
     def _recognize_one(self, entry: CacheEntry, stream: Sequence[Any]) -> bool:
-        """Recognize one stream on the shared compiled table."""
-        return CompiledParser(table=entry.table).recognize(stream)
+        """Recognize one stream on the shared compiled table (dense-metered)."""
+        accepted, hits, fallbacks = CompiledParser(table=entry.table).recognize_with_stats(
+            stream
+        )
+        if hits:
+            self.metrics.inc("dense_hits", hits)
+        if fallbacks:
+            self.metrics.inc("dense_fallbacks", fallbacks)
+        return accepted
 
     # ------------------------------------------------------ asyncio front door
     async def parse(self, grammar: Any, tokens: Sequence[Any]) -> ParseOutcome:

@@ -1,0 +1,159 @@
+"""Property + concurrency tests for the dense int-indexed automaton core.
+
+The dense core's whole bet is that a linked-row walk over int-interned
+states is interchangeable with the object layer's ``by_kind``/``step_slow``
+walk.  These tests drive randomly generated grammars × randomly generated
+token streams through both paths and assert they agree on acceptance *and*
+on the structural failure position, then hammer one cold shared table from
+eight threads to exercise concurrent dense promotion and repacking.
+"""
+
+import threading
+
+import pytest
+
+from repro.compile import CompiledParser, GrammarTable
+from repro.core import DerivativeParser, Ref, epsilon, token
+from repro.grammars import arithmetic_grammar, pl0_grammar
+from repro.lexer.tokens import Tok
+from repro.workloads import pl0_tokens
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Random grammars over a tiny kind alphabet, built from the combinators the
+# engines share.  Star rides a Ref so recursion (the automaton's interesting
+# case) is always on the menu.
+_KINDS = ["a", "b", "c"]
+
+
+def _star(inner):
+    loop = Ref("R")
+    loop.set((inner + loop) | epsilon())
+    return loop
+
+
+def _build(shape):
+    if isinstance(shape, str):
+        return token(shape)
+    op, parts = shape
+    if op == "seq":
+        left, right = (_build(part) for part in parts)
+        return left + right
+    if op == "alt":
+        left, right = (_build(part) for part in parts)
+        return left | right
+    return _star(_build(parts))
+
+
+_SHAPES = st.recursive(
+    st.sampled_from(_KINDS),
+    lambda children: st.one_of(
+        st.tuples(st.just("seq"), st.tuples(children, children)),
+        st.tuples(st.just("alt"), st.tuples(children, children)),
+        st.tuples(st.just("star"), children),
+    ),
+    max_leaves=8,
+)
+
+_STREAMS = st.lists(
+    st.sampled_from(_KINDS + ["z"]).map(lambda kind: Tok(kind, kind)),
+    max_size=20,
+)
+
+
+def _object_run(table, stream):
+    """Acceptance + structural failure position on the object layer only."""
+    state = table.start
+    for position, tok in enumerate(stream):
+        successor = state.by_kind.get(tok.kind)
+        if successor is None:
+            successor = table.step_slow(state, tok)
+        if successor.dead:
+            return False, position
+        state = successor
+    return state.accepting, None
+
+
+def _dense_run(parser, stream):
+    """Acceptance + structural failure position through the dense probes."""
+    state = parser.start(keep_tokens=False)
+    state.feed_all(stream)
+    accepted = parser.recognize(stream)  # the batch dense hot loop
+    if not state.failed:
+        assert accepted == state.accepts()
+    return accepted, state.failure_position
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=_SHAPES, stream=_STREAMS)
+def test_dense_and_object_paths_agree_on_random_grammars(shape, stream):
+    table = GrammarTable(_build(shape))
+    parser = CompiledParser(table=table)
+    expected = DerivativeParser(_build(shape)).recognize(stream)
+    dense_accepted, dense_failure = _dense_run(parser, stream)
+    object_accepted, object_failure = _object_run(table, stream)
+    assert dense_accepted is expected
+    assert object_accepted is expected
+    assert dense_failure == object_failure
+    # A second, fully warm dense run must not flip anything.
+    accepted, hits, fallbacks = parser.recognize_with_stats(stream)
+    assert accepted is expected
+    assert hits + fallbacks == (
+        len(stream) if dense_failure is None else dense_failure + 1
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=st.lists(st.sampled_from(["+", "*", "(", ")", "NUMBER", "NAME", "@"]).map(
+    lambda kind: Tok(kind, kind)
+), max_size=25))
+def test_dense_failure_positions_match_object_path_on_arithmetic(stream):
+    table = GrammarTable(arithmetic_grammar().language())
+    parser = CompiledParser(table=table)
+    dense_accepted, dense_failure = _dense_run(parser, stream)
+    object_accepted, object_failure = _object_run(table, stream)
+    assert dense_accepted == object_accepted
+    assert dense_failure == object_failure
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: eight threads promote one cold table at once.
+
+
+def test_eight_threads_promote_one_cold_table():
+    table = GrammarTable(pl0_grammar().language())
+    parser = CompiledParser(table=table)
+    streams = [pl0_tokens(120 + 17 * worker, seed=worker) for worker in range(8)]
+    expected = [DerivativeParser(pl0_grammar().to_language()).recognize(s) for s in streams]
+    barrier = threading.Barrier(8)
+    results = [None] * 8
+    errors = []
+
+    def run(worker):
+        try:
+            barrier.wait()
+            for _ in range(3):  # cold, repacked, warm
+                results[worker] = parser.recognize(streams[worker])
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(w,)) for w in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert results == expected
+    stats = table.stats()
+    assert stats["dense_states"] == table.state_count()
+    assert stats["dense_hits"] > 0
+    # Fully warm now: one more pass over every stream is all dense hits.
+    for stream, want in zip(streams, expected):
+        accepted, hits, fallbacks = parser.recognize_with_stats(stream)
+        assert accepted is want
+        assert fallbacks == 0
+        assert hits == len(stream)

@@ -48,21 +48,32 @@ class TestRoundTrip:
 
         loaded = load_table(path, pl0_grammar())
         parser = CompiledParser(table=loaded)
-        assert parser.recognize(tokens) is True
-        # Warm-from-disk: the whole walk stayed on serialized transitions.
+        accepted, hits, fallbacks = parser.recognize_with_stats(tokens)
+        assert accepted is True
+        # Warm-from-disk: the whole walk stayed on serialized transitions,
+        # and entirely inside the restored dense core.
         assert loaded.transitions_derived == 0
+        assert fallbacks == 0
+        assert hits == len(tokens)
         # And the loaded table reports its warmth (kind edges stand in for
         # class edges until a miss re-classifies a state).
         assert loaded.transition_count() > 0
         assert loaded.stats()["class_transitions"] > 0
+        assert loaded.stats()["dense_states"] == loaded.state_count()
 
     def test_document_shape(self, tmp_path):
         table = warmed_table(sexpr_grammar(), sexpr_tokens(40, seed=1))
         data = dump_table(table)
         assert data["format"] == "repro-compiled-table"
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert data["start"] == 0
         assert len(data["states"]) == table.state_count()
+        # The dense layout rides along: a kind table plus aligned int rows.
+        assert data["dense_kinds"] == table.dense.kinds
+        assert all(
+            len(entry["row"]) == len(data["dense_kinds"])
+            for entry in data["states"]
+        )
         # JSON-clean end to end.
         path = str(tmp_path / "sexpr.table.json")
         save_table(table, path)
@@ -150,6 +161,17 @@ class TestGuards:
                 {"format": "repro-compiled-table", "version": 99},
                 arithmetic_grammar(),
             )
+
+    def test_rejects_pre_dense_version_naming_both(self):
+        # Version-1 documents predate the dense layout; the refusal names
+        # the document's version and the version this build reads.
+        with pytest.raises(ReproError) as excinfo:
+            restore_table(
+                {"format": "repro-compiled-table", "version": 1},
+                arithmetic_grammar(),
+            )
+        assert "1" in str(excinfo.value)
+        assert "2" in str(excinfo.value)
 
 
 class TestMaterialization:

@@ -111,6 +111,29 @@ class TestSharedTableThreadAgreement:
             assert not errors
             assert service.metrics.get("table_misses") == 1
 
+    def test_eight_worker_batches_promote_cold_dense_core(self):
+        # From a completely cold table, eight workers race recognize_many
+        # through concurrent dense promotion (and the post-warmup repack);
+        # answers must match the sequential oracle and the service must
+        # meter the dense hit/fallback split.
+        streams = mixed_streams() * 4  # 36 streams across 8 workers
+        sequential = DerivativeParser(pl0_grammar().to_language())
+        expected = [sequential.recognize(s) for s in streams]
+
+        with ParseService(workers=8) as service:
+            grammar = pl0_grammar()
+            assert service.recognize_many(grammar, streams) == expected
+            first = service.metrics.snapshot()
+            assert first["dense_hits"] > 0
+            # Second identical batch: every edge (live and dead) is now in
+            # the dense core, so not one token falls back to the object
+            # layer.
+            assert service.recognize_many(grammar, streams) == expected
+            second = service.metrics.snapshot()
+            assert second["dense_fallbacks"] == first["dense_fallbacks"]
+            assert second["dense_hits"] > first["dense_hits"]
+            assert service.stats()["engine"]["dense_hits"] >= second["dense_hits"]
+
 
 hypothesis = pytest.importorskip("hypothesis")
 
