@@ -22,9 +22,10 @@ from __future__ import annotations
 import json
 import math
 import os
+import subprocess
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
     "time_call",
@@ -33,6 +34,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "speedup",
+    "run_meta",
     "emit_json",
 ]
 
@@ -94,19 +96,52 @@ def speedup(baseline: float, improved: float) -> float:
     return baseline / improved
 
 
+def _git_sha() -> Optional[str]:
+    """The repository HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.decode("ascii", "replace").strip()
+    return sha or None
+
+
+def run_meta() -> Dict[str, Optional[str]]:
+    """Provenance stamped into every artifact: commit sha + UTC timestamp.
+
+    ``git_sha`` is None when the benchmark runs outside a git checkout
+    (an installed sdist, say) — artifacts must still be writable there.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
 def emit_json(rows: Sequence[dict], **meta: object) -> Optional[str]:
     """Write measured rows to the path named by ``REPRO_BENCH_JSON``.
 
     Every benchmark funnels its row dicts through this helper so the JSON
-    artifacts all share one shape: ``{**meta, "rows": [...]}``.  Returns the
-    path written, or ``None`` when the environment variable is unset (the
-    common local case — benchmarks print their tables either way).
+    artifacts all share one shape: ``{**meta, "meta": {...}, "rows": [...]}``
+    where the ``meta`` field stamps provenance (:func:`run_meta`: the git
+    commit the numbers came from and when they were taken — a ``BENCH_*``
+    artifact diffed weeks later has to say which build it measured).
+    Returns the path written, or ``None`` when the environment variable is
+    unset (the common local case — benchmarks print their tables either way).
     """
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
         return None
     with open(path, "w") as handle:
-        json.dump({**meta, "rows": list(rows)}, handle, indent=2)
+        json.dump({**meta, "meta": run_meta(), "rows": list(rows)}, handle, indent=2)
     print("wrote {} rows to {}".format(len(rows), path))
     return path
 

@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from ..core.forest import ForestNode
 from ..core.languages import Language, token_kind
 from ..core.parse import DerivativeParser
+from ..obs.trace import current_trace
 from .automaton import (
     DENSE_DEAD,
     DENSE_SID,
@@ -398,7 +399,22 @@ class CompiledParser:
         ``['dense_fallbacks']`` and the shared
         :class:`~repro.core.metrics.Metrics`) under the table lock — one
         acquisition per run, never per token.
+
+        Observability rides one branch per *run*, never per token: when a
+        :mod:`repro.obs` trace is active in this context the whole run is
+        recorded as a ``recognize`` stage span; when none is (the
+        default), the cost is this single contextvar read —
+        ``benchmarks/bench_obs_overhead.py`` gates it at ≤ 5% over the
+        bare dense loop.
         """
+        trace = current_trace()
+        if trace is None:
+            return self._recognize_with_stats(tokens)
+        with trace.span("recognize"):
+            return self._recognize_with_stats(tokens)
+
+    def _recognize_with_stats(self, tokens: Iterable[Any]) -> "Tuple[bool, int, int]":
+        """The untraced body of :meth:`recognize_with_stats`."""
         table = self.table
         core = table.dense
         if core is None:

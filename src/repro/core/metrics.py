@@ -26,6 +26,13 @@ lock-free walks never touch metrics), and :class:`repro.serve.ParseService`
 gives each worker its own private instance and folds them into an aggregate
 with :meth:`Metrics.merge` under the service's metrics lock.  Everything
 else — one parser, one thread — needs no synchronization at all.
+
+This module is the *count* domain of the tree's observability: how many
+times the engines did what.  The *time* domain — request latency
+histograms, per-stage span traces, quantiles — lives in :mod:`repro.obs`,
+whose :class:`~repro.obs.Histogram` shards and folds exactly like
+:meth:`Metrics.merge` but over log-bucketed durations instead of integer
+counters.
 """
 
 from __future__ import annotations

@@ -54,6 +54,7 @@ from ..core.errors import ParseError
 from ..core.forest import ForestNode, first_tree
 from ..core.metrics import Metrics
 from ..core.parse import DerivativeParser, ParserSnapshot
+from ..obs.trace import stage
 from .trail import CheckpointTrail
 
 __all__ = ["EditResult", "IncrementalDocument"]
@@ -366,70 +367,77 @@ class IncrementalDocument:
                                      rewound_to=before, refed=refed,
                                      converged_at=None)
 
-        old_snapshots = self._trail.snapshots()
-        old_final = state.snapshot()
-        base = self._trail.rewind_point(start)
+        # The rewind/replay/splice blocks below double as repro.obs trace
+        # stages: when a trace is active (a served session edit under a
+        # tracing observer) each block's wall time is recorded; otherwise
+        # stage() is a shared no-op costing one contextvar read per edit.
+        with stage("rewind"):
+            old_snapshots = self._trail.snapshots()
+            old_final = state.snapshot()
+            base = self._trail.rewind_point(start)
 
-        # Shadow cursor (compiled only): the old parse resumed just before
-        # the edit's right edge and caught up to it on the *old* tokens, so
-        # the replay below can compare interned states position-for-position
-        # over the unchanged suffix.  Must be set up before the buffer
-        # mutation consumes the old middle span.
-        shadow = None
-        if self._compiled and (
-            old_final.failure_position is None or old_final.failure_position >= end
-        ):
-            shadow_base = self._trail.rewind_point(end)
-            shadow = self._parser.resume(shadow_base)
-            shadow.feed_all(self._tokens[shadow_base.position : end])
-            if shadow.failed:  # pragma: no cover - deterministic replay is alive
-                shadow = None
-
-        self._trail.truncate_beyond(base.position)
-        self._tokens[start:end] = new_tokens
-        self._state = state = self._resume(base)
-
-        # Replay the unchanged left span plus the new tokens; no convergence
-        # is possible before the edit's right edge.
-        boundary = start + inserted
-        state.feed_all(self._tokens[base.position : boundary])
-
-        converged_at: Optional[int] = None
-        if not state.failed and shadow is not None:
-            # Lock-step walk over the unchanged suffix: state is at new
-            # position p, shadow at old position p - delta, both about to
-            # consume the same token object.  Same interned state ⇒ every
-            # later transition identical ⇒ stop and splice.  Interned
-            # states and dense ids are bijective, so on a dense-cored
-            # table the comparison is two int reads (the same ids
-            # CompiledSnapshot pins into checkpoint trails); impure
-            # tables keep the object-identity check.
-            p = boundary
-            total = len(self._tokens)
-            while p < total:
-                ssid = state.state.dense_id
-                if (
-                    ssid == shadow.state.dense_id
-                    if ssid is not None
-                    else state.state is shadow.state
-                ):
-                    converged_at = p
-                    break
-                token = self._tokens[p]
-                state.feed(token)
-                if state.failed:
-                    break
-                shadow.feed(token)
-                if shadow.failed:
+            # Shadow cursor (compiled only): the old parse resumed just
+            # before the edit's right edge and caught up to it on the *old*
+            # tokens, so the replay below can compare interned states
+            # position-for-position over the unchanged suffix.  Must be set
+            # up before the buffer mutation consumes the old middle span.
+            shadow = None
+            if self._compiled and (
+                old_final.failure_position is None or old_final.failure_position >= end
+            ):
+                shadow_base = self._trail.rewind_point(end)
+                shadow = self._parser.resume(shadow_base)
+                shadow.feed_all(self._tokens[shadow_base.position : end])
+                if shadow.failed:  # pragma: no cover - deterministic replay is alive
                     shadow = None
-                    break
-                p += 1
-        if converged_at is None:
-            state.feed_all(self._tokens[state.position:])
-            refed = state.position - base.position
-        else:
+
+            self._trail.truncate_beyond(base.position)
+            self._tokens[start:end] = new_tokens
+            self._state = state = self._resume(base)
+
+        boundary = start + inserted
+        converged_at: Optional[int] = None
+        with stage("replay"):
+            # Replay the unchanged left span plus the new tokens; no
+            # convergence is possible before the edit's right edge.
+            state.feed_all(self._tokens[base.position : boundary])
+
+            if not state.failed and shadow is not None:
+                # Lock-step walk over the unchanged suffix: state is at new
+                # position p, shadow at old position p - delta, both about to
+                # consume the same token object.  Same interned state ⇒ every
+                # later transition identical ⇒ stop and splice.  Interned
+                # states and dense ids are bijective, so on a dense-cored
+                # table the comparison is two int reads (the same ids
+                # CompiledSnapshot pins into checkpoint trails); impure
+                # tables keep the object-identity check.
+                p = boundary
+                total = len(self._tokens)
+                while p < total:
+                    ssid = state.state.dense_id
+                    if (
+                        ssid == shadow.state.dense_id
+                        if ssid is not None
+                        else state.state is shadow.state
+                    ):
+                        converged_at = p
+                        break
+                    token = self._tokens[p]
+                    state.feed(token)
+                    if state.failed:
+                        break
+                    shadow.feed(token)
+                    if shadow.failed:
+                        shadow = None
+                        break
+                    p += 1
+            if converged_at is None:
+                state.feed_all(self._tokens[state.position:])
+                refed = state.position - base.position
+        if converged_at is not None:
             refed = converged_at - base.position
-            self._splice(old_snapshots, old_final, converged_at - delta, delta)
+            with stage("splice"):
+                self._splice(old_snapshots, old_final, converged_at - delta, delta)
             self.metrics.edit_splices += 1
 
         self.metrics.edit_tokens_refed += refed

@@ -1,0 +1,136 @@
+"""Metrics exposition: Prometheus text format and JSON snapshots.
+
+The service's :meth:`~repro.serve.ParseService.stats` dict is the one
+source of truth; this module renders it for the two consumers a network
+front door has: a scraper (Prometheus text format 0.0.4 — ``# TYPE``
+comments, ``name{labels} value`` samples, histogram ``_bucket``/``_sum``/
+``_count`` families) and a human/automation pipeline (the stats dict is
+already JSON-shaped; :func:`json_snapshot` just makes the round-trip
+explicit).  :func:`parse_prometheus` is the matching validator — the CI
+smoke job and the exposition tests parse every emitted line back rather
+than trusting the renderer.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Mapping, Optional
+
+from .histogram import Histogram
+
+__all__ = ["prometheus_exposition", "parse_prometheus", "json_snapshot"]
+
+#: One Prometheus sample line: metric name, optional {labels}, numeric value.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN))$"
+)
+
+
+def _sane_name(name: str) -> str:
+    """Coerce a counter name into the Prometheus metric-name alphabet."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def prometheus_exposition(
+    stats: Mapping[str, Any],
+    histograms: Optional[Mapping[str, Histogram]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render a :meth:`ParseService.stats` dict as Prometheus text format.
+
+    Service counters become ``<prefix>_<name>`` counters (the precomputed
+    ``table_hit_rate`` a gauge), engine counters ``<prefix>_engine_<name>``
+    counters, the cache/session occupancy numbers gauges, and each entry
+    of ``histograms`` a native histogram family with cumulative
+    ``_bucket{le=...}`` samples.  Every emitted line parses back through
+    :func:`parse_prometheus`.
+    """
+    lines = []
+
+    def emit(name: str, kind: str, value: Any, labels: str = "") -> None:
+        name = _sane_name("{}_{}".format(prefix, name))
+        if kind:
+            lines.append("# TYPE {} {}".format(name, kind))
+        lines.append("{}{} {}".format(name, labels, _render_value(value)))
+
+    service = stats.get("service", {})
+    for name in sorted(service):
+        value = service[name]
+        kind = "gauge" if name.endswith("_rate") else "counter"
+        emit(name, kind, value)
+    engine = stats.get("engine", {})
+    for name in sorted(engine):
+        emit("engine_{}".format(name), "counter", engine[name])
+    for name in ("tables_cached", "table_capacity", "live_sessions", "workers"):
+        if name in stats:
+            emit(name, "gauge", stats[name])
+    traces = stats.get("traces", {})
+    for name in ("seen", "sampled", "slow"):
+        if name in traces:
+            emit("traces_{}".format(name), "counter", traces[name])
+
+    for hist_name in sorted(histograms or {}):
+        histogram = histograms[hist_name]
+        family = _sane_name("{}_{}".format(prefix, hist_name))
+        lines.append("# TYPE {} histogram".format(family))
+        for upper, cumulative in histogram.cumulative_buckets():
+            lines.append('{}_bucket{{le="{}"}} {}'.format(family, upper, cumulative))
+        lines.append('{}_bucket{{le="+Inf"}} {}'.format(family, histogram.count))
+        lines.append("{}_sum {}".format(family, histogram.total))
+        lines.append("{}_count {}".format(family, histogram.count))
+
+    return "\n".join(lines) + "\n"
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse Prometheus text format into ``{"name{labels}": value}``.
+
+    Strict about the line grammar (the point: CI asserts the exposition
+    *parses*, not merely prints): every non-comment, non-blank line must
+    be a well-formed sample, duplicate sample keys are rejected, and
+    ``_bucket`` cumulative counts must be non-decreasing within a family.
+    Raises :class:`ValueError` on any violation.
+    """
+    samples: Dict[str, float] = {}
+    last_bucket: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError("line {} is not a Prometheus sample: {!r}".format(lineno, raw))
+        key = match.group("name") + (match.group("labels") or "")
+        if key in samples:
+            raise ValueError("line {} repeats sample {!r}".format(lineno, key))
+        value = float(match.group("value").replace("Inf", "inf"))
+        samples[key] = value
+        name = match.group("name")
+        if name.endswith("_bucket"):
+            previous = last_bucket.get(name)
+            if previous is not None and value < previous:
+                raise ValueError(
+                    "line {}: cumulative bucket {!r} decreased ({} < {})".format(
+                        lineno, key, value, previous
+                    )
+                )
+            last_bucket[name] = value
+    return samples
+
+
+def json_snapshot(stats: Mapping[str, Any]) -> str:
+    """One JSON document of the stats dict (asserted round-trippable)."""
+    text = json.dumps(stats, sort_keys=False, default=str)
+    json.loads(text)  # the round-trip is the contract, so prove it here
+    return text

@@ -1,0 +1,198 @@
+"""Fixed-log-bucket latency histograms with mergeable shards.
+
+The engine's :class:`~repro.core.metrics.Metrics` counts *events*; this
+module counts *magnitudes* — request latencies in nanoseconds, ns/token of
+a warm walk, batch sizes, re-fed token counts — cheaply enough to stay on
+all the time.  :class:`Histogram` is an HdrHistogram-style structure:
+values are bucketed by their binary magnitude with ``2**_SUBBITS`` linear
+sub-buckets per power of two, so
+
+* ``record`` is a ``bit_length`` plus two shifts plus one dict bump — no
+  floats, no ``log`` calls, no allocation on the warm path,
+* storage is a sparse ``{bucket_index: count}`` dict whose size is bounded
+  by the number of *distinct magnitudes* seen (~4 per power of two), never
+  by the number of observations,
+* any quantile is recoverable to within one bucket's relative error
+  (≤ ``2**-_SUBBITS`` = 25% of the value, values below ``2**_SUBBITS``
+  exactly), which is all a p99 needs.
+
+**Concurrency contract** — the same sharded-then-merged pattern as
+:meth:`repro.core.metrics.Metrics.merge`: a :class:`Histogram` instance is
+unsynchronized, so either confine it to one thread (a per-worker shard)
+and fold the shards with :meth:`Histogram.merge` under the aggregator's
+lock, or take a small lock around every ``record`` (what
+:class:`repro.obs.observer.Observer` does for request-level events, which
+are rare next to the parses being timed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Histogram"]
+
+#: Linear sub-buckets per power of two: 4 sub-buckets, so a bucket's width
+#: is at most 25% of its lower bound (the advertised relative error).
+_SUBBITS = 2
+_SUBMASK = (1 << _SUBBITS) - 1
+
+
+def _bucket_index(value: int) -> int:
+    """The bucket index of a non-negative int (monotone in ``value``)."""
+    if value < (1 << _SUBBITS):
+        return value
+    length = value.bit_length()
+    return ((length - _SUBBITS) << _SUBBITS) | (
+        (value >> (length - 1 - _SUBBITS)) & _SUBMASK
+    )
+
+
+def _bucket_bounds(index: int) -> Tuple[int, int]:
+    """The half-open value range ``[lower, upper)`` of bucket ``index``."""
+    if index < (1 << _SUBBITS):
+        return index, index + 1
+    length = (index >> _SUBBITS) + _SUBBITS
+    step = 1 << (length - 1 - _SUBBITS)
+    lower = (1 << (length - 1)) | ((index & _SUBMASK) * step)
+    return lower, lower + step
+
+
+class Histogram:
+    """A mergeable log-bucketed histogram of non-negative integer values.
+
+    Quantiles are estimated as the midpoint of the bucket holding the
+    nearest-rank observation, so the estimate is off by at most one
+    bucket's width — a relative error of at most 25% (exact below 4).
+    ``count``/``total``/``low``/``high`` are tracked exactly.
+    """
+
+    __slots__ = ("_counts", "count", "total", "low", "high")
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        #: Number of recorded values.
+        self.count = 0
+        #: Exact sum of recorded values.
+        self.total = 0
+        #: Exact smallest / largest recorded value (None while empty).
+        self.low: "int | None" = None
+        self.high: "int | None" = None
+
+    # ---------------------------------------------------------------- record
+    def record(self, value: "int | float") -> None:
+        """Record one observation (floats are truncated, negatives clamp to 0)."""
+        value = int(value)
+        if value < 0:
+            value = 0
+        index = _bucket_index(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.low is None or value < self.low:
+            self.low = value
+        if self.high is None or value > self.high:
+            self.high = value
+
+    def record_many(self, values: Iterable["int | float"]) -> None:
+        """Record every observation from an iterable."""
+        for value in values:
+            self.record(value)
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        The aggregation primitive for per-worker shards, mirroring
+        :meth:`repro.core.metrics.Metrics.merge`: ``merge`` itself does not
+        synchronize — the caller's lock (and the shard's thread
+        confinement) is the contract.
+        """
+        counts = self._counts
+        for index, bump in other._counts.items():
+            counts[index] = counts.get(index, 0) + bump
+        self.count += other.count
+        self.total += other.total
+        if other.low is not None and (self.low is None or other.low < self.low):
+            self.low = other.low
+        if other.high is not None and (self.high is None or other.high > self.high):
+            self.high = other.high
+
+    def copy(self) -> "Histogram":
+        """An independent snapshot of this histogram's current contents."""
+        clone = Histogram()
+        clone._counts = dict(self._counts)
+        clone.count = self.count
+        clone.total = self.total
+        clone.low = self.low
+        clone.high = self.high
+        return clone
+
+    # ------------------------------------------------------------- quantiles
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (``0 < q <= 1``); ``nan`` while empty.
+
+        Nearest-rank over the bucket counts: the estimate is the midpoint
+        of the bucket containing the rank-``ceil(q * count)`` observation,
+        clamped into the exactly-tracked ``[low, high]`` envelope.
+        """
+        if self.count == 0:
+            return float("nan")
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile q must be in (0, 1], got {}".format(q))
+        # Nearest rank, with a tiny slack so q * count landing exactly on an
+        # integer (up to float noise) selects that rank, not the next one.
+        target = max(1, math.ceil(q * self.count - 1e-9))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= target:
+                lower, upper = _bucket_bounds(index)
+                estimate = (lower + upper) / 2.0
+                return min(max(estimate, self.low), self.high)
+        return float(self.high)  # pragma: no cover - cumulative covers count
+
+    def summary(self) -> Dict[str, float]:
+        """The digest ``stats()`` exposes: count/sum/min/max/mean/p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.low,
+            "max": self.high,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # ------------------------------------------------------------ exposition
+    def cumulative_buckets(self) -> List[Tuple[int, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ascending (Prometheus shape).
+
+        Upper bounds are the occupied buckets' exclusive upper edges; the
+        implicit ``+Inf`` bucket is ``count`` and is left to the renderer.
+        """
+        out: List[Tuple[int, int]] = []
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            out.append((_bucket_bounds(index)[1], cumulative))
+        return out
+
+    @staticmethod
+    def bucket_bounds(value: int) -> Tuple[int, int]:
+        """The bucket range a value falls in (the advertised error envelope)."""
+        return _bucket_bounds(_bucket_index(int(value)))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "Histogram(empty)"
+        return "Histogram(count={}, p50={:.0f}, p99={:.0f}, max={})".format(
+            self.count, self.quantile(0.5), self.quantile(0.99), self.high
+        )

@@ -1,0 +1,111 @@
+"""Structured event logging: JSON lines for machines, ``key=value`` for TTYs.
+
+Service lifecycle events — a table compiled or evicted, a session opened,
+evicted or restored, a coalesced duplicate request, a slow traced request
+— are emitted through one :class:`StructuredLogger` as one event per line.
+On a TTY the line is human-shaped (``event key=value ...``); everywhere
+else it is one JSON object, so a log shipper (or a test) can
+``json.loads`` each line without guessing.  Every JSON line carries an
+ISO-8601 UTC timestamp; the clock is injectable for deterministic tests.
+
+The logger is deliberately tiny: a stream, a mode, a lock.  A ``None``
+stream makes every ``log`` a no-op (:data:`NULL_LOGGER` is the shared
+default the serve layer uses until a caller opts in), so components can
+log unconditionally without checking for a configured sink.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, Callable, IO, Optional
+
+__all__ = ["StructuredLogger", "NULL_LOGGER"]
+
+
+def _utc_iso(epoch_seconds: float) -> str:
+    """Render an epoch timestamp as ISO-8601 UTC with millisecond precision."""
+    stamp = datetime.fromtimestamp(epoch_seconds, tz=timezone.utc)
+    return stamp.isoformat(timespec="milliseconds").replace("+00:00", "Z")
+
+
+class StructuredLogger:
+    """One-event-per-line logger with JSON and human renderings.
+
+    Parameters
+    ----------
+    stream:
+        Where lines go; ``None`` turns every :meth:`log` into a no-op.
+    human:
+        ``True`` renders ``event key=value ...``; ``False`` renders one
+        JSON object per line (with a ``ts`` timestamp field).  Use
+        :meth:`for_stream` to pick by the stream's TTY-ness.
+    clock:
+        Epoch-seconds source for the JSON ``ts`` field (injectable so
+        tests can pin timestamps).
+
+    ``log`` is safe from any thread: the line is rendered outside the lock
+    and written under it, so concurrent events never interleave mid-line.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        human: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.stream = stream
+        self.human = human
+        self.clock = clock
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_stream(cls, stream: Optional[IO[str]], clock: Callable[[], float] = time.time) -> "StructuredLogger":
+        """A logger matching the stream: human on a TTY, JSON lines otherwise."""
+        is_tty = False
+        if stream is not None:
+            isatty = getattr(stream, "isatty", None)
+            try:
+                is_tty = bool(isatty()) if callable(isatty) else False
+            except (ValueError, OSError):  # closed/exotic streams: not a TTY
+                is_tty = False
+        return cls(stream=stream, human=is_tty, clock=clock)
+
+    def log(self, event: str, **fields: Any) -> None:
+        """Emit one event line (a no-op when the logger has no stream).
+
+        ``fields`` must be JSON-renderable in JSON mode; in human mode
+        nested values render compactly via ``json.dumps``.
+        """
+        stream = self.stream
+        if stream is None:
+            return
+        if self.human:
+            parts = [event]
+            for key, value in fields.items():
+                if isinstance(value, float):
+                    rendered = "{:.6g}".format(value)
+                elif isinstance(value, (dict, list, tuple)):
+                    rendered = json.dumps(value, sort_keys=True, default=str)
+                else:
+                    rendered = str(value)
+                parts.append("{}={}".format(key, rendered))
+            line = " ".join(parts)
+        else:
+            payload = {"event": event, "ts": _utc_iso(self.clock())}
+            payload.update(fields)
+            line = json.dumps(payload, sort_keys=False, default=str)
+        with self._lock:
+            stream.write(line + "\n")
+
+    def __repr__(self) -> str:
+        mode = "human" if self.human else "json"
+        sink = "null" if self.stream is None else "stream"
+        return "StructuredLogger({}, {})".format(mode, sink)
+
+
+#: The shared do-nothing logger (no stream): components log unconditionally
+#: through this until a caller wires a real sink.
+NULL_LOGGER = StructuredLogger(stream=None)

@@ -1,0 +1,100 @@
+"""The :class:`Observer` bundle: one tracer + named histograms + one logger.
+
+The serve layer needs three observability primitives with one lifetime
+(the service's): a :class:`~repro.obs.trace.Tracer` for sampled request
+traces, a registry of named :class:`~repro.obs.histogram.Histogram` series
+(request latency, ns/token per warm path, batch sizes, re-fed token
+counts), and a :class:`~repro.obs.logging.StructuredLogger` for lifecycle
+events.  ``Observer`` owns all three so :class:`repro.serve.ParseService`
+takes a single optional knob instead of four.
+
+Histogram records take the observer's one small lock — sound from any
+thread, and cheap because the serve layer records per *request/stream*,
+never per token.  Code that does need per-token-rate recording shards its
+own :class:`Histogram` per worker and folds it in with :meth:`fold`
+(the :meth:`repro.core.metrics.Metrics.merge` pattern).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from .histogram import Histogram
+from .logging import NULL_LOGGER, StructuredLogger
+from .trace import Tracer
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    """Tracing, latency histograms and structured logging behind one handle.
+
+    Parameters
+    ----------
+    tracing:
+        Enable the span tracer (off by default; histograms and the logger
+        are independent of this switch).
+    sample_every:
+        Trace every Nth request while tracing (deterministic).
+    ring_size:
+        Recent traces retained by the tracer.
+    slow_threshold_ms:
+        Sampled traces at least this long are logged as ``slow_request``
+        events; None disables the slow log.
+    logger:
+        A :class:`StructuredLogger`; defaults to the shared no-op logger.
+    """
+
+    def __init__(
+        self,
+        tracing: bool = False,
+        sample_every: int = 1,
+        ring_size: int = 128,
+        slow_threshold_ms: Optional[float] = None,
+        logger: Optional[StructuredLogger] = None,
+    ) -> None:
+        self.logger = logger if logger is not None else NULL_LOGGER
+        self.tracer = Tracer(
+            enabled=tracing,
+            sample_every=sample_every,
+            ring_size=ring_size,
+            slow_threshold_ns=(
+                int(slow_threshold_ms * 1e6) if slow_threshold_ms is not None else None
+            ),
+            logger=self.logger,
+        )
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ histograms
+    def record(self, name: str, value: "int | float") -> None:
+        """Record one observation into the named histogram (created lazily)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.record(value)
+
+    def fold(self, name: str, shard: Histogram) -> None:
+        """Merge a per-worker histogram shard into the named series."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.merge(shard)
+
+    def histogram_snapshots(self) -> Dict[str, Histogram]:
+        """Independent copies of every named histogram (exposition input)."""
+        with self._lock:
+            return {name: hist.copy() for name, hist in self._histograms.items()}
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-histogram digests (count/sum/min/max/mean/p50/p95/p99)."""
+        with self._lock:
+            return {name: hist.summary() for name, hist in self._histograms.items()}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            names = sorted(self._histograms)
+        return "Observer(tracing={}, histograms={})".format(self.tracer.enabled, names)

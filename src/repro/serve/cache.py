@@ -31,6 +31,7 @@ Hit/miss/eviction counts land in the service's
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Dict, List, Optional
@@ -38,6 +39,7 @@ from typing import Dict, List, Optional
 from ..compile.automaton import GrammarTable, as_root
 from ..core.languages import Language, clone_graph, structural_fingerprint
 from ..core.metrics import Metrics
+from ..obs.logging import NULL_LOGGER, StructuredLogger
 from .metrics import ServiceMetrics
 
 __all__ = ["CacheEntry", "TableCache"]
@@ -78,11 +80,17 @@ class CacheEntry:
 class TableCache:
     """Bounded LRU of :class:`CacheEntry` objects keyed by grammar structure."""
 
-    def __init__(self, capacity: int = 32, metrics: Optional[ServiceMetrics] = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 32,
+        metrics: Optional[ServiceMetrics] = None,
+        logger: Optional[StructuredLogger] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("table cache capacity must be >= 1, got {}".format(capacity))
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.logger = logger if logger is not None else NULL_LOGGER
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         #: In-flight compilations, so concurrent misses compile once.
@@ -127,21 +135,32 @@ class TableCache:
                 self._building.pop(fingerprint, None)
             future.set_exception(exc)
             raise
+        evicted: List[str] = []
         with self._lock:
             self._entries[fingerprint] = entry
             self._building.pop(fingerprint, None)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.metrics.inc("tables_evicted")
+                stale, _ = self._entries.popitem(last=False)
+                evicted.append(stale)
+        if evicted:
+            self.metrics.inc("tables_evicted", len(evicted))
+            for stale in evicted:
+                self.logger.log("table_evicted", fingerprint=stale, reason="capacity")
         self.metrics.inc("table_misses")
         future.set_result(entry)
         return entry
 
     def _compile(self, root: Language, fingerprint: str) -> CacheEntry:
         """Build a service-private table (and pristine seed) for ``root``."""
+        started = time.perf_counter()
         engine_metrics = Metrics()
         table = GrammarTable(clone_graph(root), metrics=engine_metrics)
         pristine = clone_graph(root)
+        self.logger.log(
+            "table_compiled",
+            fingerprint=fingerprint,
+            seconds=time.perf_counter() - started,
+        )
         return CacheEntry(fingerprint, table, pristine, engine_metrics)
 
     # ------------------------------------------------------------ inspection
@@ -162,10 +181,12 @@ class TableCache:
     def clear(self) -> None:
         """Drop every cached table (in-flight holders keep theirs alive)."""
         with self._lock:
-            evicted = len(self._entries)
+            dropped = list(self._entries)
             self._entries.clear()
-        if evicted:
-            self.metrics.inc("tables_evicted", evicted)
+        if dropped:
+            self.metrics.inc("tables_evicted", len(dropped))
+            for fingerprint in dropped:
+                self.logger.log("table_evicted", fingerprint=fingerprint, reason="clear")
 
     def __repr__(self) -> str:
         return "TableCache({}/{} entries)".format(len(self), self.capacity)

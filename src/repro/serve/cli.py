@@ -1,21 +1,28 @@
 """``python -m repro.serve`` — a smoke-test CLI over :class:`ParseService`.
 
 Feeds source files (arguments, or stdin when none are given) through the
-service's batched APIs and prints one line per file plus the service's
-cache/throughput statistics — the quickest way to see the serve layer work
-end to end against real inputs:
+service's batched APIs and emits one event per file plus a summary — the
+quickest way to see the serve layer work end to end against real inputs:
 
 .. code-block:: console
 
     $ python -m repro.serve --grammar pl0 program1.pl0 program2.pl0
     $ echo "var x; begin x := 1 end." | python -m repro.serve --grammar pl0
     $ python -m repro.serve --grammar python --parse my_module.py
+    $ python -m repro.serve --stats program1.pl0   # + Prometheus & JSON stats
 
 ``--grammar`` picks the grammar *and* the matching tokenizer: ``pl0`` uses
 a small scanner over Wirth's lexical rules, ``python`` the stdlib-driven
 :func:`repro.lexer.python_tokens.tokenize_python` bridge.  ``--parse``
 extracts a tree (per-worker interpreted engine) instead of recognizing on
 the compiled table.  Exit status is 0 when every input is accepted.
+
+Output rides :class:`repro.obs.StructuredLogger`: readable ``key=value``
+lines on a TTY, one JSON document per line when piped (so shell pipelines
+get machine-parseable events without a flag).  ``--stats`` appends the
+service's Prometheus text exposition and a single-line JSON snapshot of
+:meth:`ParseService.stats`; ``--trace`` turns on span tracing for the run
+so the stats include per-stage timings.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from ..core.errors import LexError
 from ..grammars import PL0_KEYWORDS, pl0_grammar, python_grammar
 from ..lexer.python_tokens import tokenize_python
 from ..lexer.tokens import Tok
+from ..obs import Observer, StructuredLogger, json_snapshot
 from .service import ParseService
 
 __all__ = ["main", "tokenize_pl0"]
@@ -124,12 +132,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="extract a parse tree per input instead of recognizing",
     )
+    cli.add_argument(
+        "--stats",
+        action="store_true",
+        help="also emit the Prometheus exposition and a JSON stats snapshot",
+    )
+    cli.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every request's stages (shows up under --stats)",
+    )
     args = cli.parse_args(argv)
 
     grammar_factory, tokenizer = GRAMMARS[args.grammar]
     grammar = grammar_factory()
     inputs = _read_inputs(args.files)
 
+    logger = StructuredLogger.for_stream(sys.stdout)
     labels: List[str] = []
     streams: List[List[Tok]] = []
     lex_failures: List[Tuple[str, str]] = []
@@ -141,7 +160,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             lex_failures.append((label, str(error)))
 
     all_ok = not lex_failures
-    with ParseService(workers=args.workers) as service:
+    observer = Observer(tracing=args.trace, logger=logger)
+    with ParseService(workers=args.workers, observer=observer) as service:
         started = time.perf_counter()
         if args.parse:
             outcomes = service.parse_many(grammar, streams)
@@ -157,23 +177,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         elapsed = time.perf_counter() - started
 
         for label, stream, verdict in zip(labels, streams, verdicts):
-            print("{}: {} ({} tokens)".format(label, verdict, len(stream)))
+            logger.log("result", input=label, verdict=verdict, tokens=len(stream))
         for label, message in lex_failures:
-            print("{}: lex error: {}".format(label, message))
+            logger.log("lex_error", input=label, message=message)
 
         tokens_total = sum(len(stream) for stream in streams)
         stats = service.stats()
-        print(
-            "-- {} input(s), {} tokens in {:.3f}s ({:,.0f} tok/s) | "
-            "tables {}/{} cached, hit rate {:.0%} | workers {}".format(
-                len(streams),
-                tokens_total,
-                elapsed,
-                tokens_total / elapsed if elapsed > 0 else 0.0,
-                stats["tables_cached"],
-                stats["table_capacity"],
-                stats["service"]["table_hit_rate"],
-                stats["workers"],
-            )
+        logger.log(
+            "summary",
+            inputs=len(streams),
+            tokens=tokens_total,
+            seconds=round(elapsed, 6),
+            tok_per_s=round(tokens_total / elapsed) if elapsed > 0 else 0,
+            tables_cached=stats["tables_cached"],
+            table_capacity=stats["table_capacity"],
+            table_hit_rate=stats["service"]["table_hit_rate"],
+            workers=stats["workers"],
         )
+        if args.stats:
+            sys.stdout.write(service.exposition())
+            sys.stdout.write(json_snapshot(stats) + "\n")
     return 0 if all_ok else 1

@@ -45,6 +45,9 @@ _COUNTERS = (
     "dense_fallbacks",
 )
 
+#: Membership view of ``_COUNTERS`` for O(1) validation before the lock.
+_COUNTER_SET = frozenset(_COUNTERS)
+
 
 class ServiceMetrics:
     """Locked counters for :class:`repro.serve.ParseService`.
@@ -59,14 +62,32 @@ class ServiceMetrics:
         self._values: Dict[str, int] = {name: 0 for name in _COUNTERS}
 
     def inc(self, name: str, amount: int = 1) -> None:
-        """Atomically add ``amount`` to the counter ``name``."""
+        """Atomically add ``amount`` to the counter ``name``.
+
+        Unknown names fail *before* the lock with an error that lists the
+        registered counters — a typo'd counter added in one layer must
+        crash with a diagnosis, not a bare ``KeyError`` raised while the
+        metrics lock is held inside a worker thread.
+        """
+        self._require_known(name)
         with self._lock:
             self._values[name] += amount
 
     def get(self, name: str) -> int:
-        """Read one counter (atomically)."""
+        """Read one counter (atomically); unknown names raise like :meth:`inc`."""
+        self._require_known(name)
         with self._lock:
             return self._values[name]
+
+    @staticmethod
+    def _require_known(name: str) -> None:
+        if name not in _COUNTER_SET:
+            raise ValueError(
+                "unknown ServiceMetrics counter {!r}; register it in "
+                "repro.serve.metrics._COUNTERS (known counters: {})".format(
+                    name, ", ".join(_COUNTERS)
+                )
+            )
 
     def snapshot(self) -> Dict[str, float]:
         """A consistent copy of the service counters.

@@ -43,6 +43,7 @@ import asyncio
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compile.automaton import as_root
@@ -52,6 +53,9 @@ from ..core.languages import clone_graph, structural_fingerprint
 from ..core.metrics import Metrics
 from ..core.parse import DerivativeParser
 from ..incremental import DEFAULT_CHECKPOINT_EVERY
+from ..obs.exposition import prometheus_exposition
+from ..obs.observer import Observer
+from ..obs.trace import activated, stage
 from .cache import CacheEntry, TableCache
 from .metrics import ServiceMetrics
 from .sessions import ParseSession, SessionCheckpoint, SessionManager
@@ -105,6 +109,12 @@ class ParseService:
         ``None`` (default) keeps sessions until closed.
     metrics:
         Optional shared :class:`ServiceMetrics`.
+    observer:
+        Optional :class:`repro.obs.Observer` bundling request tracing,
+        latency histograms and the structured lifecycle logger.  The
+        default observer keeps tracing off and logging silent but still
+        collects latency histograms (they cost one small lock per
+        *request*, never per token).
 
     The service is a context manager; :meth:`close` shuts the pool down and
     closes every session.  All public methods are safe to call from any
@@ -118,13 +128,17 @@ class ParseService:
         table_cache_size: int = 32,
         session_idle_ttl: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1, got {}".format(workers))
         self.workers = workers
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self.tables = TableCache(table_cache_size, self.metrics)
-        self.sessions = SessionManager(self.metrics, idle_ttl=session_idle_ttl)
+        self.obs = observer if observer is not None else Observer()
+        self.tables = TableCache(table_cache_size, self.metrics, logger=self.obs.logger)
+        self.sessions = SessionManager(
+            self.metrics, idle_ttl=session_idle_ttl, logger=self.obs.logger
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -171,9 +185,14 @@ class ParseService:
 
         The structural fingerprint is memoized per root object, so a warm
         lookup costs two dictionary probes instead of an O(graph) hash walk.
+        When a request trace is active, the two steps land as the
+        ``fingerprint`` and ``table`` stages.
         """
         self._require_open()
-        return self.tables.get_or_compile(grammar, fingerprint=self._fingerprint(grammar))
+        with stage("fingerprint"):
+            fingerprint = self._fingerprint(grammar)
+        with stage("table"):
+            return self.tables.get_or_compile(grammar, fingerprint=fingerprint)
 
     def _fingerprint(self, grammar: Any) -> str:
         """Structural fingerprint of ``grammar``, memoized per root object."""
@@ -200,12 +219,29 @@ class ParseService:
         table walks fanned across the worker pool.
         """
         self._require_open()
-        entry = self.table_for(grammar)
-        streams = list(streams)
-        self.metrics.inc("batch_calls")
-        self.metrics.inc("recognize_requests", len(streams))
-        parser = CompiledParser(table=entry.table)
-        results = list(self._executor.map(parser.recognize_with_stats, streams))
+        started = perf_counter_ns()
+        with self.obs.tracer.request("recognize_many") as trace:
+            entry = self.table_for(grammar)
+            streams = list(streams)
+            self.metrics.inc("batch_calls")
+            self.metrics.inc("recognize_requests", len(streams))
+            parser = CompiledParser(table=entry.table)
+
+            def run(stream: Sequence[Any]) -> Tuple[bool, int, int]:
+                # Pool threads never inherited the request's contextvar;
+                # re-enter the trace (no-op when the request is untraced).
+                with activated(trace):
+                    t0 = perf_counter_ns()
+                    result = parser.recognize_with_stats(stream)
+                    elapsed = perf_counter_ns() - t0
+                if len(stream) and result[2] == 0:
+                    # Warm-path rate: every token rode the dense core.
+                    self.obs.record("ns_per_token_dense", elapsed // len(stream))
+                return result
+
+            results = list(self._executor.map(run, streams))
+        self.obs.record("request_latency_ns", perf_counter_ns() - started)
+        self.obs.record("batch_size", len(streams))
         hits = sum(result[1] for result in results)
         fallbacks = sum(result[2] for result in results)
         if hits:
@@ -223,13 +259,21 @@ class ParseService:
         never contend on shared state.
         """
         self._require_open()
-        entry = self.table_for(grammar)
-        streams = list(streams)
-        self.metrics.inc("batch_calls")
-        self.metrics.inc("parse_requests", len(streams))
-        return list(
-            self._executor.map(lambda stream: self._parse_one(entry, stream), streams)
-        )
+        started = perf_counter_ns()
+        with self.obs.tracer.request("parse_many") as trace:
+            entry = self.table_for(grammar)
+            streams = list(streams)
+            self.metrics.inc("batch_calls")
+            self.metrics.inc("parse_requests", len(streams))
+
+            def run(stream: Sequence[Any]) -> ParseOutcome:
+                with activated(trace):
+                    return self._parse_one(entry, stream)
+
+            results = list(self._executor.map(run, streams))
+        self.obs.record("request_latency_ns", perf_counter_ns() - started)
+        self.obs.record("batch_size", len(streams))
+        return results
 
     # -------------------------------------------------------- worker parsers
     def _worker_parser(self, entry: CacheEntry) -> DerivativeParser:
@@ -271,26 +315,38 @@ class ParseService:
     def _parse_one(self, entry: CacheEntry, stream: Sequence[Any]) -> ParseOutcome:
         """Parse one stream on this worker's thread-confined parser."""
         parser = self._worker_parser(entry)
+        started = perf_counter_ns()
         try:
-            tree = parser.parse(list(stream))
-            return ParseOutcome(True, tree=tree)
+            with stage("tree"):
+                tree = parser.parse(list(stream))
+            outcome = ParseOutcome(True, tree=tree)
         except ParseError as error:
-            return ParseOutcome(False, error=error)
+            outcome = ParseOutcome(False, error=error)
         finally:
             # Per-parse caches (memo + hash-consing table) grow with every
             # distinct input; clearing them bounds a worker's memory by one
             # parse instead of its whole service lifetime.
             parser.reset()
+        if len(stream):
+            # The interpreted object-graph engine's warm rate, per token.
+            self.obs.record(
+                "ns_per_token_object", (perf_counter_ns() - started) // len(stream)
+            )
+        return outcome
 
     def _recognize_one(self, entry: CacheEntry, stream: Sequence[Any]) -> bool:
         """Recognize one stream on the shared compiled table (dense-metered)."""
+        started = perf_counter_ns()
         accepted, hits, fallbacks = CompiledParser(table=entry.table).recognize_with_stats(
             stream
         )
+        elapsed = perf_counter_ns() - started
         if hits:
             self.metrics.inc("dense_hits", hits)
         if fallbacks:
             self.metrics.inc("dense_fallbacks", fallbacks)
+        if len(stream) and fallbacks == 0:
+            self.obs.record("ns_per_token_dense", elapsed // len(stream))
         return accepted
 
     # ------------------------------------------------------ asyncio front door
@@ -372,13 +428,20 @@ class ParseService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.metrics.inc("coalesced_requests")
+            self.obs.logger.log("coalesced_hit", op=op)
             return await asyncio.shield(existing)
         self.metrics.inc(request_metric)
         future: "asyncio.Future[Any]" = loop.create_future()
         self._inflight[key] = future
 
         def work() -> Any:
-            return blocking()
+            # Runs on a pool thread, so the request context opened here is
+            # visible to every stage() the blocking body reaches.
+            started = perf_counter_ns()
+            with self.obs.tracer.request(op):
+                result = blocking()
+            self.obs.record("request_latency_ns", perf_counter_ns() - started)
+            return result
 
         def transfer(done: "asyncio.Future[Any]") -> None:
             self._inflight.pop(key, None)
@@ -443,7 +506,9 @@ class ParseService:
             session = self.sessions.get(session.session_id)
         else:
             session = self.sessions.get(session)
-        return session.apply_edit(start, end, new_tokens)
+        result = session.apply_edit(start, end, new_tokens)
+        self.obs.record("edit_tokens_refed", result.refed_tokens)
+        return result
 
     # ------------------------------------------------------------- inspection
     def stats(self) -> Dict[str, Any]:
@@ -453,6 +518,12 @@ class ParseService:
         at read time; values may trail in-flight work by a few increments
         (stale reads of integers are harmless), which is the price of
         keeping the hot paths lock-free.
+
+        ``latency`` carries the observer's histogram digests (count / sum /
+        min / max / mean / p50 / p95 / p99 per series — request latency,
+        warm-path ns/token, batch sizes, re-fed edit tokens); ``traces``
+        is the tracer's digest of the recent sampled-request ring,
+        including aggregate per-stage span totals.
         """
         snapshot = self.metrics.snapshot()
         engine = Metrics()
@@ -470,7 +541,18 @@ class ParseService:
             "table_capacity": self.tables.capacity,
             "live_sessions": len(self.sessions),
             "workers": self.workers,
+            "latency": self.obs.summaries(),
+            "traces": self.obs.tracer.digest(),
         }
+
+    def exposition(self) -> str:
+        """:meth:`stats` rendered in Prometheus text format.
+
+        Counters, gauges and full ``_bucket``/``_sum``/``_count`` series
+        for every latency histogram — what a scrape endpoint (or
+        ``python -m repro.serve --stats``) emits.
+        """
+        return prometheus_exposition(self.stats(), self.obs.histogram_snapshots())
 
     def __repr__(self) -> str:
         return "ParseService(workers={}, tables={}/{}, sessions={})".format(

@@ -52,6 +52,8 @@ from ..compile.automaton import AutomatonState
 from ..compile.executor import CompiledParser, CompiledSnapshot, CompiledState
 from ..core.errors import ReproError
 from ..incremental import DEFAULT_CHECKPOINT_EVERY, EditResult, IncrementalDocument
+from ..obs.logging import NULL_LOGGER, StructuredLogger
+from ..obs.trace import stage
 from .cache import CacheEntry
 from .metrics import ServiceMetrics
 
@@ -231,7 +233,8 @@ class ParseSession:
                     "session {!r} was opened with keep_tokens=False and has "
                     "no token buffer to edit".format(self.session_id)
                 )
-            result = self._doc.apply_edit(start, end, list(new_tokens))
+            with stage("session_edit"):
+                result = self._doc.apply_edit(start, end, list(new_tokens))
         self._manager.metrics.inc("edits_applied")
         self._manager.metrics.inc("edit_tokens_refed", result.refed_tokens)
         return result
@@ -360,8 +363,10 @@ class SessionManager:
         metrics: Optional[ServiceMetrics] = None,
         idle_ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.logger = logger if logger is not None else NULL_LOGGER
         self.idle_ttl = idle_ttl
         self.clock = clock
         self.tag = "m{}".format(next(SessionManager._manager_tags))
@@ -389,6 +394,12 @@ class SessionManager:
         with self._lock:
             self._sessions[session_id] = session
         self.metrics.inc("sessions_opened")
+        self.logger.log(
+            "session_opened",
+            session=session_id,
+            grammar=entry.fingerprint[:12],
+            keep_tokens=keep_tokens,
+        )
         return session
 
     def restore(self, checkpoint: SessionCheckpoint) -> ParseSession:
@@ -439,6 +450,12 @@ class SessionManager:
             self.close(session.session_id)
             raise
         self.metrics.inc("sessions_restored")
+        self.logger.log(
+            "session_restored",
+            session=session.session_id,
+            position=checkpoint.position,
+            grammar=checkpoint.entry.fingerprint[:12],
+        )
         return session
 
     def get(self, session_id: str) -> ParseSession:
@@ -456,6 +473,9 @@ class SessionManager:
         if session is not None and not session.closed:
             session._end("closed")
             self.metrics.inc("sessions_closed")
+            self.logger.log(
+                "session_closed", session=session_id, position=session.position
+            )
 
     def sweep(self, now: Optional[float] = None) -> int:
         """Evict every session idle longer than ``idle_ttl``; return the count.
@@ -492,6 +512,12 @@ class SessionManager:
                 for session in evicted:
                     self._sessions.pop(session.session_id, None)
             self.metrics.inc("sessions_evicted", len(evicted))
+            for session in evicted:
+                self.logger.log(
+                    "session_evicted",
+                    session=session.session_id,
+                    position=session.position,
+                )
         return len(evicted)
 
     def live_sessions(self) -> List[ParseSession]:

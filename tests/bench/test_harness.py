@@ -73,3 +73,31 @@ class TestRunnersSmoke:
         for _tokens, distinct, bound, lemma6, lemma7 in rows:
             assert distinct <= bound
             assert lemma6 and lemma7
+
+
+class TestEmitJson:
+    def test_emit_json_stamps_provenance_meta(self, tmp_path, monkeypatch):
+        import json
+        import re
+
+        from repro.bench import run_meta
+        from repro.bench.harness import emit_json
+
+        target = tmp_path / "BENCH_x.json"
+        monkeypatch.setenv("REPRO_BENCH_JSON", str(target))
+        path = emit_json([{"label": "a", "seconds": 0.5}], quick=True)
+        assert path == str(target)
+        artifact = json.loads(target.read_text())
+        assert artifact["quick"] is True
+        assert artifact["rows"] == [{"label": "a", "seconds": 0.5}]
+        meta = artifact["meta"]
+        # ISO-8601 UTC timestamp, and a 40-hex sha inside this repo's checkout.
+        assert re.match(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$", meta["timestamp"])
+        assert meta["git_sha"] is None or re.match(r"^[0-9a-f]{40}$", meta["git_sha"])
+        assert set(run_meta()) == {"git_sha", "timestamp"}
+
+    def test_emit_json_noop_without_env(self, monkeypatch):
+        from repro.bench.harness import emit_json
+
+        monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+        assert emit_json([{"r": 1}]) is None

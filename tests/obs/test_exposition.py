@@ -1,0 +1,147 @@
+"""Tests for the structured logger and the Prometheus/JSON exposition."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_LOGGER,
+    Histogram,
+    StructuredLogger,
+    json_snapshot,
+    parse_prometheus,
+    prometheus_exposition,
+)
+
+
+class _FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestStructuredLogger:
+    def test_json_lines_mode(self):
+        buffer = io.StringIO()
+        logger = StructuredLogger(stream=buffer, clock=lambda: 1700000000.5)
+        logger.log("table_compiled", fingerprint="abc", seconds=0.25)
+        event = json.loads(buffer.getvalue())
+        assert event["event"] == "table_compiled"
+        assert event["fingerprint"] == "abc"
+        assert event["seconds"] == 0.25
+        assert event["ts"].endswith("Z") and "T" in event["ts"]
+
+    def test_human_mode_key_values(self):
+        buffer = io.StringIO()
+        logger = StructuredLogger(stream=buffer, human=True)
+        logger.log("summary", inputs=3, rate=0.5, stages={"a": 1})
+        line = buffer.getvalue().strip()
+        assert line.startswith("summary ")
+        assert "inputs=3" in line
+        assert "rate=0.5" in line
+        assert 'stages={"a": 1}' in line
+
+    def test_for_stream_picks_mode_by_tty(self):
+        assert StructuredLogger.for_stream(io.StringIO()).human is False
+        assert StructuredLogger.for_stream(_FakeTty()).human is True
+        assert StructuredLogger.for_stream(None).stream is None
+
+    def test_null_logger_is_a_noop(self):
+        NULL_LOGGER.log("anything", value=1)  # must not raise, writes nowhere
+
+    def test_concurrent_lines_never_interleave(self):
+        import threading
+
+        buffer = io.StringIO()
+        logger = StructuredLogger(stream=buffer)
+
+        def spam(tag):
+            for _ in range(50):
+                logger.log("tick", tag=tag, payload="x" * 64)
+
+        threads = [threading.Thread(target=spam, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 200
+        for line in lines:
+            assert json.loads(line)["event"] == "tick"
+
+
+def _stats_fixture():
+    return {
+        "service": {"table_hits": 3, "table_misses": 1, "table_hit_rate": 0.75},
+        "engine": {"derive_calls": 42},
+        "tables_cached": 1,
+        "table_capacity": 32,
+        "live_sessions": 0,
+        "workers": 4,
+        "traces": {"seen": 10, "sampled": 5, "slow": 1},
+    }
+
+
+class TestPrometheus:
+    def test_render_and_parse_round_trip(self):
+        hist = Histogram()
+        hist.record_many([5, 50, 500, 5000])
+        text = prometheus_exposition(_stats_fixture(), {"request_latency_ns": hist})
+        samples = parse_prometheus(text)
+        assert samples["repro_table_hits"] == 3
+        assert samples["repro_table_hit_rate"] == 0.75
+        assert samples["repro_engine_derive_calls"] == 42
+        assert samples["repro_workers"] == 4
+        assert samples["repro_traces_seen"] == 10
+        assert samples['repro_request_latency_ns_bucket{le="+Inf"}'] == 4
+        assert samples["repro_request_latency_ns_count"] == 4
+        assert samples["repro_request_latency_ns_sum"] == 5555
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self):
+        hist = Histogram()
+        hist.record_many([1, 1, 2, 900, 900, 900, 10**6])
+        text = prometheus_exposition({"service": {}}, {"lat": hist})
+        # parse_prometheus itself enforces monotonicity; also check the top.
+        samples = parse_prometheus(text)
+        assert samples['repro_lat_bucket{le="+Inf"}'] == 7
+
+    def test_counter_monotonicity_across_scrapes(self):
+        """Two successive scrapes must never show a counter going backwards."""
+        first = _stats_fixture()
+        second = json.loads(json.dumps(first))
+        second["service"]["table_hits"] += 5
+        second["traces"]["seen"] += 2
+        scrape1 = parse_prometheus(prometheus_exposition(first))
+        scrape2 = parse_prometheus(prometheus_exposition(second))
+        for name, value in scrape1.items():
+            if name.endswith("_rate") or name not in scrape2:
+                continue
+            assert scrape2[name] >= value, name
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a sample\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x 1\nrepro_x 2\n")  # duplicate sample
+        with pytest.raises(ValueError):
+            parse_prometheus(
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'  # decreasing cumulative
+            )
+
+    def test_weird_metric_names_are_sanitized(self):
+        text = prometheus_exposition({"service": {"weird-name!": 1}})
+        samples = parse_prometheus(text)
+        assert samples["repro_weird_name_"] == 1
+
+
+class TestJsonSnapshot:
+    def test_round_trips(self):
+        stats = _stats_fixture()
+        stats["latency"] = {"request_latency_ns": {"count": 0, "sum": 0}}
+        text = json_snapshot(stats)
+        assert "\n" not in text
+        assert json.loads(text) == stats
+
+    def test_non_json_values_fall_back_to_str(self):
+        text = json_snapshot({"service": {"obj": object()}})
+        assert "object object" in json.loads(text)["service"]["obj"]

@@ -1,0 +1,176 @@
+"""Tests for the fixed-log-bucket latency histogram.
+
+The load-bearing properties: quantiles agree with a sorted-list reference
+to within one bucket's relative error (hypothesis-checked), and merging
+per-worker shards is exactly equivalent to recording into one histogram —
+the ``Metrics.merge`` contract carried into the time domain, stressed here
+with real threads.
+"""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram
+from repro.obs.histogram import _bucket_bounds, _bucket_index
+
+
+class TestBucketing:
+    def test_small_values_are_exact(self):
+        for value in range(4):
+            low, high = Histogram.bucket_bounds(value)
+            assert low == value and high == value + 1
+
+    def test_bounds_contain_value(self):
+        for value in [0, 1, 5, 17, 255, 256, 257, 10**6, 10**12]:
+            low, high = Histogram.bucket_bounds(value)
+            assert low <= value < high
+
+    def test_relative_error_bounded(self):
+        # 4 sub-buckets per power of two => bucket width <= 25% of its lower
+        # bound, so the midpoint is within ~12.5% of any member value.
+        for value in [13, 100, 999, 65537, 10**9]:
+            low, high = Histogram.bucket_bounds(value)
+            assert (high - low) <= max(1, low) * 0.25 + 1e-9
+
+    def test_index_monotone_over_a_range(self):
+        indexes = [_bucket_index(v) for v in range(4096)]
+        assert indexes == sorted(indexes)
+
+    def test_bounds_partition_the_line(self):
+        # Consecutive buckets tile [0, inf): each upper is the next lower.
+        previous_high = 0
+        for index in range(64):
+            low, high = _bucket_bounds(index)
+            assert low == previous_high
+            assert high > low
+            previous_high = high
+
+
+class TestRecording:
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0, "sum": 0}
+        assert math.isnan(Histogram().quantile(0.5))
+        assert len(Histogram()) == 0
+
+    def test_basic_stats(self):
+        hist = Histogram()
+        hist.record_many([1, 2, 3, 4])
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10
+        assert summary["min"] == 1 and summary["max"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = Histogram()
+        hist.record(-5)
+        assert hist.summary()["min"] == 0
+
+    def test_quantile_bounds_and_validation(self):
+        hist = Histogram()
+        hist.record_many([10] * 100)
+        assert hist.quantile(0.5) == 10  # clamped into [low, high]
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_cumulative_buckets_monotone(self):
+        hist = Histogram()
+        hist.record_many([1, 5, 5, 90, 1000])
+        cumulative = hist.cumulative_buckets()
+        counts = [count for _upper, count in cumulative]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+
+def _reference_quantile(values, q):
+    """Nearest-rank quantile on the raw sorted values."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered) - 1e-9))
+    return ordered[rank - 1]
+
+
+class TestQuantileAgainstReference:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=300),
+        q=st.sampled_from([0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0]),
+    )
+    def test_quantile_within_one_bucket_of_sorted_reference(self, values, q):
+        hist = Histogram()
+        hist.record_many(values)
+        expected = _reference_quantile(values, q)
+        got = hist.quantile(q)
+        # The histogram answers from the bucket holding the nearest-rank
+        # value, so its answer must land inside that value's bucket.
+        low, high = Histogram.bucket_bounds(expected)
+        assert low <= got <= high
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=10**6), max_size=100),
+        right=st.lists(st.integers(min_value=0, max_value=10**6), max_size=100),
+    )
+    def test_merge_equals_recording_into_one(self, left, right):
+        merged = Histogram()
+        merged.record_many(left)
+        shard = Histogram()
+        shard.record_many(right)
+        merged.merge(shard)
+
+        direct = Histogram()
+        direct.record_many(left + right)
+        assert merged.summary() == direct.summary()
+        assert merged.cumulative_buckets() == direct.cumulative_buckets()
+
+
+class TestShardedMerge:
+    def test_eight_thread_shards_fold_losslessly(self):
+        """The ``Metrics.merge`` contract in the time domain, with real threads.
+
+        Eight workers record into private shards with no synchronization at
+        all (each shard is thread-confined), then the shards fold into one
+        aggregate — which must be bit-identical to a single-threaded
+        recording of the same observations.
+        """
+        per_thread = 2000
+        threads = 8
+        shards = [Histogram() for _ in range(threads)]
+        barrier = threading.Barrier(threads)
+
+        def work(index):
+            shard = shards[index]
+            barrier.wait()
+            for i in range(per_thread):
+                shard.record((index * per_thread + i) % 7919 + index)
+
+        pool = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        total = Histogram()
+        for shard in shards:
+            total.merge(shard)
+
+        reference = Histogram()
+        for index in range(threads):
+            for i in range(per_thread):
+                reference.record((index * per_thread + i) % 7919 + index)
+
+        assert total.count == threads * per_thread
+        assert total.summary() == reference.summary()
+        assert total.cumulative_buckets() == reference.cumulative_buckets()
+
+    def test_copy_is_independent(self):
+        hist = Histogram()
+        hist.record_many([1, 2, 3])
+        clone = hist.copy()
+        clone.record(100)
+        assert hist.count == 3 and clone.count == 4

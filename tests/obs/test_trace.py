@@ -1,0 +1,156 @@
+"""Tests for the contextvar tracer: sampling, ring bound, cross-thread spans."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import StructuredLogger, Tracer, activated, current_trace, stage
+from repro.obs.trace import _NOOP
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        cm = tracer.request("recognize")
+        assert cm is _NOOP
+        with cm as trace:
+            assert trace is None
+            assert current_trace() is None
+        assert tracer.seen == 0 and tracer.traces() == []
+
+    def test_stage_without_active_trace_is_shared_noop(self):
+        assert stage("anything") is _NOOP
+        with stage("anything"):
+            pass  # must be safely enterable
+
+    def test_activated_none_is_noop(self):
+        assert activated(None) is _NOOP
+
+
+class TestSampling:
+    def test_sample_every_is_deterministic(self):
+        tracer = Tracer(enabled=True, sample_every=3)
+        sampled = 0
+        for _ in range(9):
+            with tracer.request("op") as trace:
+                if trace is not None:
+                    sampled += 1
+        assert tracer.seen == 9
+        assert tracer.sampled == 3 == sampled
+
+    def test_sampled_request_records_spans_and_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.request("parse", grammar="pl0") as trace:
+            assert current_trace() is trace
+            with stage("fingerprint"):
+                pass
+            with trace.span("table"):
+                pass
+        assert current_trace() is None
+        assert trace.duration_ns > 0
+        assert sorted(trace.stage_totals()) == ["fingerprint", "table"]
+        assert trace.labels == {"grammar": "pl0"}
+        rendered = trace.as_dict()
+        assert rendered["name"] == "parse"
+        assert {span["stage"] for span in rendered["spans"]} == {"fingerprint", "table"}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        tracer = Tracer(enabled=True, ring_size=4)
+        for i in range(10):
+            with tracer.request("op{}".format(i)):
+                pass
+        retained = tracer.traces()
+        assert len(retained) == 4
+        assert [t.name for t in retained] == ["op6", "op7", "op8", "op9"]
+
+    def test_digest_aggregates_stage_totals(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.request("op"):
+                with stage("work"):
+                    pass
+        digest = tracer.digest()
+        assert digest["seen"] == digest["sampled"] == digest["recent"] == 3
+        assert digest["stages"]["work"]["count"] == 3
+        assert digest["stages"]["work"]["total_ns"] >= 0
+        assert digest["enabled"] is True
+
+
+class TestSlowLog:
+    def test_slow_requests_are_counted_and_logged(self):
+        buffer = io.StringIO()
+        logger = StructuredLogger(stream=buffer, clock=lambda: 0.0)
+        tracer = Tracer(enabled=True, slow_threshold_ns=1, logger=logger)
+        with tracer.request("edit", session="s1"):
+            with stage("replay"):
+                time.sleep(0.001)
+        assert tracer.slow == 1
+        event = json.loads(buffer.getvalue())
+        assert event["event"] == "slow_request"
+        assert event["request"] == "edit"
+        assert event["session"] == "s1"
+        assert "replay" in event["stages"]
+
+    def test_fast_requests_stay_quiet(self):
+        buffer = io.StringIO()
+        tracer = Tracer(
+            enabled=True,
+            slow_threshold_ns=10**12,
+            logger=StructuredLogger(stream=buffer),
+        )
+        with tracer.request("op"):
+            pass
+        assert tracer.slow == 0
+        assert buffer.getvalue() == ""
+
+
+class TestCrossThread:
+    def test_activated_reenters_trace_in_pool_thread(self):
+        """Worker threads never inherit the contextvar; activated() fixes that."""
+        tracer = Tracer(enabled=True)
+        with tracer.request("batch") as trace:
+            seen_in_worker = []
+
+            def worker():
+                # Without activation the pool thread sees no trace at all.
+                seen_in_worker.append(current_trace())
+                with activated(trace):
+                    seen_in_worker.append(current_trace())
+                    with stage("recognize"):
+                        pass
+                seen_in_worker.append(current_trace())
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen_in_worker == [None, trace, None]
+        assert "recognize" in trace.stage_totals()
+
+    def test_concurrent_spans_all_land_in_the_trace(self):
+        tracer = Tracer(enabled=True)
+        with tracer.request("fanout") as trace:
+
+            def worker(index):
+                with activated(trace):
+                    with stage("s{}".format(index % 2)):
+                        pass
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        totals = trace.stage_totals()
+        assert len(trace.spans) == 8
+        assert set(totals) == {"s0", "s1"}

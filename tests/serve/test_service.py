@@ -1,6 +1,7 @@
 """ParseService: batch results, table caching, coalescing, CLI, isolation."""
 
 import asyncio
+import json
 
 import pytest
 
@@ -237,11 +238,17 @@ class TestCli:
         good = tmp_path / "good.pl0"
         good.write_text(pl0_source(120, seed=1))
         assert cli_main(["--grammar", "pl0", str(good)]) == 0
-        out = capsys.readouterr().out
-        assert "ok" in out and "tok/s" in out
+        # Captured stdout is not a TTY, so every line is one JSON event.
+        events = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        results = [event for event in events if event["event"] == "result"]
+        assert len(results) == 1 and results[0]["verdict"] == "ok"
+        summary = next(event for event in events if event["event"] == "summary")
+        assert summary["inputs"] == 1 and summary["tok_per_s"] >= 0
 
     def test_cli_parse_mode_reports_failure_and_exit_code(self, tmp_path, capsys):
         bad = tmp_path / "bad.pl0"
         bad.write_text("var x; begin x := end.")
         assert cli_main(["--grammar", "pl0", "--parse", str(bad)]) == 1
-        assert "parse error" in capsys.readouterr().out
+        events = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        verdicts = [e["verdict"] for e in events if e["event"] == "result"]
+        assert verdicts and verdicts[0].startswith("parse error")
