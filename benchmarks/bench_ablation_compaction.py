@@ -13,7 +13,7 @@ nodes than full compaction, and disabling compaction entirely is drastically
 worse in both time and node count.
 """
 
-from repro.bench import compaction_ablation, format_table, tiny_python_workload
+from repro.bench import compaction_ablation, emit_json, format_table, tiny_python_workload
 from repro.core import CompactionConfig, DerivativeParser
 from repro.grammars import python_grammar
 
@@ -27,6 +27,14 @@ def test_compaction_ablation(run_once):
             rows,
             title="Compaction ablation (48-token Python workload)",
         )
+    )
+
+    emit_json(
+        [
+            dict(zip(("configuration", "seconds", "nodes_created"), row))
+            for row in rows
+        ],
+        figure="ablation-compaction",
     )
 
     by_label = {label: (seconds, nodes) for label, seconds, nodes in rows}

@@ -6,7 +6,7 @@ original implementation, on identical workloads.  This isolates the Section
 4.2 improvement from the memoization and compaction changes (Figure 7 shows
 the combined effect)."""
 
-from repro.bench import format_table, nullability_ablation, tiny_python_workload
+from repro.bench import emit_json, format_table, nullability_ablation, tiny_python_workload
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
@@ -20,6 +20,14 @@ def test_nullability_ablation(run_once):
             rows,
             title="Nullability fixed point: improved vs naive visit counts",
         )
+    )
+
+    emit_json(
+        [
+            dict(zip(("tokens", "improved_visits", "naive_visits"), row))
+            for row in rows
+        ],
+        figure="ablation-nullability",
     )
 
     for _tokens, improved_visits, naive_visits in rows:

@@ -12,7 +12,7 @@ Two series are measured:
 """
 
 from repro.analysis import growth_exponent, within_cubic_bound
-from repro.bench import complexity_node_counts, format_table, python_workload
+from repro.bench import complexity_node_counts, emit_json, format_table, python_workload
 from repro.core import DerivativeParser
 from repro.core.languages import graph_size
 from repro.grammars import python_grammar, worst_case_language
@@ -41,6 +41,15 @@ def test_complexity_bounds(run_once):
             results["python"],
             title="Python-subset grammar, improved parser",
         )
+    )
+
+    emit_json(
+        [
+            {"series": series, "tokens": size, "nodes_created": count}
+            for series in ("worst_case", "python")
+            for size, count in results[series]
+        ],
+        figure="complexity-bounds",
     )
 
     grammar_size = graph_size(worst_case_language())

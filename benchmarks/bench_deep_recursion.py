@@ -37,7 +37,7 @@ from repro.core.languages import (
     token_value,
 )
 from repro.core.nullability import NullabilityAnalyzer
-from repro.bench import format_table
+from repro.bench import emit_json, format_table
 from repro.workloads import chain_expression_tokens
 
 SIZES_RECURSIVE_RACE = [100, 300, 900, 2_700]
@@ -164,6 +164,13 @@ def test_deep_recursion_race(run_once):
             rows,
             title="Deep right-recursion under the default interpreter limit",
         )
+    )
+    emit_json(
+        [
+            dict(zip(("tokens", "iterative_seconds", "recursive_seconds"), row))
+            for row in rows
+        ],
+        figure="deep-recursion",
     )
     # The recursive formulation must have died somewhere in this range; the
     # iterative engine must have survived everywhere.

@@ -12,7 +12,7 @@ improved PWD showing a roughly flat seconds-per-token curve (linear-time
 behaviour in practice).
 """
 
-from repro.bench import fig06_parser_comparison, format_table, python_workload
+from repro.bench import emit_json, fig06_parser_comparison, format_table, python_workload
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
@@ -26,6 +26,14 @@ def test_fig06_parser_comparison_table(run_once):
             rows,
             title="Figure 6 — performance of the four parsers (synthetic Python workload)",
         )
+    )
+
+    emit_json(
+        [
+            dict(zip(("parser", "tokens", "seconds", "seconds_per_token"), row))
+            for row in rows
+        ],
+        figure="fig06",
     )
 
     # Sanity checks on the *shape* of the result (who is faster than whom).

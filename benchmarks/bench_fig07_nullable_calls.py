@@ -15,7 +15,7 @@ adaptive pruning — so the figure reads directly off the kernel every
 analysis now shares.
 """
 
-from repro.bench import fig07_nullable_calls, format_table, tiny_python_workload
+from repro.bench import emit_json, fig07_nullable_calls, format_table, tiny_python_workload
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
@@ -35,6 +35,25 @@ def test_fig07_nullable_call_ratio(run_once):
             rows,
             title="Figure 7 — nullable? calls relative to the original implementation",
         )
+    )
+
+    emit_json(
+        [
+            dict(
+                zip(
+                    (
+                        "tokens",
+                        "improved_calls",
+                        "kernel_evaluations",
+                        "original_calls",
+                        "ratio",
+                    ),
+                    row,
+                )
+            )
+            for row in rows
+        ],
+        figure="fig07",
     )
 
     for _tokens, improved_calls, kernel_evals, original_calls, ratio in rows:

@@ -16,6 +16,7 @@ nodes to memoize, the Figure 10 quantity attacked from the other side.
 """
 
 from repro.bench import (
+    emit_json,
     fig10_interning_ablation,
     fig10_memo_entries,
     format_table,
@@ -34,6 +35,16 @@ def test_fig10_single_entry_fraction(run_once):
             rows,
             title="Figure 10 — nodes with only one derive memoization entry",
         )
+    )
+
+    emit_json(
+        [
+            dict(
+                zip(("tokens", "single_entry", "multi_entry", "fraction"), row)
+            )
+            for row in rows
+        ],
+        figure="fig10",
     )
 
     for _tokens, single, multi, fraction in rows:

@@ -7,7 +7,7 @@ on average and never more than 4.8 %.  The reproduction compares the
 the ratio should stay close to 1 (a small number of extra recomputations).
 """
 
-from repro.bench import fig11_uncached_derive, format_table, python_workload
+from repro.bench import emit_json, fig11_uncached_derive, format_table, python_workload
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
@@ -21,6 +21,16 @@ def test_fig11_uncached_derive_ratio(run_once):
             rows,
             title="Figure 11 — uncached derive calls, single-entry vs full hash tables",
         )
+    )
+
+    emit_json(
+        [
+            dict(
+                zip(("tokens", "uncached_single", "uncached_full", "ratio"), row)
+            )
+            for row in rows
+        ],
+        figure="fig11",
     )
 
     for _tokens, single_uncached, full_uncached, ratio in rows:

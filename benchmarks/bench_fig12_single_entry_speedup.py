@@ -8,7 +8,7 @@ only requires the single-entry strategy not to be slower by more than a small
 margin, and the printed table records the measured factor for EXPERIMENTS.md.
 """
 
-from repro.bench import fig12_single_entry_speedup, format_table, python_workload
+from repro.bench import emit_json, fig12_single_entry_speedup, format_table, python_workload
 from repro.core import DerivativeParser
 from repro.grammars import python_grammar
 
@@ -22,6 +22,16 @@ def test_fig12_single_entry_speedup(run_once):
             rows,
             title="Figure 12 — speedup of single-entry memoization over full hash tables",
         )
+    )
+
+    emit_json(
+        [
+            dict(
+                zip(("tokens", "seconds_single", "seconds_full", "speedup"), row)
+            )
+            for row in rows
+        ],
+        figure="fig12",
     )
 
     speedups = [row[3] for row in rows]

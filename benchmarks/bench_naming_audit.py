@@ -7,7 +7,7 @@ invariants held.  This is the executable version of the paper's Figure 5
 walk-through.
 """
 
-from repro.bench import format_table, naming_audit_rows
+from repro.bench import emit_json, format_table, naming_audit_rows
 from repro.core import CompactionConfig, DerivativeParser
 from repro.grammars import worst_case_language
 from repro.workloads import repeated_token_stream
@@ -22,6 +22,19 @@ def test_naming_audit(run_once):
             rows,
             title="Definition 5 naming audit on L = (L ◦ L) ∪ c",
         )
+    )
+
+    emit_json(
+        [
+            dict(
+                zip(
+                    ("tokens", "distinct_names", "theorem8_bound", "lemma6", "lemma7"),
+                    row,
+                )
+            )
+            for row in rows
+        ],
+        figure="naming-audit",
     )
 
     for _tokens, distinct, bound, lemma6, lemma7 in rows:

@@ -1,0 +1,221 @@
+"""Pooled recognition throughput vs. the in-process thread-pool service.
+
+The pool's claim (PR 8): CPython's GIL caps the in-process
+:class:`repro.serve.ParseService` at one core of recognition throughput
+no matter how wide its thread pool is, while
+:class:`repro.serve.PooledParseService` shards the same batches over N
+*processes* — so under concurrent load the pooled fleet sustains a
+genuine multiple of the in-process service.  And because workers
+warm-start from the on-disk table store, a fleet cold start performs
+**zero derivations**: spawn + preload + first batch all run on
+serialized transitions.
+
+Per workload (PL/0 and the Python subset) this benchmark drives
+``CLIENTS`` concurrent threads, each submitting warm ``recognize_many``
+batches against (a) the in-process service and (b) a pooled fleet of the
+same worker count, and prints aggregate tokens/second for both.
+
+Deterministic gates (all modes):
+
+* parity — pooled batch results equal the in-process service's,
+* fleet cold start — after ``seed_store`` + ``preload`` + recognition
+  traffic, fleet-wide ``derive_calls == 0`` and ``dense_fallbacks == 0``
+  (every worker answered purely from its warm-loaded table), with
+  ``tables_warm_started`` equal to the preload's warm count.
+
+Full mode additionally gates the headline: **pooled throughput ≥ 2.5×
+the in-process service at 4 workers** on both workloads.  Quick mode
+(``REPRO_BENCH_QUICK=1``, the CI smoke job) shrinks the load, skips the
+wall-clock gate (shared CI runners rarely have 4 idle cores), and writes
+the measured rows to ``BENCH_pool.json`` via the shared artifact writer.
+"""
+
+import os
+import threading
+import time
+
+from repro.bench import emit_json, format_table
+from repro.grammars import pl0_grammar, python_grammar
+from repro.serve import ParseService, PooledParseService, TableStore
+from repro.workloads import generate_program, pl0_tokens
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+STREAM_TOKENS = 100 if QUICK else 2_000
+BATCH_STREAMS = 3 if QUICK else 6
+WORKERS = 2 if QUICK else 4
+CLIENTS = 2 if QUICK else 4
+ROUNDS_PER_CLIENT = 2 if QUICK else 6
+#: The acceptance bar (full mode): pooled recognition throughput under
+#: concurrent load vs. the in-process thread-pool service, same worker count.
+MIN_POOLED_SPEEDUP = 2.5
+
+
+def workloads():
+    return [
+        (
+            "pl0",
+            pl0_grammar,
+            [pl0_tokens(STREAM_TOKENS, seed=s) for s in range(BATCH_STREAMS)],
+        ),
+        (
+            "python-subset",
+            python_grammar,
+            [
+                generate_program(STREAM_TOKENS, seed=s).tokens
+                for s in range(BATCH_STREAMS)
+            ],
+        ),
+    ]
+
+
+def concurrent_seconds(submit, clients, rounds):
+    """Wall-clock seconds for ``clients`` threads each calling ``submit``
+    ``rounds`` times, released together off a barrier."""
+    barrier = threading.Barrier(clients + 1)
+    errors = []
+
+    def client():
+        barrier.wait()
+        try:
+            for _ in range(rounds):
+                submit()
+        except Exception as error:  # surfaced below — don't hang the join
+            errors.append(error)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def measure(make_grammar, streams, store_root):
+    batch_tokens = sum(map(len, streams))
+
+    # -------- in-process baseline: thread pool, shared table, warm.
+    with ParseService(workers=WORKERS) as service:
+        expected = service.recognize_many(make_grammar(), streams)  # cold pass
+        grammar = make_grammar()
+        service.recognize_many(grammar, streams)  # warm the fingerprint memo
+        inproc_seconds = concurrent_seconds(
+            lambda: service.recognize_many(grammar, streams),
+            CLIENTS,
+            ROUNDS_PER_CLIENT,
+        )
+
+    # -------- seed the table store dispatcher-side (one compile, persisted).
+    store = TableStore(store_root)
+    with PooledParseService(workers=1, replication=1, store=store) as seeder:
+        seeder.seed_store(make_grammar(), streams)
+
+    # -------- fleet cold start: spawn + preload must derive nothing.
+    with PooledParseService(
+        workers=WORKERS, replication=WORKERS, store=store
+    ) as pool:
+        grammar = make_grammar()
+        warm_count = pool.preload([grammar])
+        assert warm_count == WORKERS, (
+            "expected every worker to warm-load, got {}/{}".format(
+                warm_count, WORKERS
+            )
+        )
+        # Parity gate (all modes): the pooled verdicts are the service's.
+        assert pool.recognize_many(grammar, streams) == expected
+        stats = pool.stats()
+        assert stats["service"]["tables_warm_started"] == warm_count
+        assert stats["engine"]["derive_calls"] == 0, (
+            "fleet cold start derived {} transitions".format(
+                stats["engine"]["derive_calls"]
+            )
+        )
+        assert stats["engine"].get("dense_fallbacks", 0) == 0
+
+        # -------- pooled throughput under the same concurrent load.
+        prepared = pool.prepare(grammar, streams)
+        pool.recognize_many(grammar, prepared)  # prime the chunk encodings
+        pooled_seconds = concurrent_seconds(
+            lambda: pool.recognize_many(grammar, prepared),
+            CLIENTS,
+            ROUNDS_PER_CLIENT,
+        )
+
+    total_tokens = batch_tokens * CLIENTS * ROUNDS_PER_CLIENT
+    return {
+        "streams": len(streams),
+        "stream_tokens": len(streams[0]),
+        "batch_tokens": batch_tokens,
+        "inproc_rate": total_tokens / max(inproc_seconds, 1e-9),
+        "pooled_rate": total_tokens / max(pooled_seconds, 1e-9),
+        "speedup": inproc_seconds / max(pooled_seconds, 1e-9),
+        "warm_starts": warm_count,
+        "derive_calls": stats["engine"]["derive_calls"],
+    }
+
+
+def test_pool_throughput(run_once, tmp_path):
+    rows = []
+    table_rows = []
+    for name, make_grammar, streams in workloads():
+        result = measure(make_grammar, streams, str(tmp_path / name))
+        rows.append({"workload": name, **result})
+        table_rows.append(
+            [
+                name,
+                "{}x{}".format(result["streams"], result["stream_tokens"]),
+                "{:,.0f}".format(result["inproc_rate"]),
+                "{:,.0f}".format(result["pooled_rate"]),
+                "{:.1f}x".format(result["speedup"]),
+                result["warm_starts"],
+                result["derive_calls"],
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "workload",
+                "batch",
+                "in-proc tok/s",
+                "pooled tok/s",
+                "speedup",
+                "warm starts",
+                "derive calls",
+            ],
+            table_rows,
+            title="Pooled fleet vs. in-process service, {} workers x {} "
+            "clients{}".format(WORKERS, CLIENTS, " [quick]" if QUICK else ""),
+        )
+    )
+    print(
+        "note: fleet cold start ran zero derivations — every worker "
+        "warm-loaded its shard's serialized table before traffic."
+    )
+
+    emit_json(rows, quick=QUICK, workers=WORKERS, clients=CLIENTS)
+
+    # The wall-clock gate runs only in full mode; quick mode's gates are
+    # the deterministic parity/zero-derivation assertions in measure().
+    if not QUICK:
+        for row in rows:
+            assert row["speedup"] >= MIN_POOLED_SPEEDUP, (
+                "{}: pooled fleet only {:.1f}x the in-process service "
+                "(needs {}x)".format(
+                    row["workload"], row["speedup"], MIN_POOLED_SPEEDUP
+                )
+            )
+
+    # One representative configuration under pytest-benchmark's timer: a
+    # warm pooled recognition batch on PL/0.
+    _, make_grammar, streams = workloads()[0]
+    with PooledParseService(workers=WORKERS, replication=WORKERS) as pool:
+        grammar = make_grammar()
+        pool.recognize_many(grammar, streams)  # warm the shard
+        prepared = pool.prepare(grammar, streams)
+        run_once(lambda: pool.recognize_many(grammar, prepared))

@@ -34,7 +34,7 @@ PL/0 workload**.
 
 import os
 
-from repro.bench import format_table, time_call
+from repro.bench import emit_json, format_table, time_call
 from repro.core import DerivativeParser
 from repro.grammars import pl0_grammar, python_grammar
 from repro.serve import ParseService
@@ -113,11 +113,28 @@ def measure(grammar, streams):
 
 def test_serve_throughput(run_once):
     rows = []
+    json_rows = []
     checks = []
     for name, grammar, streams in workloads():
         result = measure(grammar, streams)
         tokens = result["tokens"]
         speedup_at_4 = result["seq"] / max(result["service"][4], 1e-9)
+        json_rows.append(
+            {
+                "workload": name,
+                "streams": len(streams),
+                "stream_tokens": len(streams[0]),
+                "tokens": tokens,
+                "sequential_rate": tokens / result["seq"],
+                "speedup_at_4": speedup_at_4,
+                "trees_rate": result["trees_rate"],
+                **{
+                    "service_rate_x{}".format(w): tokens
+                    / max(result["service"][w], 1e-9)
+                    for w in WORKER_COUNTS
+                },
+            }
+        )
         rows.append(
             [
                 name,
@@ -157,6 +174,8 @@ def test_serve_throughput(run_once):
         "note: GIL-bound workers buy concurrency, not parallelism; the "
         "batched speedup is the warm shared table + amortized compile."
     )
+
+    emit_json(json_rows, quick=QUICK, worker_counts=list(WORKER_COUNTS))
 
     # The wall-clock acceptance gate runs only in full mode; quick mode's
     # gates are the deterministic assertions inside measure().

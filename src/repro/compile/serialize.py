@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional
 
 from ..core.errors import ReproError
 from ..core.languages import token_kind, token_value
+from ..core.metrics import Metrics
 from ..lexer.tokens import Tok
 from .automaton import DENSE_DEAD, DENSE_UNEXPLORED, AutomatonState, GrammarTable
 
@@ -168,6 +169,7 @@ def restore_table(
     data: Dict[str, Any],
     grammar: Any,
     strict: bool = True,
+    metrics: Optional[Metrics] = None,
 ) -> GrammarTable:
     """Rebuild a :class:`GrammarTable` over ``grammar`` from dumped ``data``.
 
@@ -176,7 +178,26 @@ def restore_table(
     like.  The returned table is *independent* of the grammar-owned table
     :func:`~repro.compile.automaton.compile_grammar` shares — callers
     decide whether to adopt it (pass it to
-    :class:`~repro.compile.CompiledParser` via ``table=``).
+    :class:`~repro.compile.CompiledParser` via ``table=``).  ``metrics``
+    (optional) becomes the fresh table's engine counter bag, so a cache
+    that warm-loads tables can meter them like ones it compiled itself.
+
+    **``strict=False`` semantics.**  ``strict`` controls only the two
+    *identity* guards — the structural-fingerprint match and the
+    kind-purity agreement.  Passing ``strict=False`` attaches the document
+    to ``grammar`` without either check; everything else (format/version
+    validation, state wiring, dense-row restoration) is identical.  The
+    contract is *the caller vouches for the grammar*: serialized
+    transitions and accepting flags are replayed as saved, so input covered
+    by the saved automaton is answered by the **saved** grammar's automaton,
+    while input that steps off it re-derives through witness chains over
+    the **attached** grammar.  When the attached grammar really is
+    structurally equivalent (the intended use: a fingerprint-algorithm
+    drift between builds, a hand-verified refactor of payload objects the
+    fingerprint cannot see), behaviour is exactly the strict path.  When it
+    is not, covered input silently answers for the wrong language — which
+    is why the guards are on by default and ``strict=False`` is an explicit
+    caller assertion, not a fallback.
     """
     if data.get("format") != FORMAT:
         raise ReproError("not a compiled-table document: {!r}".format(data.get("format")))
@@ -190,7 +211,9 @@ def restore_table(
             )
         )
 
-    table = GrammarTable(grammar, optimize=bool(data.get("optimized", True)))
+    table = GrammarTable(
+        grammar, optimize=bool(data.get("optimized", True)), metrics=metrics
+    )
     if strict and data.get("fingerprint") != table.fingerprint:
         raise ReproError(
             "compiled table was built from a structurally different grammar "
@@ -281,8 +304,17 @@ def restore_table(
     return table
 
 
-def load_table(path: str, grammar: Any, strict: bool = True) -> GrammarTable:
-    """Read a table from ``path`` and attach it to ``grammar``."""
+def load_table(
+    path: str,
+    grammar: Any,
+    strict: bool = True,
+    metrics: Optional[Metrics] = None,
+) -> GrammarTable:
+    """Read a table from ``path`` and attach it to ``grammar``.
+
+    ``strict``/``metrics`` behave exactly as in :func:`restore_table` (see
+    there for the ``strict=False`` caller-vouches contract).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    return restore_table(data, grammar, strict=strict)
+    return restore_table(data, grammar, strict=strict, metrics=metrics)

@@ -140,6 +140,16 @@ class Trace:
         """A context manager timing one stage of this trace."""
         return Span(self, name)
 
+    def add_span(self, name: str, start_ns: int, duration_ns: int) -> None:
+        """File an externally measured interval as a span of this trace.
+
+        The hook for stages whose clock ran somewhere :class:`Span` cannot —
+        a pooled worker *process* reports how long it held a request, and
+        the dispatcher files that measurement into the request's trace as a
+        ``worker`` span.  One atomic append, same as a ``Span`` exit.
+        """
+        self.spans.append((name, start_ns, duration_ns))
+
     def stage_totals(self) -> Dict[str, int]:
         """Total nanoseconds per stage name (a span's repeats accumulate)."""
         totals: Dict[str, int] = {}

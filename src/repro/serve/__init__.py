@@ -31,14 +31,28 @@ Quickstart::
     session.feed_all(streams[0]); session.accepts()
     service.stats()["service"]["table_hit_rate"]
 
+When one interpreter's core is not enough, :class:`PooledParseService`
+(:mod:`repro.serve.pool`) keeps the same batch API but fans requests over
+N worker *processes*, sharded by grammar fingerprint on a consistent hash
+ring so every worker's table cache stays hot for its shard.  Workers
+warm-start from an on-disk :class:`TableStore` of serialized compiled
+tables (zero derivations on fleet cold start), crashed workers are
+respawned and their in-flight requests resent, and ``stats()`` /
+``exposition()`` fold every worker's counters and histograms into one
+fleet view.
+
 ``python -m repro.serve`` exposes the same machinery as a file-parsing
-smoke-test CLI (:mod:`repro.serve.cli`).
+smoke-test CLI (:mod:`repro.serve.cli`; ``--pool N`` switches it onto the
+process pool).
 """
 
 from .cache import CacheEntry, TableCache
 from .metrics import ServiceMetrics
+from .pool import HashRing, PooledParseService, PreparedBatch
 from .service import ParseOutcome, ParseService, ServiceClosed
 from .sessions import ParseSession, SessionCheckpoint, SessionError, SessionManager
+from .store import TableStore
+from .transport import WorkerCrashed, WorkerError
 
 __all__ = [
     "ParseService",
@@ -51,4 +65,10 @@ __all__ = [
     "SessionManager",
     "SessionCheckpoint",
     "SessionError",
+    "PooledParseService",
+    "PreparedBatch",
+    "HashRing",
+    "TableStore",
+    "WorkerCrashed",
+    "WorkerError",
 ]

@@ -30,13 +30,15 @@ Hit/miss/eviction counts land in the service's
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..compile.automaton import GrammarTable, as_root
+from ..compile.serialize import restore_table
 from ..core.languages import Language, clone_graph, structural_fingerprint
 from ..core.metrics import Metrics
 from ..obs.logging import NULL_LOGGER, StructuredLogger
@@ -149,6 +151,83 @@ class TableCache:
         self.metrics.inc("table_misses")
         future.set_result(entry)
         return entry
+
+    def warm_start(
+        self,
+        paths: Iterable[str],
+        grammar_for: Any,
+    ) -> List[CacheEntry]:
+        """Preload serialized tables into the cache without a request.
+
+        ``paths`` name table documents written by
+        :func:`repro.compile.save_table`; ``grammar_for`` resolves each
+        document's *compiled* fingerprint (taken over the
+        post-optimization root — what :func:`repro.compile.dump_table`
+        stamps) to its grammar — a mapping ``fingerprint → grammar``, a
+        one-argument callable, or a single grammar (when every path
+        belongs to it).  Each document is restored into a service-private
+        table (:func:`repro.compile.restore_table` — strict, so a wrong
+        grammar is refused, and **zero derivations**: loaded tables run
+        warm straight from disk) and cached under the *caller-side* key —
+        :func:`structural_fingerprint` of the resolved grammar's raw root,
+        the same key :meth:`get_or_compile` looks up — so the next request
+        for that grammar is a ``table_hits`` instead of a compile.  The
+        two fingerprints differ whenever optimization rewrites the root;
+        conflating them would cache warm tables where no lookup ever
+        finds them.  Grammars already cached are skipped (the live table
+        is at least as warm).  Returns the entries inserted, in path
+        order; each insertion is metered as ``tables_warm_started`` and
+        may LRU-evict exactly like a compile.
+
+        A resolver returning ``None`` (or a mapping without the
+        fingerprint) raises ``KeyError`` naming the fingerprint — a store
+        directory with a stray table must fail loudly, not half-load.
+        """
+        inserted: List[CacheEntry] = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            grammar = self._resolve_grammar(grammar_for, data.get("fingerprint"))
+            root = as_root(grammar)
+            fingerprint = structural_fingerprint(root)
+            with self._lock:
+                already = fingerprint in self._entries
+            if already:
+                continue
+            engine_metrics = Metrics()
+            table = restore_table(data, clone_graph(root), metrics=engine_metrics)
+            entry = CacheEntry(fingerprint, table, clone_graph(root), engine_metrics)
+            evicted: List[str] = []
+            with self._lock:
+                if fingerprint in self._entries:  # raced a concurrent compile
+                    continue
+                self._entries[fingerprint] = entry
+                while len(self._entries) > self.capacity:
+                    stale, _ = self._entries.popitem(last=False)
+                    evicted.append(stale)
+            self.metrics.inc("tables_warm_started")
+            self.logger.log("table_warm_started", fingerprint=fingerprint, path=path)
+            if evicted:
+                self.metrics.inc("tables_evicted", len(evicted))
+                for stale in evicted:
+                    self.logger.log("table_evicted", fingerprint=stale, reason="capacity")
+            inserted.append(entry)
+        return inserted
+
+    @staticmethod
+    def _resolve_grammar(grammar_for: Any, fingerprint: str) -> object:
+        """Resolve a warm-start grammar source to the grammar for ``fingerprint``."""
+        if callable(grammar_for):
+            grammar = grammar_for(fingerprint)
+        elif hasattr(grammar_for, "get") and hasattr(grammar_for, "__getitem__"):
+            grammar = grammar_for.get(fingerprint)
+        else:
+            grammar = grammar_for  # a single grammar for every path
+        if grammar is None:
+            raise KeyError(
+                "warm_start has no grammar for fingerprint {!r}".format(fingerprint)
+            )
+        return grammar
 
     def _compile(self, root: Language, fingerprint: str) -> CacheEntry:
         """Build a service-private table (and pristine seed) for ``root``."""

@@ -38,6 +38,7 @@ from ..grammars import PL0_KEYWORDS, pl0_grammar, python_grammar
 from ..lexer.python_tokens import tokenize_python
 from ..lexer.tokens import Tok
 from ..obs import Observer, StructuredLogger, json_snapshot
+from .pool import PooledParseService
 from .service import ParseService
 
 __all__ = ["main", "tokenize_pl0"]
@@ -128,6 +129,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers", type=int, default=4, help="worker threads (default: 4)"
     )
     cli.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fan batches over N sharded worker processes instead of the "
+            "in-process thread pool (default: 0, in-process)"
+        ),
+    )
+    cli.add_argument(
         "--parse",
         action="store_true",
         help="extract a parse tree per input instead of recognizing",
@@ -161,7 +172,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     all_ok = not lex_failures
     observer = Observer(tracing=args.trace, logger=logger)
-    with ParseService(workers=args.workers, observer=observer) as service:
+    if args.pool > 0:
+        service: Any = PooledParseService(workers=args.pool, observer=observer)
+    else:
+        service = ParseService(workers=args.workers, observer=observer)
+    with service:
         started = time.perf_counter()
         if args.parse:
             outcomes = service.parse_many(grammar, streams)

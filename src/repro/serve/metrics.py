@@ -43,6 +43,11 @@ _COUNTERS = (
     "edit_tokens_refed",
     "dense_hits",
     "dense_fallbacks",
+    "tables_warm_started",
+    "tables_persisted",
+    "pool_dispatches",
+    "pool_retries",
+    "workers_respawned",
 )
 
 #: Membership view of ``_COUNTERS`` for O(1) validation before the lock.
@@ -88,6 +93,21 @@ class ServiceMetrics:
                     name, ", ".join(_COUNTERS)
                 )
             )
+
+    def merge_snapshot(self, values: Dict[str, float]) -> None:
+        """Fold another instance's :meth:`snapshot` into this one.
+
+        The fleet-aggregation primitive: a pooled dispatcher collects each
+        worker *process*'s counter snapshot over the wire and folds them
+        into one fleet view.  Only registered counters are added; derived
+        values (``table_hit_rate``) and unknown keys are ignored rather
+        than raised — a snapshot from a newer worker build must fold, not
+        crash the dispatcher.
+        """
+        with self._lock:
+            for name, value in values.items():
+                if name in _COUNTER_SET:
+                    self._values[name] += int(value)
 
     def snapshot(self) -> Dict[str, float]:
         """A consistent copy of the service counters.

@@ -194,6 +194,20 @@ class ParseService:
         with stage("table"):
             return self.tables.get_or_compile(grammar, fingerprint=fingerprint)
 
+    def warm_start(self, paths: Iterable[str], grammar_for: Any) -> int:
+        """Preload serialized tables into the table cache (no request needed).
+
+        Delegates to :meth:`TableCache.warm_start`: each path's table
+        document is restored **with zero derivations** and cached under its
+        fingerprint, so the first request for that grammar is a table hit.
+        ``grammar_for`` maps fingerprints to grammars (mapping, callable,
+        or a single grammar).  Returns the number of tables loaded.  This
+        is how a pooled worker process warm-starts its shard from the
+        dispatcher's table store before traffic arrives.
+        """
+        self._require_open()
+        return len(self.tables.warm_start(paths, grammar_for))
+
     def _fingerprint(self, grammar: Any) -> str:
         """Structural fingerprint of ``grammar``, memoized per root object."""
         root = as_root(grammar)

@@ -174,6 +174,63 @@ class TestGuards:
         assert "2" in str(excinfo.value)
 
 
+class TestStrictFalseSemantics:
+    """``strict=False``: the caller-vouches contract, pinned as regression tests.
+
+    ``strict`` gates only the two identity guards (fingerprint,
+    kind-purity).  Attached anyway, serialized transitions replay as
+    saved — covered input answers for the *saved* grammar's automaton —
+    while input that steps off them re-derives through witness chains
+    over the *attached* grammar.
+    """
+
+    def test_same_grammar_strict_false_equals_strict(self, tmp_path):
+        from repro.core.metrics import Metrics
+
+        grammar = arithmetic_grammar()
+        tokens = arithmetic_tokens(80, seed=1)
+        table = warmed_table(grammar, tokens)
+        path = str(tmp_path / "same.json")
+        save_table(table, path)
+        metrics = Metrics()
+        loaded = load_table(path, arithmetic_grammar(), strict=False, metrics=metrics)
+        # Structurally equivalent grammar: behaviour is exactly the strict
+        # path — warm from disk, zero derivations on the covered stream.
+        assert CompiledParser(table=loaded).recognize(tokens) is True
+        assert loaded.transitions_derived == 0
+        assert metrics.derive_calls == 0
+
+    def test_covered_input_answers_for_the_saved_grammar(self):
+        # The sharp edge the docstring warns about: attach arithmetic's
+        # table to the s-expression grammar and walk a stream the saved
+        # automaton covers.  The serialized transitions replay as saved,
+        # so the verdict is the *saved* grammar's — even though the
+        # attached grammar rejects the stream outright.
+        tokens = arithmetic_tokens(60, seed=0)
+        data = dump_table(warmed_table(arithmetic_grammar(), tokens))
+        cross = restore_table(data, sexpr_grammar(), strict=False)
+        oracle = DerivativeParser(sexpr_grammar().to_language())
+        assert oracle.recognize(tokens) is False
+        assert CompiledParser(table=cross).recognize(tokens) is True
+
+    def test_uncovered_input_rederives_through_the_attached_grammar(self):
+        from repro.core.metrics import Metrics
+
+        warm = arithmetic_tokens(40, seed=2)
+        data = dump_table(warmed_table(arithmetic_grammar(), warm))
+        metrics = Metrics()
+        loaded = restore_table(
+            data, arithmetic_grammar(), strict=False, metrics=metrics
+        )
+        parser = CompiledParser(table=loaded)
+        oracle = DerivativeParser(arithmetic_grammar().to_language())
+        fresh = arithmetic_tokens(50, seed=9)
+        assert parser.recognize(fresh) is oracle.recognize(fresh)
+        # Divergence forced live derivation — metered into the bag the
+        # caller attached at load time.
+        assert metrics.derive_calls > 0
+
+
 class TestMaterialization:
     def test_divergent_input_materializes_states_lazily(self, tmp_path):
         grammar = arithmetic_grammar()

@@ -1,0 +1,106 @@
+"""Differential testing: the pooled service vs. the in-process service.
+
+The multi-process pool must be *observationally identical* to an
+in-process :class:`ParseService`: same acceptance verdicts, same parse
+trees (values included), same failure positions, in the same batch
+order — no matter how the batch is sharded, chunked across workers, or
+reassembled at fan-in.  Hypothesis drives random grammar/batch mixes
+drawn from per-grammar stream pools (valid streams, systematic
+corruptions, and edge cases) and asserts exact agreement on every
+outcome field.
+
+Both engines live for the whole module and are warmed once per grammar
+up front, so examples exercise the dispatch/fan-in machinery rather
+than re-measuring compile time.  Stream sizes stay small on purpose:
+cold derivation is milliseconds per token, and the property's subject
+is wire parity, not throughput.
+"""
+
+import pytest
+
+from repro.grammars import arithmetic_grammar, balanced_parens_grammar, pl0_grammar
+from repro.lexer.tokens import Tok
+from repro.serve import ParseService, PooledParseService
+from repro.workloads import arithmetic_tokens, pl0_tokens
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+GRAMMARS = {
+    "arithmetic": arithmetic_grammar,
+    "balanced_parens": balanced_parens_grammar,
+    "pl0": pl0_grammar,
+}
+
+
+def _stream_pool():
+    """Per-grammar candidate streams: valid, corrupted, and edge cases."""
+    valid = {
+        "arithmetic": [arithmetic_tokens(24, seed=seed) for seed in range(3)],
+        "pl0": [pl0_tokens(40, seed=seed) for seed in range(3)],
+        "balanced_parens": [
+            [Tok("("), Tok(")")],
+            [Tok("("), Tok("("), Tok(")"), Tok(")")],
+            [Tok("("), Tok(")"), Tok("("), Tok(")")],
+        ],
+    }
+    pool = {}
+    for name, streams in valid.items():
+        candidates = [list(stream) for stream in streams]
+        for stream in streams:
+            candidates.append(stream[:-1])  # truncate the tail
+            candidates.append(stream[1:])  # truncate the head
+            candidates.append(stream + stream[-1:])  # duplicate the last token
+            middle = len(stream) // 2
+            candidates.append(stream[:middle] + [Tok("@")] + stream[middle:])  # junk
+        candidates.append([])  # empty stream inside a batch
+        candidates.append([Tok("@")])  # junk-only stream
+        pool[name] = candidates
+    return pool
+
+
+STREAMS = _stream_pool()
+
+
+@pytest.fixture(scope="module")
+def engines():
+    with PooledParseService(workers=2, replication=2) as pooled:
+        with ParseService(workers=2) as in_process:
+            # Compile every grammar once in both engines so each drawn
+            # example runs against warm tables.
+            for name in GRAMMARS:
+                grammar = GRAMMARS[name]()
+                first = STREAMS[name][:1]
+                pooled.recognize_many(grammar, first)
+                in_process.recognize_many(grammar, first)
+            yield pooled, in_process
+
+
+@given(data=st.data())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pooled_results_agree_exactly_with_in_process(engines, data):
+    pooled, in_process = engines
+    name = data.draw(st.sampled_from(sorted(STREAMS)), label="grammar")
+    batch = data.draw(
+        st.lists(st.sampled_from(STREAMS[name]), min_size=1, max_size=5),
+        label="batch",
+    )
+    grammar = GRAMMARS[name]()
+
+    assert pooled.recognize_many(grammar, batch) == in_process.recognize_many(
+        grammar, batch
+    )
+
+    pooled_outcomes = pooled.parse_many(grammar, batch)
+    expected_outcomes = in_process.parse_many(grammar, batch)
+    assert len(pooled_outcomes) == len(expected_outcomes)
+    for pooled_outcome, expected in zip(pooled_outcomes, expected_outcomes):
+        assert pooled_outcome.ok == expected.ok
+        if expected.ok:
+            assert pooled_outcome.tree == expected.tree
+        else:
+            assert pooled_outcome.failure_position == expected.failure_position

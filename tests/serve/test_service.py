@@ -116,6 +116,63 @@ class TestTableCache:
         assert CompiledParser(table=entry.table).recognize(pl0_tokens(60)) is True
 
 
+class TestWarmStart:
+    """warm_start: serialized tables preloaded into the cache (satellite API)."""
+
+    @staticmethod
+    def saved_document(tmp_path, grammar, tokens, name="warm.table.json"):
+        """Save a warmed table for ``grammar``; returns (path, document fp)."""
+        from repro.compile import GrammarTable, as_root, save_table
+        from repro.core.languages import clone_graph
+
+        table = GrammarTable(clone_graph(as_root(grammar)))
+        from repro.compile import CompiledParser
+
+        CompiledParser(table=table).recognize(tokens)
+        path = str(tmp_path / name)
+        save_table(table, path)
+        return path, table.fingerprint
+
+    def test_warm_start_preloads_and_first_request_hits(self, tmp_path, service):
+        tokens = pl0_tokens(200, seed=0)
+        path, _ = self.saved_document(tmp_path, pl0_grammar(), tokens)
+        assert service.warm_start([path], pl0_grammar()) == 1
+        assert service.metrics.get("tables_warm_started") == 1
+        # The preloaded table serves the first request as a pure hit …
+        assert service.recognize_many(pl0_grammar(), [tokens]) == [True]
+        assert service.metrics.get("table_hits") == 1
+        assert service.metrics.get("table_misses") == 0
+        # … with zero derivations: the walk stayed on the restored table.
+        assert service.stats()["engine"]["derive_calls"] == 0
+
+    def test_warm_start_caches_under_the_lookup_fingerprint(self, tmp_path, service):
+        # Two fingerprint namespaces meet here: the document carries the
+        # *compiled* fingerprint (post-optimization root) while the cache
+        # is keyed by the raw root's structural fingerprint — the two
+        # differ whenever optimization rewrites the root.  A mapping
+        # resolver speaks the former; lookups must still hit the latter,
+        # so a request right after the preload is a pure table hit.
+        tokens = pl0_tokens(120, seed=3)
+        path, document_fp = self.saved_document(tmp_path, pl0_grammar(), tokens)
+        assert service.warm_start([path], {document_fp: pl0_grammar()}) == 1
+        assert service.recognize_many(pl0_grammar(), [tokens]) == [True]
+        assert service.metrics.get("table_hits") == 1
+        assert service.metrics.get("table_misses") == 0
+
+    def test_warm_start_without_a_grammar_fails_loudly(self, tmp_path, service):
+        path, _ = self.saved_document(tmp_path, pl0_grammar(), pl0_tokens(60, seed=0))
+        with pytest.raises(KeyError):
+            service.warm_start([path], {})
+
+    def test_warm_start_skips_grammars_already_cached(self, tmp_path, service):
+        tokens = pl0_tokens(80, seed=1)
+        path, _ = self.saved_document(tmp_path, pl0_grammar(), tokens)
+        service.recognize_many(pl0_grammar(), [tokens])  # live compile first
+        assert service.warm_start([path], pl0_grammar()) == 0
+        assert service.metrics.get("tables_warm_started") == 0
+        assert service.metrics.get("table_misses") == 1
+
+
 class TestAsyncFrontDoor:
     def test_parse_coalesces_identical_inflight_requests(self, service):
         grammar = pl0_grammar()

@@ -1,0 +1,95 @@
+"""TableStore: atomic persistence and zero-derivation loads by fingerprint."""
+
+import json
+import os
+
+import pytest
+
+from repro.compile import CompiledParser, GrammarTable
+from repro.core.metrics import Metrics
+from repro.grammars import arithmetic_grammar, pl0_grammar
+from repro.serve import TableStore
+from repro.workloads import arithmetic_tokens, pl0_tokens
+
+
+def warmed_table(grammar, tokens):
+    table = GrammarTable(grammar.language())
+    CompiledParser(table=table).recognize(tokens)
+    return table
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TableStore(str(tmp_path / "tables"))
+
+
+class TestRoundTrip:
+    def test_persist_load_runs_warm(self, store):
+        tokens = arithmetic_tokens(120, seed=4)
+        table = warmed_table(arithmetic_grammar(), tokens)
+        path = store.persist(table)
+
+        assert os.path.exists(path)
+        assert store.has(table.fingerprint)
+        assert store.fingerprints() == [table.fingerprint]
+        assert store.paths() == [path]
+        assert len(store) == 1
+
+        metrics = Metrics()
+        loaded = store.load(table.fingerprint, arithmetic_grammar(), metrics=metrics)
+        assert CompiledParser(table=loaded).recognize(tokens) is True
+        # The whole walk stayed on restored transitions: a store load is a
+        # zero-derivation warm start.
+        assert loaded.transitions_derived == 0
+        assert metrics.derive_calls == 0
+
+    def test_explicit_fingerprint_names_the_document(self, store):
+        # The pool keys the store by the *dispatch* fingerprint (raw root),
+        # which differs from ``table.fingerprint`` whenever optimization
+        # rewrites the root — the override is how those loads find it.
+        table = warmed_table(pl0_grammar(), pl0_tokens(80, seed=0))
+        path = store.persist(table, fingerprint="feedc0de")
+        assert path.endswith("feedc0de.table.json")
+        assert store.has("feedc0de")
+        assert not store.has(table.fingerprint)
+        loaded = store.load("feedc0de", pl0_grammar())
+        assert CompiledParser(table=loaded).recognize(pl0_tokens(80, seed=0)) is True
+
+    def test_missing_fingerprint_raises(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.load("0" * 16, arithmetic_grammar())
+
+    def test_repr_and_creation(self, tmp_path):
+        root = str(tmp_path / "made" / "on" / "demand")
+        store = TableStore(root)
+        assert os.path.isdir(root)
+        assert "0 tables" in repr(store)
+
+
+class TestWriteDiscipline:
+    def test_overwrite_false_is_first_writer_wins(self, store):
+        first = store.persist_document({"format": "x", "marker": 1}, "aa")
+        second = store.persist_document(
+            {"format": "x", "marker": 2}, "aa", overwrite=False
+        )
+        assert first == second
+        with open(first) as handle:
+            assert json.load(handle)["marker"] == 1
+        # The default overwrites (last writer wins).
+        store.persist_document({"format": "x", "marker": 3}, "aa")
+        with open(first) as handle:
+            assert json.load(handle)["marker"] == 3
+
+    def test_persist_leaves_no_temp_files(self, store):
+        store.persist(warmed_table(arithmetic_grammar(), arithmetic_tokens(30, seed=1)))
+        leftovers = [name for name in os.listdir(store.root) if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_failed_write_cleans_up_and_keeps_no_document(self, store):
+        class Unserializable:
+            pass
+
+        with pytest.raises(TypeError):
+            store.persist_document({"bad": Unserializable()}, "bb")
+        assert not store.has("bb")
+        assert [name for name in os.listdir(store.root) if name.endswith(".tmp")] == []
