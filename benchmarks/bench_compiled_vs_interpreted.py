@@ -32,14 +32,14 @@ the shared :func:`repro.bench.emit_json` helper.
 import os
 import time
 
-from repro.bench import emit_json, format_table, time_call
+from repro.bench import bench_workload, emit_json, format_table, time_call
 from repro.compile import CompiledParser, GrammarTable, load_table, save_table
 from repro.core import DerivativeParser
-from repro.grammars import pl0_grammar, python_grammar
-from repro.workloads import generate_program, pl0_tokens
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 SIZE = 400 if QUICK else 10_000
+#: Registry cells this benchmark rides (sizes above are tuned for the pair).
+CELL_IDS = ("python-subset", "pl0")
 #: Warm compiled vs. warm interpreted: the acceptance bar at 10k+ tokens.
 #: Timing ratios are only asserted in full mode — quick mode (CI) gates on
 #: the deterministic zero-derivation checks instead.
@@ -60,9 +60,11 @@ def _time(fn):
 
 
 def workloads():
+    """(cell id, grammar, tokens) triples resolved from the zoo registry."""
+    cells = [bench_workload(cell_id) for cell_id in CELL_IDS]
     return [
-        ("python-subset", python_grammar(), generate_program(SIZE, seed=1).tokens),
-        ("pl0", pl0_grammar(), pl0_tokens(SIZE, seed=1)),
+        (cell.id, cell.grammar.factory(), cell.workload.generator(SIZE, 1))
+        for cell in cells
     ]
 
 

@@ -33,13 +33,13 @@ Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON
 
 import os
 
-from repro.bench import emit_json, format_table, time_call
+from repro.bench import bench_workload, emit_json, format_table, time_call
 from repro.compile import CompiledParser, GrammarTable, load_table, save_table
-from repro.grammars import pl0_grammar, python_grammar
-from repro.workloads import generate_program, pl0_tokens
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 SIZE = 400 if QUICK else 4_000
+#: Registry cells this benchmark rides (sizes above are tuned for the pair).
+CELL_IDS = ("pl0", "python-subset")
 #: Dense warm vs. object warm: the tentpole acceptance bar.  Timing ratios
 #: are only asserted in full mode — quick mode (CI) gates on the
 #: deterministic dense-hit-rate checks instead.
@@ -50,9 +50,11 @@ WARM_ROUNDS = 5
 
 
 def workloads():
+    """(cell id, grammar, tokens) triples resolved from the zoo registry."""
+    cells = [bench_workload(cell_id) for cell_id in CELL_IDS]
     return [
-        ("pl0", pl0_grammar(), pl0_tokens(SIZE, seed=1)),
-        ("python-subset", python_grammar(), generate_program(SIZE, seed=1).tokens),
+        (cell.id, cell.grammar.factory(), cell.workload.generator(SIZE, 1))
+        for cell in cells
     ]
 
 

@@ -35,12 +35,11 @@ Set ``REPRO_BENCH_JSON=<path>`` to also write the measured rows as JSON
 
 import os
 
-from repro.bench import emit_json, format_table, time_call
+from repro.bench import bench_workload, emit_json, format_table, time_call
 from repro.compile import CompiledParser
 from repro.core import DerivativeParser
-from repro.grammars import pl0_grammar, python_grammar
 from repro.incremental import IncrementalDocument
-from repro.workloads import generate_program, pl0_tokens, value_edit_at
+from repro.workloads import value_edit_at
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 CHECKPOINT_EVERY = 32 if QUICK else 64
@@ -61,15 +60,22 @@ MIN_INTERPRETED_LATE_SPEEDUP = 2.0
 REPEATS = {"compiled": 5, "interpreted": 2}
 
 
+#: Registry cells this benchmark rides (the SIZES table above is keyed on
+#: their ids; value-editable token kinds come from the workload spec).
+CELL_IDS = ("pl0", "python-subset")
+
+
 def workloads():
+    """(cell id, grammar, generator, editable kinds) from the zoo registry."""
+    cells = [bench_workload(cell_id) for cell_id in CELL_IDS]
     return [
-        ("pl0", pl0_grammar(), pl0_tokens, ("NUMBER", "IDENT")),
         (
-            "python-subset",
-            python_grammar(),
-            lambda length, seed=0: generate_program(length, seed=seed).tokens,
-            ("NUMBER", "NAME"),
-        ),
+            cell.id,
+            cell.grammar.factory(),
+            cell.workload.generator,
+            cell.workload.editable_kinds,
+        )
+        for cell in cells
     ]
 
 

@@ -34,10 +34,8 @@ import os
 import threading
 import time
 
-from repro.bench import emit_json, format_table
-from repro.grammars import pl0_grammar, python_grammar
+from repro.bench import bench_workload, emit_json, format_table
 from repro.serve import ParseService, PooledParseService, TableStore
-from repro.workloads import generate_program, pl0_tokens
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 STREAM_TOKENS = 100 if QUICK else 2_000
@@ -50,21 +48,24 @@ ROUNDS_PER_CLIENT = 2 if QUICK else 6
 MIN_POOLED_SPEEDUP = 2.5
 
 
+#: Registry cells this benchmark rides (batch shape above is tuned for them).
+CELL_IDS = ("pl0", "python-subset")
+
+
 def workloads():
+    """(cell id, grammar factory, batch-of-streams) from the zoo registry.
+
+    The pooled service pickles grammars across process boundaries, so rows
+    carry the *factory* rather than a built grammar.
+    """
+    cells = [bench_workload(cell_id) for cell_id in CELL_IDS]
     return [
         (
-            "pl0",
-            pl0_grammar,
-            [pl0_tokens(STREAM_TOKENS, seed=s) for s in range(BATCH_STREAMS)],
-        ),
-        (
-            "python-subset",
-            python_grammar,
-            [
-                generate_program(STREAM_TOKENS, seed=s).tokens
-                for s in range(BATCH_STREAMS)
-            ],
-        ),
+            cell.id,
+            cell.grammar.factory,
+            [cell.workload.generator(STREAM_TOKENS, s) for s in range(BATCH_STREAMS)],
+        )
+        for cell in cells
     ]
 
 

@@ -34,11 +34,9 @@ PL/0 workload**.
 
 import os
 
-from repro.bench import emit_json, format_table, time_call
+from repro.bench import bench_workload, emit_json, format_table, time_call
 from repro.core import DerivativeParser
-from repro.grammars import pl0_grammar, python_grammar
 from repro.serve import ParseService
-from repro.workloads import generate_program, pl0_tokens
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 STREAM_TOKENS = 300 if QUICK else 1_000
@@ -50,18 +48,20 @@ MIN_BATCHED_SPEEDUP = 2.0
 ROUNDS = 3
 
 
+#: Registry cells this benchmark rides (batch shape above is tuned for them).
+CELL_IDS = ("python-subset", "pl0")
+
+
 def workloads():
+    """(cell id, grammar, batch-of-streams) resolved from the zoo registry."""
+    cells = [bench_workload(cell_id) for cell_id in CELL_IDS]
     return [
         (
-            "python-subset",
-            python_grammar(),
-            [generate_program(STREAM_TOKENS, seed=s).tokens for s in range(BATCH_STREAMS)],
-        ),
-        (
-            "pl0",
-            pl0_grammar(),
-            [pl0_tokens(STREAM_TOKENS, seed=s) for s in range(BATCH_STREAMS)],
-        ),
+            cell.id,
+            cell.grammar.factory(),
+            [cell.workload.generator(STREAM_TOKENS, s) for s in range(BATCH_STREAMS)],
+        )
+        for cell in cells
     ]
 
 

@@ -15,9 +15,8 @@ Set ``REPRO_BENCH_JSON=<path>`` to also write the measured factors as JSON
 via the shared :func:`repro.bench.emit_json` helper.
 """
 
-from repro.bench import emit_json, format_table, python_workload, speedup_summary_table
+from repro.bench import bench_workload, emit_json, format_table, speedup_summary_table
 from repro.core import DerivativeParser
-from repro.grammars import python_grammar
 
 
 def test_headline_speedup_factors(run_once):
@@ -57,6 +56,7 @@ def test_headline_speedup_factors(run_once):
     assert factors["improved_vs_earley"] > 0.01
     assert factors["glr_vs_improved"] > 1
 
-    grammar = python_grammar()
-    tokens = python_workload(120)
+    cell = bench_workload("python-subset")
+    grammar = cell.grammar.factory()
+    tokens = cell.workload.generator(120, 0)
     run_once(lambda: DerivativeParser(grammar).recognize(tokens))

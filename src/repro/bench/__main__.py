@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.bench`` (see :mod:`repro.bench.driver`)."""
+
+import sys
+
+from .driver import main
+
+sys.exit(main())

@@ -1,0 +1,246 @@
+"""``python -m repro.bench`` — run the grammar-zoo registry from the CLI.
+
+The driver walks :data:`repro.bench.registry.CELLS` (or a requested
+subset), recognizes every (engine × size × seed) stream of each cell,
+checks the cheap deterministic gates (cross-engine recognition agreement;
+closed-form ambiguity counts), and emits one consolidated
+provenance-stamped ``BENCH_registry.json`` through the shared
+:func:`repro.bench.emit_json` funnel.  CI's quick-mode sweep is exactly
+``python -m repro.bench --quick --json BENCH_registry.json``; the heavier
+per-figure benchmarks stay in ``benchmarks/``, but they draw their
+grammar/workload pairings from the same registry, so the two views can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .harness import emit_json, format_table, time_call
+from .registry import CELLS, CELLS_BY_ID, BenchCell
+
+__all__ = ["main", "list_cells", "run_cells"]
+
+
+def list_cells(cells: Sequence[BenchCell] = CELLS) -> str:
+    """Render the engine × grammar × workload matrix as a table."""
+    rows = []
+    for cell in cells:
+        sizes = "/".join(str(size) for size in cell.workload.sizes)
+        quick = "/".join(str(size) for size in cell.workload.quick_sizes)
+        rows.append(
+            [
+                cell.id,
+                cell.grammar.id,
+                cell.workload.id,
+                "sizes {} (quick {}) × seeds {}".format(
+                    sizes, quick, len(cell.workload.seeds)
+                ),
+                ",".join(cell.engines),
+                ",".join(cell.gates),
+            ]
+        )
+    return format_table(
+        ["cell", "grammar", "workload", "streams", "engines", "gates"],
+        rows,
+        title="grammar zoo registry ({} cells)".format(len(cells)),
+    )
+
+
+def _recognizer(engine: str, grammar):
+    """Build ``engine``'s recognize(tokens) callable over ``grammar``."""
+    if engine == "derivative":
+        from ..core import DerivativeParser
+
+        return DerivativeParser(grammar.to_language()).recognize
+    if engine == "compiled":
+        from ..compile import CompiledParser
+
+        return CompiledParser(grammar).recognize
+    if engine == "earley":
+        from ..earley import EarleyParser
+
+        return EarleyParser(grammar).recognize
+    if engine == "glr":
+        from ..glr import GLRParser
+
+        return GLRParser(grammar).recognize
+    raise ValueError("no single-process recognizer for engine {!r}".format(engine))
+
+
+def run_cells(
+    cells: Sequence[BenchCell],
+    quick: bool = False,
+    engines: Optional[Sequence[str]] = None,
+) -> List[dict]:
+    """Run every engine × stream of ``cells``; return one row dict per run.
+
+    Deterministic gates are enforced inline: all engines of a cell must
+    agree on recognition of every stream, and ambiguity cells must count
+    exactly their closed-form number of parse trees.  Gate failures raise
+    ``AssertionError`` — the driver is a check, not just a stopwatch.
+    """
+    from ..core import DerivativeParser
+    from ..core.forest import count_trees
+
+    rows: List[dict] = []
+    pool = None
+    try:
+        for cell in cells:
+            picked = [
+                engine
+                for engine in cell.engines
+                if engines is None or engine in engines
+            ]
+            if not picked:
+                continue
+            grammar = cell.grammar.factory()
+            for size, seed, tokens in cell.workload.streams(quick=quick):
+                verdicts: Dict[str, bool] = {}
+                for engine in picked:
+                    if engine == "pooled":
+                        if pool is None:
+                            from ..serve import PooledParseService
+
+                            pool = PooledParseService(workers=2, replication=1)
+                        recognize = None
+                        seconds = time_call(
+                            lambda: verdicts.setdefault(
+                                engine, pool.recognize_many(grammar, [tokens])[0]
+                            ),
+                            repeats=1,
+                        )
+                    else:
+                        recognize = _recognizer(engine, grammar)
+                        seconds = time_call(
+                            lambda: verdicts.setdefault(engine, recognize(tokens)),
+                            repeats=1 if quick else 3,
+                        )
+                    rows.append(
+                        {
+                            "cell": cell.id,
+                            "grammar": cell.grammar.id,
+                            "workload": cell.workload.id,
+                            "engine": engine,
+                            "size": size,
+                            "seed": seed,
+                            "tokens": len(tokens),
+                            "recognized": verdicts[engine],
+                            "seconds": seconds,
+                        }
+                    )
+                assert len(set(verdicts.values())) == 1, (
+                    "engines disagree on cell {!r} size {} seed {}: {!r}".format(
+                        cell.id, size, seed, verdicts
+                    )
+                )
+                if "ambiguity" in cell.gates:
+                    forest = DerivativeParser(grammar.to_language()).parse_forest(
+                        tokens
+                    )
+                    counted = count_trees(forest)
+                    expected = cell.grammar.forest_count(tokens)
+                    assert counted == expected, (
+                        "cell {!r}: counted {} trees, closed form says {}".format(
+                            cell.id, counted, expected
+                        )
+                    )
+                    rows[-1]["forest_trees"] = counted
+    finally:
+        if pool is not None:
+            pool.close()
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the grammar-zoo registry: engine × grammar × workload.",
+    )
+    parser.add_argument(
+        "cells",
+        nargs="*",
+        metavar="CELL",
+        help="registry cell ids to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the cell matrix and exit"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_BENCH_QUICK")),
+        help="CI smoke sizes and single-shot timings (or REPRO_BENCH_QUICK=1)",
+    )
+    parser.add_argument(
+        "--engines",
+        metavar="E1,E2",
+        help="comma-separated engine filter (default: every engine a cell declares)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the consolidated rows here (also honours REPRO_BENCH_JSON)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(list_cells())
+        return 0
+
+    try:
+        cells = [CELLS_BY_ID[cell_id] for cell_id in args.cells] if args.cells else list(CELLS)
+    except KeyError as error:
+        print(
+            "unknown cell {}; valid cells: {}".format(
+                error, ", ".join(sorted(CELLS_BY_ID))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    engines = args.engines.split(",") if args.engines else None
+
+    rows = run_cells(cells, quick=args.quick, engines=engines)
+
+    print(
+        format_table(
+            ["cell", "engine", "size", "seed", "tokens", "ok", "seconds"],
+            [
+                [
+                    row["cell"],
+                    row["engine"],
+                    row["size"],
+                    row["seed"],
+                    row["tokens"],
+                    row["recognized"],
+                    "{:.6f}".format(row["seconds"]),
+                ]
+                for row in rows
+            ],
+            title="registry sweep ({} runs, {} mode)".format(
+                len(rows), "quick" if args.quick else "full"
+            ),
+        )
+    )
+
+    previous = os.environ.get("REPRO_BENCH_JSON")
+    if args.json:
+        os.environ["REPRO_BENCH_JSON"] = args.json
+    try:
+        emit_json(
+            rows,
+            benchmark="registry_sweep",
+            quick=args.quick,
+            cells=[cell.id for cell in cells],
+        )
+    finally:
+        if args.json:
+            if previous is None:
+                os.environ.pop("REPRO_BENCH_JSON", None)
+            else:
+                os.environ["REPRO_BENCH_JSON"] = previous
+    return 0

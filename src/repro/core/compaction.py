@@ -34,12 +34,25 @@ derive-memo entries (the Figure 10 quantity).  Child-identity keys hold
 strong references, so the table's lifetime follows its owner — the parser
 for the interpreted engine (cleared by ``DerivativeParser.reset``), the
 grammar itself for the compiled engine (alongside its
-:class:`~repro.core.memo.PersistentDictMemo`).  Cyclic results never reach
-the table: the deriver's observed-placeholder path fills nodes in place and
-bypasses the smart constructors, exactly as it bypasses the rewrite rules.
+:class:`~repro.core.memo.PersistentDictMemo`).
 
-Interning is sound under this repository's mutation discipline: after
-construction, a node's children change only through
+Cycle participants never reach the table.  Merging two structurally
+identical nodes is *not* always invisible: tree enumeration cuts off when
+it re-enters a node already on the current extraction path, so fusing an
+off-cycle occurrence with an on-cycle one moves the cut-off point and
+changes which finite trees of an infinite forest are produced (the
+differential interning suite exercises exactly this).  The smart
+constructors therefore skip interning — both lookup and insert — whenever a
+child is a cycle participant: an under-construction placeholder, an
+``observed`` placeholder (the deriver's cycle path fills those in place,
+bypassing the smart constructors), or a node flagged ``reaches_cycle``
+(initial-grammar recursion, marked by ``optimize_initial_grammar``; the
+flag then propagates child→parent through the constructors).  Acyclic
+regions — ε leaves, reductions over them, and everything built purely from
+them — keep the full hash-consing benefit.
+
+Interning is otherwise sound under this repository's mutation discipline:
+after construction, a node's children change only through
 :func:`repro.core.prune.prune_empty`, which is semantics-preserving, so an
 interned node always still denotes the language its key describes.
 Reduction functions are keyed by *identity* (structural hashing of fused
@@ -159,6 +172,16 @@ def _structure_known(node: Optional[Language]) -> bool:
     them "would result in a cycle" in the paper's words, so rules punt.
     """
     return node is not None and not node.under_construction
+
+
+def _cycle_participant(node: Language) -> bool:
+    """True when ``node`` may lie on a graph cycle (module docstring).
+
+    Such a node must not appear in a hash-consing key: merging two parents
+    over it could fuse an off-cycle occurrence into the cycle and move the
+    tree-enumeration cut-off point.
+    """
+    return node.under_construction or node.observed or node.reaches_cycle
 
 
 #: Payload types whose hash is depth-free, safe for ε interning keys.
@@ -302,34 +325,6 @@ class Compactor:
         self._intern[key] = node
         return node
 
-    def adopt(self, node: Language) -> None:
-        """Register an already-built node as the canonical holder of its key.
-
-        The deriver's cycle path fills observed placeholders in place,
-        bypassing the smart constructors — but once filled, such a node is a
-        perfectly good canonical representative.  Adopting it means a later
-        acyclic reconstruction with the same children (typically a
-        re-derivation after a single-entry memo eviction) returns this node
-        instead of allocating a duplicate.  First claimant keeps the key.
-        """
-        if not self.interning:
-            return
-        if isinstance(node, Alt):
-            if node.left is None or node.right is None:
-                return
-            key: tuple = ("∪", node.left, node.right)
-        elif isinstance(node, Cat):
-            if node.left is None or node.right is None:
-                return
-            key = ("◦", node.left, node.right)
-        elif isinstance(node, Reduce):
-            if node.lang is None:
-                return
-            key = ("↪", node.lang, _fn_intern_key(node.fn))
-        else:
-            return
-        self._intern.setdefault(key, node)
-
     def make_epsilon(self, trees: Iterable[Any]) -> Epsilon:
         """Construct an ``ε`` node carrying ``trees`` (interned when shallow)."""
         trees = tuple(trees)
@@ -362,10 +357,13 @@ class Compactor:
                 # ε_s1 ∪ ε_s2 ⇒ ε_{s1 ∪ s2} (one of the paper's added rules)
                 self._count_rewrite()
                 return self.make_epsilon(_merge_trees(left.trees, right.trees))
-        if cfg.enabled and cfg.hash_consing:
+        tainted = _cycle_participant(left) or _cycle_participant(right)
+        if cfg.enabled and cfg.hash_consing and not tainted:
             return self._intern_node(("∪", left, right), lambda: Alt(left, right))
         self._count_node()
-        return Alt(left, right)
+        node = Alt(left, right)
+        node.reaches_cycle = tainted
+        return node
 
     # ------------------------------------------------------------------ cat
     def make_cat(self, left: Language, right: Language) -> Language:
@@ -406,10 +404,13 @@ class Compactor:
                 self._count_rewrite()
                 inner = self.make_cat(left.right, right)
                 return self.make_reduce(self.make_cat(left.left, inner), ReassocToLeft())
-        if cfg.enabled and cfg.hash_consing:
+        tainted = _cycle_participant(left) or _cycle_participant(right)
+        if cfg.enabled and cfg.hash_consing and not tainted:
             return self._intern_node(("◦", left, right), lambda: Cat(left, right))
         self._count_node()
-        return Cat(left, right)
+        node = Cat(left, right)
+        node.reaches_cycle = tainted
+        return node
 
     # --------------------------------------------------------------- reduce
     def make_reduce(self, lang: Language, fn: Callable[[Any], Any]) -> Language:
@@ -435,10 +436,13 @@ class Compactor:
                 return self.make_reduce(lang.lang, compose(fn, lang.fn))
             if isinstance(fn, Identity):
                 return lang
-        if cfg.enabled and cfg.hash_consing:
+        tainted = _cycle_participant(lang)
+        if cfg.enabled and cfg.hash_consing and not tainted:
             return self._intern_node(("↪", lang, _fn_intern_key(fn)), lambda: Reduce(lang, fn))
         self._count_node()
-        return Reduce(lang, fn)
+        node = Reduce(lang, fn)
+        node.reaches_cycle = tainted
+        return node
 
     # ---------------------------------------------------------------- delta
     def make_delta(self, lang: Language) -> Language:
@@ -459,10 +463,13 @@ class Compactor:
             if cfg.null_rules and (lang is EMPTY or isinstance(lang, Empty)):
                 self._count_rewrite()
                 return EMPTY
-        if cfg.enabled and cfg.hash_consing:
+        tainted = _cycle_participant(lang)
+        if cfg.enabled and cfg.hash_consing and not tainted:
             return self._intern_node(("δ", lang), lambda: Delta(lang))
         self._count_node()
-        return Delta(lang)
+        node = Delta(lang)
+        node.reaches_cycle = tainted
+        return node
 
     # ---------------------------------------------------------- raw builders
     def raw_alt(self) -> Alt:
@@ -503,6 +510,58 @@ def _merge_trees(left: tuple, right: tuple) -> tuple:
     return tuple(merged)
 
 
+def _node_children(node: Language) -> tuple:
+    """The child edges the cycle-marking DFS must follow (including Ref→target)."""
+    if isinstance(node, (Alt, Cat)):
+        return (node.left, node.right)
+    if isinstance(node, (Reduce, Delta)):
+        return (node.lang,)
+    if isinstance(node, Ref):
+        return (node.target,)
+    return ()
+
+
+def _mark_grammar_cycles(root: Language) -> None:
+    """Set ``reaches_cycle`` on every node that lies on a cycle under ``root``.
+
+    Grammar recursion (``Ref`` loops) puts whole regions of the graph on
+    cycles before any derivative is taken; the smart constructors must know
+    about those nodes so they never merge two parents built over them
+    (module docstring).  Iterative DFS: a back edge to a node still on the
+    current path marks the entire path segment from that node down.  The
+    flag is monotone, so re-marking a shared or already-derived graph is
+    sound and idempotent.
+    """
+    gray, black = 1, 2
+    color: dict = {id(root): gray}
+    path: list = [root]
+    path_index: dict = {id(root): 0}
+    stack: list = [(root, iter(_node_children(root)))]
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child is None:
+                continue
+            state = color.get(id(child))
+            if state is None:
+                color[id(child)] = gray
+                path_index[id(child)] = len(path)
+                path.append(child)
+                stack.append((child, iter(_node_children(child))))
+                advanced = True
+                break
+            if state == gray:
+                # Back edge: the path from ``child`` to ``node`` is a cycle.
+                for member in path[path_index[id(child)]:]:
+                    member.reaches_cycle = True
+        if not advanced:
+            stack.pop()
+            popped = path.pop()
+            del path_index[id(popped)]
+            color[id(popped)] = black
+
+
 def optimize_initial_grammar(
     root: Language,
     compactor: Optional[Compactor] = None,
@@ -522,6 +581,7 @@ def optimize_initial_grammar(
     ``max_passes`` is hit, which only happens for adversarial inputs).
     """
     compactor = compactor if compactor is not None else Compactor()
+    _mark_grammar_cycles(root)
     for _ in range(max_passes):
         changed = False
         cache: dict[int, Language] = {}

@@ -240,7 +240,7 @@ class Deriver:
                     placeholder.left = left
                     placeholder.right = right
                     placeholder.under_construction = False
-                    self.compactor.adopt(placeholder)
+                    placeholder.reaches_cycle = True
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue
@@ -256,7 +256,7 @@ class Deriver:
                 if placeholder.observed:
                     placeholder.left = left
                     placeholder.under_construction = False
-                    self.compactor.adopt(placeholder)
+                    placeholder.reaches_cycle = True
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue
@@ -276,7 +276,7 @@ class Deriver:
                     placeholder.left = cat_node
                     placeholder.right = null_branch
                     placeholder.under_construction = False
-                    self.compactor.adopt(placeholder)
+                    placeholder.reaches_cycle = True
                     self._name(current, placeholder, position, with_bullet=True)
                     out[slot] = placeholder
                     continue
@@ -295,7 +295,7 @@ class Deriver:
                 if placeholder.observed:
                     placeholder.lang = child
                     placeholder.under_construction = False
-                    self.compactor.adopt(placeholder)
+                    placeholder.reaches_cycle = True
                     self._name(current, placeholder, position, with_bullet=False)
                     out[slot] = placeholder
                     continue
@@ -311,6 +311,7 @@ class Deriver:
             if placeholder.observed:
                 placeholder.target = target
                 placeholder.under_construction = False
+                placeholder.reaches_cycle = True
                 self._name(current, placeholder, position, with_bullet=False)
                 out[slot] = placeholder
                 continue

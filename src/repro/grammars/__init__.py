@@ -2,6 +2,8 @@
 
 from .ambiguous import (
     binary_sum_grammar,
+    catalan_grammar,
+    dangling_else_grammar,
     exponential_grammar,
     worst_case_grammar,
     worst_case_language,
@@ -12,6 +14,11 @@ from .classic import (
     json_grammar,
     sexpr_grammar,
 )
+from .expressions import (
+    EXPRESSION_FUNCTIONS,
+    EXPRESSION_GRAMMAR_TEXT,
+    expression_grammar,
+)
 from .pl0 import PL0_GRAMMAR_TEXT, PL0_KEYWORDS, pl0_grammar
 from .python_subset import PYTHON_GRAMMAR_TEXT, PYTHON_KEYWORDS, python_grammar
 
@@ -20,8 +27,13 @@ __all__ = [
     "balanced_parens_grammar",
     "sexpr_grammar",
     "json_grammar",
+    "expression_grammar",
+    "EXPRESSION_GRAMMAR_TEXT",
+    "EXPRESSION_FUNCTIONS",
     "exponential_grammar",
     "binary_sum_grammar",
+    "catalan_grammar",
+    "dangling_else_grammar",
     "worst_case_grammar",
     "worst_case_language",
     "python_grammar",

@@ -9,6 +9,16 @@ These are the grammars the complexity discussion of Section 3 leans on:
 * ``L = (L ◦ L) ∪ c`` — Figure 5's worst-case grammar for the node-naming
   argument, provided both as a CFG and as a raw parsing-expression graph with
   an any-token terminal (exactly as drawn in the figure).
+
+The grammar zoo adds two more pathological shapes with *closed-form*
+ambiguity, so forest extraction and counting can be gated against known
+answers at any depth:
+
+* ``S → S S | a`` (:func:`catalan_grammar`) — on ``a^n`` the forest holds
+  exactly Catalan(n−1) trees (every binary bracketing of n leaves).
+* dangling else (:func:`dangling_else_grammar`) — the textbook ambiguous
+  conditional; on ``(if c then)^d s else s`` the single ``else`` can attach
+  to any of the ``d`` ifs, so the forest holds exactly ``d`` trees.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from ..core.languages import Alt, Cat, Language, Ref, any_token
 __all__ = [
     "exponential_grammar",
     "binary_sum_grammar",
+    "catalan_grammar",
+    "dangling_else_grammar",
     "worst_case_grammar",
     "worst_case_language",
 ]
@@ -32,6 +44,40 @@ def exponential_grammar() -> Grammar:
 def binary_sum_grammar() -> Grammar:
     """``E → E + E | n`` — Catalan-number ambiguity, easy to scale by length."""
     return grammar_from_rules("E", {"E": [["E", "+", "E"], ["n"]]})
+
+
+def catalan_grammar() -> Grammar:
+    """``S → S S | a`` — Catalan(n−1) parses of ``a^n`` (pure bracketing ambiguity).
+
+    The canonical depth-parameterized forest workload: recognition is trivial
+    (every non-empty run of ``a`` is accepted) while the forest grows as the
+    Catalan numbers, so the grammar isolates forest *extraction and counting*
+    cost from recognition cost.  :func:`repro.workloads.catalan_count` is the
+    closed-form reference the differential suite pins counts against.
+    """
+    return grammar_from_rules("S", {"S": [["S", "S"], ["a"]]})
+
+
+def dangling_else_grammar() -> Grammar:
+    """The textbook dangling-else grammar (linearly ambiguous in nesting depth).
+
+    ``stmt → if c then stmt | if c then stmt else stmt | s`` — on the
+    depth-``d`` workload ``(if c then)^d s else s`` the one ``else`` may
+    attach to any of the ``d`` enclosing ifs, giving exactly ``d`` parses
+    (:func:`repro.workloads.dangling_else_count`).  Complements
+    :func:`catalan_grammar`: ambiguity that grows linearly, not
+    exponentially, so deep inputs stay countable.
+    """
+    return grammar_from_rules(
+        "stmt",
+        {
+            "stmt": [
+                ["if", "c", "then", "stmt"],
+                ["if", "c", "then", "stmt", "else", "stmt"],
+                ["s"],
+            ],
+        },
+    )
 
 
 def worst_case_grammar() -> Grammar:

@@ -1,0 +1,59 @@
+"""An arithmetic/function-expression grammar with precedence and nesting.
+
+The shape follows the classic object-oriented expression-parsing exercise
+(a `Lexer`/`Parser`/`Expr` triple over polynomial expressions): a full
+precedence ladder (additive < multiplicative < power), unary signs bound
+tightly at the factor level, integer-exponent powers, nested parenthesised
+sub-expressions, and *function calls* with comma-separated argument lists
+(``sin(x)``, ``f(x, y^2)``), where function names are their own ``FUNC``
+token kind so the grammar stays LR-friendly and unambiguous.
+
+It complements the rest of the zoo: unlike :func:`~repro.grammars.classic.
+arithmetic_grammar` it has right-nested unary layers, a power operator and
+arbitrary-arity call sites; unlike PL/0 it is pure expression nesting with
+no statement scaffolding — so deep, operator-heavy inputs stress the
+derivative closure of recursion through *several* mutually nested levels.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..cfg.bnf import parse_bnf
+from ..cfg.grammar import Grammar
+
+__all__ = ["expression_grammar", "EXPRESSION_GRAMMAR_TEXT", "EXPRESSION_FUNCTIONS"]
+
+
+#: Function names the workload generator draws from (lexed as FUNC tokens).
+EXPRESSION_FUNCTIONS = ("sin", "cos", "tan", "f", "g", "h")
+
+
+EXPRESSION_GRAMMAR_TEXT = """
+# Additive < multiplicative < power; unary sign bound at the factor level
+# only (a sign anywhere else would make leading `- t` derivable two ways);
+# FUNC '(' args ')' call sites with comma-separated argument lists.
+expr        : term | expr '+' term | expr '-' term ;
+term        : factor | term '*' factor ;
+factor      : power | '+' factor | '-' factor ;
+power       : atom | atom '^' NUMBER ;
+atom        : NUMBER | IDENT | '(' expr ')' | call ;
+call        : FUNC '(' arguments ')' ;
+arguments   : expr | expr ',' arguments ;
+"""
+
+
+@lru_cache(maxsize=None)
+def _cached_expression() -> Grammar:
+    return parse_bnf(EXPRESSION_GRAMMAR_TEXT)
+
+
+def expression_grammar() -> Grammar:
+    """The function-expression grammar (cached: callers share one Grammar).
+
+    Sharing matters for the compiled-automaton workloads: the grammar
+    object's cached :meth:`~repro.cfg.grammar.Grammar.language` graph is the
+    key under which :func:`repro.compile.compile_grammar` interns the shared
+    transition table.
+    """
+    return _cached_expression()

@@ -1,6 +1,13 @@
 """Workload generators: synthetic programs, token streams, corpus, edit scripts."""
 
+from .ambiguity import (
+    catalan_count,
+    catalan_tokens,
+    dangling_else_count,
+    dangling_else_tokens,
+)
 from .corpus import CorpusFile, iter_corpus, load_corpus_sample, stdlib_paths
+from .documents import json_document_tokens
 from .edits import (
     Edit,
     apply_edits,
@@ -8,6 +15,7 @@ from .edits import (
     single_token_edits,
     value_edit_at,
 )
+from .expressions import expression_source, expression_tokens
 from .pl0 import pl0_source, pl0_tokens
 from .python_source import PythonProgramGenerator, SyntheticProgram, generate_program
 from .token_streams import (
@@ -37,6 +45,13 @@ __all__ = [
     "repeated_token_stream",
     "pl0_tokens",
     "pl0_source",
+    "expression_tokens",
+    "expression_source",
+    "json_document_tokens",
+    "catalan_tokens",
+    "catalan_count",
+    "dangling_else_tokens",
+    "dangling_else_count",
     "Edit",
     "value_edit_at",
     "single_token_edits",

@@ -1,0 +1,71 @@
+"""Depth-parameterized workloads for the closed-form ambiguity grammars.
+
+The zoo's pathological grammars are only useful as *gates* because their
+forest sizes have closed forms; this module provides both the token streams
+and the reference counts, so differential suites can pin
+``count_trees(parse_forest(...))`` against exact answers at any depth:
+
+* :func:`catalan_tokens` / :func:`catalan_count` — ``a^n`` under
+  :func:`repro.grammars.catalan_grammar` (``S → S S | a``) has exactly
+  Catalan(n−1) parses: every binary bracketing of ``n`` leaves.
+* :func:`dangling_else_tokens` / :func:`dangling_else_count` — the depth-``d``
+  stream ``(if c then)^d s else s`` under
+  :func:`repro.grammars.dangling_else_grammar` has exactly ``d`` parses: the
+  single ``else`` may attach to any of the ``d`` enclosing ifs.
+
+Both stream builders are pure functions of their depth argument — no RNG at
+all — so identical cells across benchmark runs and test processes see
+byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import List
+
+from ..lexer.tokens import Tok
+
+__all__ = [
+    "catalan_tokens",
+    "catalan_count",
+    "dangling_else_tokens",
+    "dangling_else_count",
+]
+
+
+def catalan_tokens(leaves: int) -> List[Tok]:
+    """The stream ``a^leaves`` — input to :func:`repro.grammars.catalan_grammar`."""
+    if leaves < 1:
+        raise ValueError("catalan workload needs at least one leaf")
+    return [Tok("a") for _ in range(leaves)]
+
+
+def catalan_count(leaves: int) -> int:
+    """Catalan(leaves−1): the exact number of parses of ``a^leaves``.
+
+    ``S → S S | a`` derives ``a^n`` once per binary bracketing of ``n``
+    leaves, and those are counted by the (n−1)-th Catalan number
+    ``C(2(n−1), n−1) / n``.
+    """
+    if leaves < 1:
+        raise ValueError("catalan workload needs at least one leaf")
+    n = leaves - 1
+    return comb(2 * n, n) // (n + 1)
+
+
+def dangling_else_tokens(depth: int) -> List[Tok]:
+    """The stream ``(if c then)^depth s else s`` — linearly ambiguous input."""
+    if depth < 1:
+        raise ValueError("dangling-else workload needs at least one if")
+    out: List[Tok] = []
+    for _ in range(depth):
+        out.extend([Tok("if"), Tok("c"), Tok("then")])
+    out.extend([Tok("s"), Tok("else"), Tok("s")])
+    return out
+
+
+def dangling_else_count(depth: int) -> int:
+    """Exactly ``depth`` parses: the lone ``else`` attaches to any of the ifs."""
+    if depth < 1:
+        raise ValueError("dangling-else workload needs at least one if")
+    return depth

@@ -1,0 +1,83 @@
+"""Large generated JSON documents for the data-format corner of the zoo.
+
+:func:`repro.workloads.json_tokens` grows a document by rolling a recursion
+die per value, which yields small, depth-limited documents.  This module's
+:func:`json_document_tokens` instead *plans* a document around a target
+token count — a top-level array of record objects, each with a handful of
+keyed fields mixing scalars, nested objects and arrays — which is the shape
+of real exported datasets and keeps the token count scaling linearly with
+the requested size.  Everything is driven by one ``random.Random(seed)``,
+so a (size, seed) pair names one exact document forever.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..lexer.tokens import Tok
+
+__all__ = ["json_document_tokens"]
+
+_SCALAR_KINDS = ("NUMBER", "STRING", "true", "false", "null")
+
+
+def _scalar(rng: random.Random) -> Tok:
+    kind = rng.choice(_SCALAR_KINDS)
+    if kind == "NUMBER":
+        return Tok("NUMBER", str(rng.randrange(0, 10000)))
+    if kind == "STRING":
+        return Tok("STRING", '"v{}"'.format(rng.randrange(0, 500)))
+    return Tok(kind)
+
+
+def _value(out: List[Tok], rng: random.Random, depth: int) -> None:
+    roll = rng.random()
+    if depth <= 0 or roll < 0.6:
+        out.append(_scalar(rng))
+    elif roll < 0.8:
+        out.append(Tok("{"))
+        for position in range(rng.randrange(1, 4)):
+            if position:
+                out.append(Tok(","))
+            out.append(Tok("STRING", '"f{}"'.format(position)))
+            out.append(Tok(":"))
+            _value(out, rng, depth - 1)
+        out.append(Tok("}"))
+    else:
+        out.append(Tok("["))
+        for position in range(rng.randrange(1, 4)):
+            if position:
+                out.append(Tok(","))
+            _value(out, rng, depth - 1)
+        out.append(Tok("]"))
+
+
+def _record(out: List[Tok], rng: random.Random) -> None:
+    out.append(Tok("{"))
+    for position in range(rng.randrange(3, 7)):
+        if position:
+            out.append(Tok(","))
+        out.append(Tok("STRING", '"k{}"'.format(position)))
+        out.append(Tok(":"))
+        _value(out, rng, depth=3)
+    out.append(Tok("}"))
+
+
+def json_document_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A well-formed JSON document of at least ``length`` tokens.
+
+    Shaped like an exported dataset: a top-level array of record objects
+    appended until the target size is reached.  Deterministic in
+    ``(length, seed)``; every stream is accepted by
+    :func:`repro.grammars.json_grammar` (asserted by the workload property
+    tests).
+    """
+    rng = random.Random(seed)
+    out: List[Tok] = [Tok("[")]
+    _record(out, rng)
+    while len(out) < length - 1:
+        out.append(Tok(","))
+        _record(out, rng)
+    out.append(Tok("]"))
+    return out

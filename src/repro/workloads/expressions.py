@@ -1,0 +1,103 @@
+"""Deterministic function-expression streams for the expression grammar.
+
+Mirrors :mod:`repro.workloads.pl0` for
+:func:`repro.grammars.expression_grammar`: a seeded recursive generator
+emits well-formed expressions — the full precedence ladder, unary signs,
+integer powers, parenthesised sub-expressions and function calls with
+argument lists — growing with additive operators until the requested token
+count is reached, so every stream is accepted by all parser families and
+benchmark runs are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..grammars.expressions import EXPRESSION_FUNCTIONS
+from ..lexer.tokens import Tok
+
+__all__ = ["expression_tokens", "expression_source"]
+
+
+_VARIABLES = ("x", "y", "z", "a", "b", "t")
+
+
+class _ExpressionGenerator:
+    """Emit one well-formed expression of at least ``target`` tokens."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.tokens: List[Tok] = []
+
+    def tok(self, kind: str, value: str = None) -> None:
+        self.tokens.append(Tok(kind, value if value is not None else kind))
+
+    def atom(self, depth: int) -> None:
+        roll = self.rng.random()
+        if depth > 0 and roll < 0.15:
+            self.tok("(")
+            self.expression(depth - 1)
+            self.tok(")")
+        elif depth > 0 and roll < 0.3:
+            self.call(depth - 1)
+        elif roll < 0.65:
+            self.tok("NUMBER", str(self.rng.randrange(0, 100)))
+        else:
+            self.tok("IDENT", self.rng.choice(_VARIABLES))
+
+    def call(self, depth: int) -> None:
+        self.tok("FUNC", self.rng.choice(EXPRESSION_FUNCTIONS))
+        self.tok("(")
+        for position in range(self.rng.randrange(1, 4)):
+            if position:
+                self.tok(",")
+            self.expression(depth)
+        self.tok(")")
+
+    def factor(self, depth: int) -> None:
+        # Optional unary-sign layers, then a power over an atom.
+        while self.rng.random() < 0.1:
+            self.tok(self.rng.choice("+-"))
+        self.atom(depth)
+        if self.rng.random() < 0.2:
+            self.tok("^")
+            self.tok("NUMBER", str(self.rng.randrange(2, 9)))
+
+    def term(self, depth: int) -> None:
+        self.factor(depth)
+        while self.rng.random() < 0.3:
+            self.tok("*")
+            self.factor(depth)
+
+    def expression(self, depth: int) -> None:
+        if self.rng.random() < 0.15:
+            self.tok(self.rng.choice("+-"))
+        self.term(depth)
+        while self.rng.random() < 0.35:
+            self.tok(self.rng.choice("+-"))
+            self.term(depth)
+
+    def grow(self, target: int) -> None:
+        self.expression(3)
+        while len(self.tokens) < target:
+            self.tok(self.rng.choice("+-"))
+            self.term(3)
+
+
+def expression_tokens(length: int, seed: int = 0) -> List[Tok]:
+    """A well-formed function-expression stream of at least ``length`` tokens.
+
+    Deterministic in ``(length, seed)``; every stream is accepted by
+    :func:`repro.grammars.expression_grammar` (asserted by the workload
+    property tests), so benchmark comparisons measure parsing speed, never
+    error handling.
+    """
+    generator = _ExpressionGenerator(seed)
+    generator.grow(length)
+    return generator.tokens
+
+
+def expression_source(length: int, seed: int = 0) -> str:
+    """The source text of the expression :func:`expression_tokens` generates."""
+    return " ".join(str(tok.value) for tok in expression_tokens(length, seed))

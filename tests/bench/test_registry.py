@@ -1,0 +1,115 @@
+"""Integrity tests for the grammar-zoo registry and its CLI driver."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CELLS,
+    CELLS_BY_ID,
+    ENGINES,
+    GATES,
+    cells_for_engine,
+    cells_for_gate,
+    zoo_grammar_ids,
+)
+from repro.bench.driver import list_cells, main, run_cells
+
+
+class TestRegistryIntegrity:
+    def test_cell_ids_are_unique(self):
+        ids = [cell.id for cell in CELLS]
+        assert len(ids) == len(set(ids))
+        assert CELLS_BY_ID == {cell.id: cell for cell in CELLS}
+
+    def test_every_cell_declares_known_engines_and_gates(self):
+        for cell in CELLS:
+            assert cell.engines, cell.id
+            assert set(cell.engines) <= set(ENGINES), cell.id
+            assert set(cell.gates) <= set(GATES), cell.id
+
+    def test_cells_are_immutable(self):
+        with pytest.raises(Exception):
+            CELLS[0].engines = ()
+
+    def test_every_factory_builds_a_grammar(self):
+        for cell in CELLS:
+            grammar = cell.grammar.factory()
+            assert hasattr(grammar, "to_language"), cell.id
+
+    def test_quick_sizes_are_a_cheap_subset_regime(self):
+        for cell in CELLS:
+            workload = cell.workload
+            assert workload.sizes, cell.id
+            assert workload.quick_sizes, cell.id
+            assert max(workload.quick_sizes) <= max(workload.sizes), cell.id
+
+    def test_streams_are_deterministic_and_sized(self):
+        for cell in CELLS:
+            first = cell.workload.streams(quick=True)
+            again = cell.workload.streams(quick=True)
+            assert first == again, cell.id
+            for size, seed, tokens in first:
+                assert tokens, cell.id
+
+    def test_ambiguous_cells_carry_a_forest_count(self):
+        for cell in CELLS:
+            if "ambiguity" in cell.gates:
+                assert cell.grammar.forest_count is not None, cell.id
+
+    def test_gate_and_engine_filters(self):
+        assert cells_for_gate("differential")
+        assert cells_for_engine("derivative")
+        for cell in cells_for_gate("dense"):
+            assert "compiled" in cell.engines, cell.id
+        assert set(zoo_grammar_ids()) == {cell.grammar.id for cell in CELLS}
+
+
+class TestDriver:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for cell in CELLS:
+            assert cell.id in out
+
+    def test_list_cells_mentions_every_engine_column(self):
+        rendered = list_cells()
+        assert "engines" in rendered and "gates" in rendered
+
+    def test_unknown_cell_is_an_error(self, capsys):
+        assert main(["no-such-cell"]) == 2
+        assert "no-such-cell" in capsys.readouterr().err
+
+    def test_run_cells_quick_subset(self):
+        cell = CELLS_BY_ID["arithmetic"]
+        rows = run_cells([cell], quick=True, engines=["derivative", "earley"])
+        assert rows
+        assert {row["engine"] for row in rows} == {"derivative", "earley"}
+        for row in rows:
+            assert row["cell"] == "arithmetic"
+            assert row["recognized"] is True
+            assert row["seconds"] >= 0.0
+            assert row["tokens"] > 0
+
+    def test_run_cells_checks_ambiguity_counts(self):
+        rows = run_cells([CELLS_BY_ID["catalan"]], quick=True, engines=["derivative"])
+        assert any("forest_trees" in row for row in rows)
+
+    def test_json_artifact_shape(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+        path = tmp_path / "BENCH_registry.json"
+        code = main(
+            ["arithmetic", "catalan", "--quick", "--engines", "derivative",
+             "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "registry_sweep"
+        assert payload["quick"] is True
+        assert payload["cells"] == ["arithmetic", "catalan"]
+        assert {"git_sha", "timestamp"} <= set(payload["meta"])
+        assert all(
+            {"cell", "grammar", "workload", "engine", "size", "seed", "seconds"}
+            <= set(row)
+            for row in payload["rows"]
+        )

@@ -1,0 +1,115 @@
+"""Accept/reject and forest-count tests for the grammar-zoo additions."""
+
+from repro.core import DerivativeParser, count_trees, iter_trees
+from repro.earley import EarleyParser
+from repro.grammars import (
+    catalan_grammar,
+    dangling_else_grammar,
+    expression_grammar,
+)
+from repro.lexer import Tok
+from repro.workloads import (
+    catalan_count,
+    catalan_tokens,
+    dangling_else_count,
+    dangling_else_tokens,
+)
+
+
+def _toks(*kinds):
+    return [Tok(kind) for kind in kinds]
+
+
+class TestExpressionGrammar:
+    def setup_method(self):
+        self.parser = DerivativeParser(expression_grammar().to_language())
+
+    def test_precedence_ladder_accepts(self):
+        # - 2 * x ^ 3 + sin ( y , 4 )
+        tokens = [
+            Tok("-"), Tok("NUMBER", "2"), Tok("*"), Tok("IDENT", "x"),
+            Tok("^"), Tok("NUMBER", "3"), Tok("+"), Tok("FUNC", "sin"),
+            Tok("("), Tok("IDENT", "y"), Tok(","), Tok("NUMBER", "4"), Tok(")"),
+        ]
+        assert self.parser.recognize(tokens) is True
+
+    def test_nested_parentheses_and_calls(self):
+        # f ( ( 1 + 2 ) * g ( 3 ) )
+        tokens = [
+            Tok("FUNC", "f"), Tok("("), Tok("("), Tok("NUMBER", "1"), Tok("+"),
+            Tok("NUMBER", "2"), Tok(")"), Tok("*"), Tok("FUNC", "g"),
+            Tok("("), Tok("NUMBER", "3"), Tok(")"), Tok(")"),
+        ]
+        assert self.parser.recognize(tokens) is True
+
+    def test_rejects_malformed_inputs(self):
+        assert self.parser.recognize([Tok("NUMBER", "1"), Tok("+")]) is False
+        assert self.parser.recognize([Tok("+"), Tok("*")]) is False
+        # Power exponent must be a NUMBER, not an arbitrary expression.
+        assert self.parser.recognize(
+            [Tok("IDENT", "x"), Tok("^"), Tok("IDENT", "y")]
+        ) is False
+        # Call sites need at least one argument.
+        assert self.parser.recognize([Tok("FUNC", "f"), Tok("("), Tok(")")]) is False
+
+    def test_unambiguous_on_sign_heavy_input(self):
+        # `- - x + - 1 * 2` once derived two trees (expression-level vs
+        # factor-level unary sign); the grammar now binds signs at factor
+        # level only, so exactly one tree must come out.
+        tokens = [
+            Tok("-"), Tok("-"), Tok("IDENT", "x"), Tok("+"), Tok("-"),
+            Tok("NUMBER", "1"), Tok("*"), Tok("NUMBER", "2"),
+        ]
+        assert count_trees(self.parser.parse_forest(tokens)) == 1
+
+
+class TestCatalanGrammar:
+    def test_recognizes_runs_of_a(self):
+        parser = DerivativeParser(catalan_grammar().to_language())
+        assert parser.recognize(catalan_tokens(1)) is True
+        assert parser.recognize(catalan_tokens(12)) is True
+        assert parser.recognize([]) is False
+        assert parser.recognize(_toks("a", "b")) is False
+
+    def test_forest_counts_match_catalan_numbers(self):
+        parser = DerivativeParser(catalan_grammar().to_language())
+        for leaves, expected in [(1, 1), (2, 1), (3, 2), (4, 5), (5, 14), (6, 42)]:
+            forest = parser.parse_forest(catalan_tokens(leaves))
+            assert count_trees(forest) == expected == catalan_count(leaves)
+
+    def test_known_answer_regression_catalan_of_nine(self):
+        """Pinned: 10 leaves ⇒ Catalan(9) = 4862 distinct bracketings."""
+        parser = DerivativeParser(catalan_grammar().to_language())
+        assert count_trees(parser.parse_forest(catalan_tokens(10))) == 4862
+
+    def test_enumeration_agrees_with_counting(self):
+        parser = DerivativeParser(catalan_grammar().to_language())
+        for leaves in (3, 4, 5):
+            forest = parser.parse_forest(catalan_tokens(leaves))
+            expected = catalan_count(leaves)
+            trees = list(iter_trees(forest, limit=expected + 5))
+            assert len(trees) == expected
+            assert len(set(map(repr, trees))) == expected  # all distinct
+
+
+class TestDanglingElseGrammar:
+    def test_recognition(self):
+        parser = DerivativeParser(dangling_else_grammar().to_language())
+        assert parser.recognize(dangling_else_tokens(1)) is True
+        assert parser.recognize(dangling_else_tokens(6)) is True
+        assert parser.recognize(_toks("else", "s")) is False
+        assert parser.recognize(_toks("if", "c", "then")) is False
+
+    def test_ambiguity_is_linear_in_depth(self):
+        parser = DerivativeParser(dangling_else_grammar().to_language())
+        for depth in (1, 2, 4, 7):
+            forest = parser.parse_forest(dangling_else_tokens(depth))
+            assert count_trees(forest) == depth == dangling_else_count(depth)
+
+    def test_earley_agrees_on_recognition(self):
+        grammar = dangling_else_grammar()
+        earley = EarleyParser(grammar)
+        derivative = DerivativeParser(grammar.to_language())
+        for depth in (1, 3, 5):
+            tokens = dangling_else_tokens(depth)
+            assert earley.recognize(tokens) is derivative.recognize(tokens) is True

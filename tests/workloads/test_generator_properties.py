@@ -1,0 +1,201 @@
+"""Property tests for the zoo's workload generators.
+
+Three families of invariants, plus a repo-wide seeding audit:
+
+* **Determinism** — a generator called twice with the same (size, seed)
+  must return byte-identical streams; different seeds must (for all but
+  degenerate sizes) differ.  The registry's provenance story depends on
+  this: a ``BENCH_registry.json`` row is only reproducible if its
+  (workload, size, seed) triple pins the exact token stream.
+* **Validity** — generated documents/expressions are accepted by the
+  grammar they claim to exercise, across the whole (size, seed) space
+  hypothesis explores, not just the registry's pinned sizes.
+* **Closed forms** — ambiguity workloads agree with their textbook
+  references: Catalan numbers for S → S S | a, the depth itself for
+  dangling-else.
+
+The audit test parses every module under ``src/repro`` and fails if any
+code calls the module-level ``random.*`` functions (shared global RNG)
+instead of an explicit ``random.Random(seed)`` instance.
+"""
+
+import ast
+import math
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DerivativeParser
+from repro.core.forest import count_trees
+from repro.grammars import (
+    catalan_grammar,
+    dangling_else_grammar,
+    expression_grammar,
+    json_grammar,
+)
+from repro.workloads import (
+    catalan_count,
+    catalan_tokens,
+    dangling_else_count,
+    dangling_else_tokens,
+    expression_tokens,
+    json_document_tokens,
+)
+
+sizes = st.integers(min_value=10, max_value=200)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# --------------------------------------------------------------------------
+# Determinism: same seed ⇒ identical stream; different seed ⇒ different.
+# --------------------------------------------------------------------------
+class TestDeterminism:
+    @given(size=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_json_documents_replay_exactly(self, size, seed):
+        assert json_document_tokens(size, seed=seed) == json_document_tokens(
+            size, seed=seed
+        )
+
+    @given(size=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_expressions_replay_exactly(self, size, seed):
+        assert expression_tokens(size, seed=seed) == expression_tokens(
+            size, seed=seed
+        )
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        assert json_document_tokens(200, seed=1) != json_document_tokens(200, seed=2)
+        assert expression_tokens(200, seed=1) != expression_tokens(200, seed=2)
+
+    @given(size=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_generators_reach_requested_size(self, size, seed):
+        assert len(json_document_tokens(size, seed=seed)) >= size
+        assert len(expression_tokens(size, seed=seed)) >= size
+
+
+# --------------------------------------------------------------------------
+# Validity: generated inputs sit inside their grammars.
+# --------------------------------------------------------------------------
+class TestValidity:
+    @given(size=st.integers(min_value=10, max_value=120), seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_json_documents_are_in_the_json_grammar(self, size, seed):
+        parser = DerivativeParser(json_grammar())
+        assert parser.recognize(json_document_tokens(size, seed=seed)) is True
+
+    @given(size=st.integers(min_value=10, max_value=120), seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_expressions_are_in_the_expression_grammar(self, size, seed):
+        parser = DerivativeParser(expression_grammar().to_language())
+        assert parser.recognize(expression_tokens(size, seed=seed)) is True
+
+
+# --------------------------------------------------------------------------
+# Closed forms: ambiguity workloads match their textbook references.
+# --------------------------------------------------------------------------
+class TestClosedForms:
+    @given(leaves=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_catalan_count_is_the_catalan_number(self, leaves):
+        n = leaves - 1
+        assert catalan_count(leaves) == math.comb(2 * n, n) // (n + 1)
+
+    @given(leaves=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_catalan_tokens_shape(self, leaves):
+        tokens = catalan_tokens(leaves)
+        assert len(tokens) == leaves
+        assert all(tok.kind == "a" for tok in tokens)
+
+    def test_catalan_forest_matches_closed_form(self):
+        parser = DerivativeParser(catalan_grammar().to_language())
+        for leaves in range(1, 8):
+            forest = parser.parse_forest(catalan_tokens(leaves))
+            assert count_trees(forest) == catalan_count(leaves)
+
+    @given(depth=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_dangling_else_shape(self, depth):
+        tokens = dangling_else_tokens(depth)
+        # depth × (if c then) prefixes, one trailing `else s`, one final `s`.
+        assert len(tokens) == 3 * depth + 3
+        assert dangling_else_count(depth) == depth
+
+    def test_dangling_else_forest_matches_closed_form(self):
+        parser = DerivativeParser(dangling_else_grammar().to_language())
+        for depth in (1, 2, 3, 5):
+            forest = parser.parse_forest(dangling_else_tokens(depth))
+            assert count_trees(forest) == dangling_else_count(depth)
+
+
+# --------------------------------------------------------------------------
+# Seeding audit: no module under src/repro may touch the global RNG.
+# --------------------------------------------------------------------------
+#: Names on the `random` module that consume the *shared global* RNG state.
+_GLOBAL_RNG_CALLS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+
+def _global_rng_uses(tree, module_aliases):
+    """Yield (lineno, call) for calls into the shared global RNG."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+            and func.attr in _GLOBAL_RNG_CALLS
+        ):
+            yield node.lineno, "{}.{}".format(func.value.id, func.attr)
+
+
+def test_no_global_rng_use_under_src_repro():
+    """Every randomized generator must thread an explicit Random(seed).
+
+    Module-level ``random.random()`` / ``random.choice()`` etc. read the
+    interpreter-global RNG, so two generators (or two test runs) sharing a
+    process would perturb each other's streams and break replayability.
+    Constructing ``random.Random(seed)`` is the sanctioned pattern.
+    """
+    root = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro")
+    offenders = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.abspath(root)):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            aliases = {
+                alias.asname or alias.name
+                for node in ast.walk(tree)
+                if isinstance(node, ast.Import)
+                for alias in node.names
+                if alias.name == "random"
+            }
+            # `from random import random` style imports of global-RNG
+            # functions are equally forbidden.
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module == "random":
+                    for alias in node.names:
+                        if alias.name in _GLOBAL_RNG_CALLS:
+                            offenders.append(
+                                "{}:{}: from random import {}".format(
+                                    path, node.lineno, alias.name
+                                )
+                            )
+            if aliases:
+                for lineno, call in _global_rng_uses(tree, aliases):
+                    offenders.append("{}:{}: {}()".format(path, lineno, call))
+    assert not offenders, (
+        "global-RNG use under src/repro (use random.Random(seed) instead):\n"
+        + "\n".join(offenders)
+    )
