@@ -1,0 +1,219 @@
+"""Forest queries at astronomical ambiguity: count, rank and sample
+without enumerating.
+
+The forest-query layer's claim (PR 10): on a shared parse forest the
+exact derivation count, the top-k best trees under a ranking, and exact
+uniform samples are all computable in memory proportional to the forest
+*graph*, never to the number of derivations.  The probe is the catalan
+grammar ``S → S S | a``: at 41 leaves the forest encodes
+Catalan(40) ≈ 2.6 × 10²¹ parses — enumerating them is physically
+impossible, yet the graph itself is tiny and every query below answers
+in milliseconds.
+
+Deterministic gates (all modes):
+
+* exact count — ``ForestQuery.count`` on the astronomical forest is a
+  Python ``int`` (not a float; the count is far past 2⁵³, where floats
+  silently round) equal to the closed-form Catalan number, and exceeds
+  10¹².
+* bounded memory — tracemalloc peak for (top-5 ranked + 100 samples) on
+  the astronomical forest stays within a small constant of the same
+  queries on a forest with ~10⁸× fewer derivations: peak memory tracks
+  the graph, not the count.
+* ranked order — the best-first stream's scores are non-decreasing and a
+  longer prefix extends a shorter one verbatim.
+* pooled parity — ``enumerate_many`` / ``sample_many`` results from a
+  :class:`repro.serve.PooledParseService` are byte-identical (pickled
+  form compared) to the in-process :class:`repro.serve.ParseService`,
+  astronomical stream included.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke job) drops the
+astronomical forest to 27 leaves (Catalan(26) ≈ 1.8 × 10¹³ — still past
+10¹² and past exact float arithmetic) and writes the measured rows to
+``BENCH_forest.json`` via the shared artifact writer.
+"""
+
+import os
+import pickle
+import time
+import tracemalloc
+
+from repro.bench import bench_workload, emit_json, format_table
+from repro.core import DerivativeParser
+from repro.core.forest_query import ForestQuery
+from repro.serve import ParseService, PooledParseService
+from repro.workloads import (
+    ASTRONOMICAL_LEAVES,
+    ASTRONOMICAL_QUICK_LEAVES,
+    catalan_count,
+    catalan_tokens,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+#: The astronomical forest (full: Catalan(40) ≈ 2.6e21; quick: ≈ 1.8e13).
+BIG_LEAVES = ASTRONOMICAL_QUICK_LEAVES if QUICK else ASTRONOMICAL_LEAVES
+#: The comparison forest for the memory gate (Catalan(11) = 58 786).
+SMALL_LEAVES = 12
+TOP_K = 5
+SAMPLES = 100
+#: Memory gate: the astronomical forest's query peak may exceed the small
+#: forest's only by the graph-size ratio (a small constant), never by
+#: anything tracking the ~1e8–1e16× derivation-count ratio.
+MAX_PEAK_RATIO = 32.0
+MAX_PEAK_BYTES = 16 * 1024 * 1024
+
+#: Registry cells this benchmark rides.
+CELL_IDS = ("catalan", "catalan-astronomical")
+
+
+def build_forest(leaves):
+    cell = bench_workload("catalan-astronomical")
+    grammar = cell.grammar.factory()
+    parser = DerivativeParser(grammar.to_language())
+    return parser.parse_forest(catalan_tokens(leaves))
+
+
+def measure_queries(leaves):
+    """Count + top-k + samples on one forest, with timing and peak memory."""
+    forest = build_forest(leaves)
+    tracemalloc.start()
+    started = time.perf_counter()
+    query = ForestQuery(forest, "size")
+    count = query.count
+    count_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    ranked = list(query.iter_ranked(TOP_K))
+    topk_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    samples = query.sample_n(0, SAMPLES)
+    sample_seconds = time.perf_counter() - started
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    scores = [score for score, _tree in ranked]
+    assert scores == sorted(scores), "ranked scores regressed: {!r}".format(scores)
+    assert len(samples) == SAMPLES
+    # Same-seed replay is part of the sampling contract.
+    assert query.sample_n(0, 5) == query.sample_n(0, 5)
+    return {
+        "leaves": leaves,
+        "count": count,
+        "count_type": type(count).__name__,
+        "top_k": len(ranked),
+        "samples": len(samples),
+        "count_seconds": count_seconds,
+        "topk_seconds": topk_seconds,
+        "sample_seconds": sample_seconds,
+        "peak_bytes": peak,
+    }
+
+
+def pooled_parity_rows():
+    """Byte-identical enumerate/sample between pooled and in-process serve."""
+    cell = bench_workload("catalan")
+    grammar = cell.grammar.factory()
+    streams = [catalan_tokens(n) for n in (3, 5, 8, BIG_LEAVES, 6)]
+    with ParseService(workers=2) as service:
+        expected_enum = service.enumerate_many(grammar, streams, k=TOP_K)
+        expected_sample = service.sample_many(grammar, streams, n=8, seed=97)
+    with PooledParseService(workers=2, replication=2) as pool:
+        pooled_enum = pool.enumerate_many(grammar, streams, k=TOP_K)
+        pooled_sample = pool.sample_many(grammar, streams, n=8, seed=97)
+    enum_bytes = pickle.dumps([(o.trees, o.count) for o in expected_enum])
+    sample_bytes = pickle.dumps([(o.trees, o.count) for o in expected_sample])
+    assert enum_bytes == pickle.dumps([(o.trees, o.count) for o in pooled_enum]), (
+        "pooled enumerate_many diverged from the in-process service"
+    )
+    assert sample_bytes == pickle.dumps(
+        [(o.trees, o.count) for o in pooled_sample]
+    ), "pooled sample_many diverged from the in-process service"
+    assert [o.count for o in expected_enum] == [
+        catalan_count(len(s)) for s in streams
+    ]
+    return {
+        "streams": len(streams),
+        "max_count": max(o.count for o in expected_enum),
+        "enum_payload_bytes": len(enum_bytes),
+        "sample_payload_bytes": len(sample_bytes),
+    }
+
+
+def test_forest_queries(run_once):
+    small = measure_queries(SMALL_LEAVES)
+    big = measure_queries(BIG_LEAVES)
+
+    # Exact-count gate: a true int matching the closed form, past 10^12.
+    for row in (small, big):
+        assert row["count_type"] == "int", row
+        assert row["count"] == catalan_count(row["leaves"]), row
+    assert big["count"] > 10**12, big["count"]
+
+    # Bounded-memory gate: peak tracks the graph, not the count.
+    ratio = big["peak_bytes"] / max(small["peak_bytes"], 1)
+    count_ratio = big["count"] / small["count"]
+    assert count_ratio > 1e8, count_ratio
+    assert ratio <= MAX_PEAK_RATIO, (
+        "peak memory grew {:.1f}x on a {:.1e}x more ambiguous forest "
+        "(bound {}x): extraction is not count-independent".format(
+            ratio, count_ratio, MAX_PEAK_RATIO
+        )
+    )
+    assert big["peak_bytes"] <= MAX_PEAK_BYTES
+
+    # Prefix gate: a longer best-first ask extends a shorter one verbatim.
+    forest = build_forest(SMALL_LEAVES)
+    query = ForestQuery(forest, "size")
+    first_ten = list(query.iter_ranked(10))
+    assert first_ten[:TOP_K] == list(ForestQuery(forest, "size").iter_ranked(TOP_K))
+
+    parity = pooled_parity_rows()
+
+    rows = [
+        {"probe": "small", **small},
+        {"probe": "astronomical", **big},
+        {"probe": "pooled-parity", **parity},
+    ]
+    print()
+    print(
+        format_table(
+            ["probe", "leaves", "count", "top-k s", "sample s", "peak KiB"],
+            [
+                [
+                    row["probe"],
+                    row["leaves"],
+                    "{:.3e}".format(row["count"]),
+                    "{:.4f}".format(row["topk_seconds"]),
+                    "{:.4f}".format(row["sample_seconds"]),
+                    "{:.0f}".format(row["peak_bytes"] / 1024),
+                ]
+                for row in rows[:2]
+            ],
+            title="Forest queries: top-{} + {} samples{}".format(
+                TOP_K, SAMPLES, " [quick]" if QUICK else ""
+            ),
+        )
+    )
+    print(
+        "note: the astronomical forest holds {:.1e} derivations; peak query "
+        "memory was {:.0f} KiB ({:.1f}x the {:.1e}-derivation forest's) — "
+        "memory tracks the graph, not the count.".format(
+            big["count"],
+            big["peak_bytes"] / 1024,
+            ratio,
+            float(small["count"]),
+        )
+    )
+
+    emit_json(rows, quick=QUICK, top_k=TOP_K, samples=SAMPLES)
+
+    # One representative configuration under pytest-benchmark's timer:
+    # count + top-5 + 100 samples on the astronomical forest.
+    astronomical = build_forest(BIG_LEAVES)
+
+    def queries():
+        query = ForestQuery(astronomical, "size")
+        return query.count, list(query.iter_ranked(TOP_K)), query.sample_n(0, SAMPLES)
+
+    run_once(queries)

@@ -194,9 +194,30 @@ class OriginalParser:
         except ValueError:
             raise ParseError("no finite parse tree", position=len(tokens)) from None
 
-    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
-        """Parse and return up to ``limit`` trees."""
-        return list(iter_trees(self.parse_forest(tokens), limit=limit))
+    def parse_trees(
+        self,
+        tokens: Sequence[Any],
+        limit: Optional[int] = None,
+        ranking: Optional[Any] = None,
+    ) -> List[Any]:
+        """Parse and return up to ``limit`` trees (best-first with ``ranking``)."""
+        forest = self.parse_forest(tokens)
+        if ranking is None:
+            return list(iter_trees(forest, limit=limit))
+        from ..core.forest_query import iter_trees_ranked
+
+        return list(iter_trees_ranked(forest, ranking, limit))
+
+    def sample_parses(self, tokens: Sequence[Any], rng: Any, n: int = 1) -> List[Any]:
+        """Draw ``n`` uniform samples over the forest's derivations."""
+        from ..core.errors import EmptyForestError
+        from ..core.forest_query import sample_trees
+
+        forest = self.parse_forest(tokens)
+        try:
+            return sample_trees(forest, rng, n)
+        except EmptyForestError:
+            raise ParseError("no finite parse tree", position=len(tokens)) from None
 
     def derive_all(self, tokens: Iterable[Any]) -> Language:
         """Derive the grammar by every token (exposed for the benchmarks)."""

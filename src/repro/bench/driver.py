@@ -3,7 +3,9 @@
 The driver walks :data:`repro.bench.registry.CELLS` (or a requested
 subset), recognizes every (engine × size × seed) stream of each cell,
 checks the cheap deterministic gates (cross-engine recognition agreement;
-closed-form ambiguity counts), and emits one consolidated
+closed-form ambiguity counts; forest-query count/rank/sample checks on
+ambiguous cells — including one whose forest is astronomically past
+enumeration), and emits one consolidated
 provenance-stamped ``BENCH_registry.json`` through the shared
 :func:`repro.bench.emit_json` funnel.  CI's quick-mode sweep is exactly
 ``python -m repro.bench --quick --json BENCH_registry.json``; the heavier
@@ -85,6 +87,7 @@ def run_cells(
     """
     from ..core import DerivativeParser
     from ..core.forest import count_trees
+    from ..core.forest_query import ForestQuery
 
     rows: List[dict] = []
     pool = None
@@ -137,18 +140,46 @@ def run_cells(
                         cell.id, size, seed, verdicts
                     )
                 )
-                if "ambiguity" in cell.gates:
+                forest = None
+                if "ambiguity" in cell.gates or "forest" in cell.gates:
                     forest = DerivativeParser(grammar.to_language()).parse_forest(
                         tokens
                     )
-                    counted = count_trees(forest)
                     expected = cell.grammar.forest_count(tokens)
+                if "ambiguity" in cell.gates:
+                    counted = count_trees(forest)
                     assert counted == expected, (
                         "cell {!r}: counted {} trees, closed form says {}".format(
                             cell.id, counted, expected
                         )
                     )
                     rows[-1]["forest_trees"] = counted
+                if "forest" in cell.gates:
+                    query = ForestQuery(forest, "size")
+                    counted = query.count
+                    assert type(counted) is int and counted == expected, (
+                        "cell {!r}: forest-query count {!r} ({}) vs closed "
+                        "form {}".format(
+                            cell.id, counted, type(counted).__name__, expected
+                        )
+                    )
+                    ranked = list(query.iter_ranked(3))
+                    scores = [score for score, _tree in ranked]
+                    assert scores == sorted(scores), (
+                        "cell {!r}: ranked scores regressed: {!r}".format(
+                            cell.id, scores
+                        )
+                    )
+                    assert len(ranked) == min(3, counted)
+                    draws = query.sample_n(seed, 5)
+                    assert draws == query.sample_n(seed, 5), (
+                        "cell {!r}: same-seed sampling is not replayable".format(
+                            cell.id
+                        )
+                    )
+                    rows[-1]["forest_trees"] = counted
+                    rows[-1]["forest_topk"] = len(ranked)
+                    rows[-1]["forest_samples"] = len(draws)
     finally:
         if pool is not None:
             pool.close()

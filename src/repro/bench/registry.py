@@ -36,6 +36,12 @@ Gates (``BenchCell.gates``):
 ``ambiguity``
     ``count_trees(parse_forest(...))`` equals the grammar's closed-form
     reference count (``GrammarSpec.forest_count``).
+``forest``
+    The forest-query layer's answers check out on the cell's forests: the
+    exact *integer* count matches the closed form, ranked (top-k)
+    extraction emits non-decreasing scores, and same-seed sampling
+    replays byte-identically — all without enumerating the forest, so the
+    gate holds even on astronomically ambiguous cells.
 ``serialization``
     A saved + reloaded grammar table reproduces recognition verbatim.
 ``dense``
@@ -70,6 +76,8 @@ from ..grammars import (
 )
 from ..lexer.tokens import Tok
 from ..workloads import (
+    ASTRONOMICAL_LEAVES,
+    ASTRONOMICAL_QUICK_LEAVES,
     ambiguous_sum_tokens,
     arithmetic_tokens,
     catalan_count,
@@ -107,6 +115,7 @@ GATES: Tuple[str, ...] = (
     "differential",
     "trees",
     "ambiguity",
+    "forest",
     "serialization",
     "dense",
     "incremental",
@@ -181,12 +190,13 @@ class BenchCell:
         for gate in self.gates:
             if gate not in GATES:
                 raise ValueError("cell {!r}: unknown gate {!r}".format(self.id, gate))
-        if "ambiguity" in self.gates and self.grammar.forest_count is None:
-            raise ValueError(
-                "cell {!r}: ambiguity gate needs GrammarSpec.forest_count".format(
-                    self.id
+        for gate in ("ambiguity", "forest"):
+            if gate in self.gates and self.grammar.forest_count is None:
+                raise ValueError(
+                    "cell {!r}: {} gate needs GrammarSpec.forest_count".format(
+                        self.id, gate
+                    )
                 )
-            )
 
 
 def _sized(generator: Callable[[int], List[Tok]]) -> Callable[[int, int], List[Tok]]:
@@ -327,6 +337,13 @@ _BINARY_SUM_W = WorkloadSpec(
     sizes=(5, 9),
     quick_sizes=(4,),
 )
+_ASTRONOMICAL_W = WorkloadSpec(
+    "catalan-astronomical",
+    "a^n past enumerability: Catalan(40) ≈ 2.6e21 parses (quick: ≈1.8e13)",
+    _sized(catalan_tokens),
+    sizes=(ASTRONOMICAL_LEAVES,),
+    quick_sizes=(ASTRONOMICAL_QUICK_LEAVES,),
+)
 
 
 # --------------------------------------------------------------------------
@@ -409,7 +426,7 @@ CELLS: Tuple[BenchCell, ...] = (
         grammar=_CATALAN,
         workload=_CATALAN_W,
         engines=_RECOGNIZERS,
-        gates=("differential", "ambiguity"),
+        gates=("differential", "ambiguity", "forest"),
         notes="forest-extraction cost isolated from recognition cost",
     ),
     BenchCell(
@@ -417,7 +434,7 @@ CELLS: Tuple[BenchCell, ...] = (
         grammar=_DANGLING,
         workload=_DANGLING_W,
         engines=_RECOGNIZERS,
-        gates=("differential", "ambiguity"),
+        gates=("differential", "ambiguity", "forest"),
         notes="linear ambiguity: deep inputs stay countable",
     ),
     BenchCell(
@@ -425,8 +442,16 @@ CELLS: Tuple[BenchCell, ...] = (
         grammar=_BINARY_SUM,
         workload=_BINARY_SUM_W,
         engines=_RECOGNIZERS,
-        gates=("differential", "ambiguity"),
+        gates=("differential", "ambiguity", "forest"),
         notes="the textbook ambiguous expression grammar",
+    ),
+    BenchCell(
+        id="catalan-astronomical",
+        grammar=_CATALAN,
+        workload=_ASTRONOMICAL_W,
+        engines=("derivative",),
+        gates=("ambiguity", "forest"),
+        notes="count/rank/sample where enumeration is physically impossible",
     ),
 )
 

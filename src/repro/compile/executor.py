@@ -239,6 +239,16 @@ class CompiledState:
         """One parse tree of the consumed tokens (fallback derivation)."""
         return self.parser.parse(self._retained())
 
+    def trees(
+        self, limit: Optional[int] = None, ranking: Optional[Any] = None
+    ) -> List[Any]:
+        """Up to ``limit`` trees of the consumed tokens, optionally ranked."""
+        return self.parser.parse_trees(self._retained(), limit=limit, ranking=ranking)
+
+    def sample(self, rng: Any, n: int = 1) -> List[Any]:
+        """``n`` uniform samples over the consumed tokens' parse forest."""
+        return self.parser.sample_parses(self._retained(), rng, n=n)
+
     def _retained(self) -> List[Any]:
         if self.tokens is None:
             raise ValueError(
@@ -567,12 +577,28 @@ class CompiledParser:
         with self.table.lock:
             return self.fallback().parse(tokens)
 
-    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
-        """Parse and return up to ``limit`` distinct trees (fallback derivation)."""
+    def parse_trees(
+        self,
+        tokens: Sequence[Any],
+        limit: Optional[int] = None,
+        ranking: Optional[Any] = None,
+    ) -> List[Any]:
+        """Parse and return up to ``limit`` distinct trees (fallback derivation).
+
+        ``ranking`` (a ``Ranking`` or registered name) switches to lazy
+        best-first top-k extraction, same as the interpreted engine.
+        """
         if not isinstance(tokens, (list, tuple)):
             tokens = list(tokens)
         with self.table.lock:
-            return self.fallback().parse_trees(tokens, limit=limit)
+            return self.fallback().parse_trees(tokens, limit=limit, ranking=ranking)
+
+    def sample_parses(self, tokens: Sequence[Any], rng: Any, n: int = 1) -> List[Any]:
+        """Draw ``n`` uniform samples over the parse forest (fallback derivation)."""
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        with self.table.lock:
+            return self.fallback().sample_parses(tokens, rng, n=n)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return "CompiledParser({!r})".format(self.table)

@@ -12,7 +12,7 @@ The public surface re-exported here is what most users need:
 
 from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
 from .derivative import Deriver
-from .errors import GrammarError, LexError, ParseError, ReproError
+from .errors import EmptyForestError, GrammarError, LexError, ParseError, ReproError
 from .fixpoint import NOT_FINAL, FixpointAnalysis, FixpointSolver
 from .forest import (
     FOREST_EMPTY,
@@ -27,6 +27,18 @@ from .forest import (
     first_tree,
     is_empty_forest,
     iter_trees,
+    tree_fingerprint,
+    trees_equal,
+)
+from .forest_query import (
+    RANKINGS,
+    ForestQuery,
+    Ranking,
+    TreeDepthRanking,
+    TreeSizeRanking,
+    iter_trees_ranked,
+    ranking_by_name,
+    sample_trees,
 )
 from .languages import (
     EMPTY,
@@ -137,6 +149,17 @@ __all__ = [
     "count_trees",
     "first_tree",
     "is_empty_forest",
+    "trees_equal",
+    "tree_fingerprint",
+    # forest queries (count / top-k / sample)
+    "ForestQuery",
+    "Ranking",
+    "TreeSizeRanking",
+    "TreeDepthRanking",
+    "RANKINGS",
+    "ranking_by_name",
+    "iter_trees_ranked",
+    "sample_trees",
     # configuration
     "CompactionConfig",
     "Compactor",
@@ -181,5 +204,6 @@ __all__ = [
     "ReproError",
     "GrammarError",
     "ParseError",
+    "EmptyForestError",
     "LexError",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
-__all__ = ["ReproError", "GrammarError", "ParseError", "LexError"]
+__all__ = ["ReproError", "GrammarError", "ParseError", "EmptyForestError", "LexError"]
 
 
 class ReproError(Exception):
@@ -45,6 +45,17 @@ class ParseError(ReproError):
         if self.position is not None:
             return "{} (at token index {}: {!r})".format(base, self.position, self.token)
         return base
+
+
+class EmptyForestError(ParseError, ValueError):
+    """A parse forest holds zero finite trees.
+
+    Raised by tree extraction (``first_tree``, ranked enumeration, uniform
+    sampling) when every alternative of the forest was cut by the cycle
+    guard, so the input is *recognized* but no finite tree exists.  Inherits
+    ``ValueError`` so long-standing ``except ValueError`` call sites keep
+    working, while carrying ``ParseError`` diagnostics (position/tokens).
+    """
 
 
 class LexError(ReproError):

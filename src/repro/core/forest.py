@@ -26,8 +26,9 @@ termination without any depth cap.
 
 from __future__ import annotations
 
-import math
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .errors import EmptyForestError
 
 __all__ = [
     "ForestNode",
@@ -43,6 +44,7 @@ __all__ = [
     "first_tree",
     "is_empty_forest",
     "trees_equal",
+    "tree_fingerprint",
 ]
 
 
@@ -73,6 +75,47 @@ def trees_equal(a: Any, b: Any) -> bool:
         except RecursionError:
             return False
     return True
+
+
+def tree_fingerprint(tree: Any) -> Optional[int]:
+    """Structural hash of a parse tree, iterative and recursion-safe.
+
+    Used to bucket trees for near-constant-time deduplication: equal trees
+    always fingerprint equally, and collisions are resolved by
+    :func:`trees_equal` within a bucket, so deduplication stays exact.
+    Tuple spines are hashed on an explicit stack (trees nest as deep as the
+    input); shared sub-tuples are memoized by identity so DAG-shaped trees
+    do not blow up.  Returns ``None`` when a leaf is unhashable — callers
+    fall back to pairwise comparison for that bucket.
+    """
+    memo: Dict[int, int] = {}
+    values: List[int] = []
+    stack: List[Any] = [(0, tree)]
+    while stack:
+        phase, node = stack.pop()
+        if phase == 0:
+            if type(node) is tuple:
+                key = id(node)
+                cached = memo.get(key)
+                if cached is not None:
+                    values.append(cached)
+                    continue
+                stack.append((1, node))
+                for child in reversed(node):
+                    stack.append((0, child))
+            else:
+                try:
+                    values.append(hash((0, node)))
+                except (TypeError, RecursionError):
+                    return None
+        else:
+            width = len(node)
+            children = tuple(values[len(values) - width :])
+            del values[len(values) - width :]
+            fingerprint = hash((1, width, children))
+            memo[id(node)] = fingerprint
+            values.append(fingerprint)
+    return values[0]
 
 
 class ForestNode:
@@ -273,15 +316,23 @@ class _AmbFrame(_Frame):
         super().__init__(forest, parent)
         self.child: Optional[_Frame] = None
         self.index = 0
-        self.seen: List[Any] = []
+        # Fingerprint -> trees with that fingerprint.  Bucketing makes the
+        # duplicate check O(1) per tree instead of O(k) against every prior
+        # tree; trees_equal within a bucket keeps it collision-exact.
+        self.seen: Dict[Optional[int], List[Any]] = {}
 
     def resume(self, msg: int, arg: Any):
         if msg == _TREE:
             # The same tree can arrive through several alternatives; only the
             # first derivation is reported (enumeration-time deduplication).
-            if any(trees_equal(arg, prior) for prior in self.seen):
+            fingerprint = tree_fingerprint(arg)
+            bucket = self.seen.get(fingerprint)
+            if bucket is None:
+                self.seen[fingerprint] = [arg]
+                return _EMIT, arg
+            if any(trees_equal(arg, prior) for prior in bucket):
                 return _PULL, self.child
-            self.seen.append(arg)
+            bucket.append(arg)
             return _EMIT, arg
         if msg == _MORE:
             return _PULL, self.child
@@ -429,99 +480,34 @@ def iter_trees(
 
 
 def first_tree(forest: ForestNode, max_depth: Optional[int] = None) -> Any:
-    """Return one parse tree from the forest, or raise ``ValueError`` if empty."""
+    """Return one parse tree from the forest.
+
+    Raises :class:`~repro.core.errors.EmptyForestError` (a ``ParseError``
+    that is also a ``ValueError``, for compatibility) when the forest holds
+    no finite trees — either because the parse failed outright or because
+    every alternative was cut by the cycle guard.
+    """
     for tree in iter_trees(forest, limit=1, max_depth=max_depth):
         return tree
-    raise ValueError("the parse forest contains no trees")
+    raise EmptyForestError(
+        "the parse forest contains no finite trees; input recognized "
+        "but no finite parse tree could be extracted"
+    )
 
 
-# Opcodes for the iterative count_trees walker.
-_CNT_ENTER, _CNT_EXIT, _CNT_PAIR_RIGHT = range(3)
-
-
-def count_trees(forest: ForestNode) -> float:
-    """Count the trees in a forest; cyclic forests count as ``math.inf``.
+def count_trees(forest: ForestNode) -> Union[int, float]:
+    """Count the trees in a forest — an exact ``int``, of arbitrary
+    magnitude; ``math.inf`` strictly for cyclic forests.
 
     The count treats shared sub-forests correctly (each distinct combination
-    is counted once per context, which is the number of distinct parse trees).
-    The walk is an explicit-stack post-order traversal, so forests of any
-    depth are counted without touching the interpreter recursion limit.
+    is counted once per context, which is the number of distinct parse
+    trees), and integer arithmetic is used throughout so counts beyond
+    2^53 — Catalan-ambiguous cells reach 10^21 — never lose exactness to
+    float rounding.  Built on the shared bottom-up pass of
+    :class:`repro.core.forest_query.ForestQuery` (explicit-stack post-order,
+    so forests of any depth are counted without touching the interpreter
+    recursion limit).
     """
-    cache: dict = {}
-    on_path: set = set()
-    stack: list = [(_CNT_ENTER, forest)]
-    values: List[float] = []
+    from .forest_query import exact_count
 
-    while stack:
-        op, node = stack.pop()
-
-        if op == _CNT_ENTER:
-            key = id(node)
-            if key in cache:
-                values.append(cache[key])
-                continue
-            if key in on_path:
-                values.append(math.inf)
-                continue
-            if isinstance(node, ForestEmpty):
-                values.append(0)
-                continue
-            if isinstance(node, ForestLeaf):
-                values.append(len(node.trees))
-                continue
-            on_path.add(key)
-            if isinstance(node, ForestRef):
-                stack.append((_CNT_EXIT, node))
-                if node.target is not None:
-                    stack.append((_CNT_ENTER, node.target))
-                else:
-                    values.append(0)
-            elif isinstance(node, ForestMap):
-                stack.append((_CNT_EXIT, node))
-                stack.append((_CNT_ENTER, node.child))
-            elif isinstance(node, ForestAmb):
-                stack.append((_CNT_EXIT, node))
-                for alternative in reversed(node.alternatives):
-                    stack.append((_CNT_ENTER, alternative))
-            elif isinstance(node, ForestPair):
-                # Evaluate the left side first; the right side is visited only
-                # when the left count is non-zero (mirrors the 0-guard below).
-                stack.append((_CNT_PAIR_RIGHT, node))
-                stack.append((_CNT_ENTER, node.left))
-            else:
-                raise TypeError("unknown forest node: {!r}".format(node))
-
-        elif op == _CNT_PAIR_RIGHT:
-            left_count = values.pop()
-            if left_count == 0:
-                result: float = 0
-                on_path.discard(id(node))
-                if result != math.inf:
-                    cache[id(node)] = result
-                values.append(result)
-            else:
-                stack.append((_CNT_EXIT, (node, left_count)))
-                stack.append((_CNT_ENTER, node.right))
-
-        else:  # _CNT_EXIT
-            if isinstance(node, tuple):  # a pair with its left count
-                pair, left_count = node
-                right_count = values.pop()
-                # Guard the inf * 0 = nan corner explicitly.
-                result = 0 if right_count == 0 else left_count * right_count
-                node = pair
-            elif isinstance(node, (ForestRef, ForestMap)):
-                result = values.pop()
-            else:  # ForestAmb
-                total: float = 0
-                for _ in node.alternatives:
-                    total += values.pop()
-                result = total
-            on_path.discard(id(node))
-            # Only cache values computed without hitting the current path; a
-            # value involving a back edge is context-dependent.
-            if result != math.inf:
-                cache[id(node)] = result
-            values.append(result)
-
-    return values[-1] if values else 0
+    return exact_count(forest)

@@ -44,7 +44,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from .compaction import CompactionConfig, Compactor, optimize_initial_grammar
 from .derivative import Deriver
-from .errors import GrammarError, ParseError
+from .errors import EmptyForestError, GrammarError, ParseError
 from .forest import (
     FOREST_EMPTY,
     ForestAmb,
@@ -592,10 +592,46 @@ class DerivativeParser:
                 tokens=tokens,
             ) from None
 
-    def parse_trees(self, tokens: Sequence[Any], limit: Optional[int] = None) -> List[Any]:
-        """Parse and return up to ``limit`` distinct parse trees."""
+    def parse_trees(
+        self,
+        tokens: Sequence[Any],
+        limit: Optional[int] = None,
+        ranking: Optional[Any] = None,
+    ) -> List[Any]:
+        """Parse and return up to ``limit`` distinct parse trees.
+
+        With ``ranking`` (a :class:`repro.core.forest_query.Ranking` or a
+        registered ranking name such as ``"size"``/``"depth"``) trees come
+        back best-first via lazy top-k extraction: memory stays bounded by
+        ``limit`` even when the forest holds astronomically many parses.
+        Without a ranking, trees come in plain enumeration order.
+        """
         forest = self.parse_forest(tokens)
-        return list(iter_trees(forest, limit=limit))
+        if ranking is None:
+            return list(iter_trees(forest, limit=limit))
+        from .forest_query import iter_trees_ranked
+
+        return list(iter_trees_ranked(forest, ranking, limit))
+
+    def sample_parses(self, tokens: Sequence[Any], rng: Any, n: int = 1) -> List[Any]:
+        """Parse and draw ``n`` uniform samples over the forest's derivations.
+
+        ``rng`` is an explicit ``random.Random`` instance or an ``int`` seed
+        (this repo audits against global-RNG use).  Sampling descends the
+        shared forest with exact count-proportional choices — no
+        enumeration, so it is cheap even at 10^21 parses.
+        """
+        forest = self.parse_forest(tokens)
+        from .forest_query import sample_trees
+
+        try:
+            return sample_trees(forest, rng, n)
+        except EmptyForestError:
+            raise ParseError(
+                "input recognized but no finite parse tree could be extracted",
+                position=len(tokens),
+                tokens=tokens,
+            ) from None
 
     # ----------------------------------------------------------- parse-null
     def parse_null(self, node: Language) -> ForestNode:

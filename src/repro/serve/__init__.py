@@ -49,7 +49,7 @@ process pool).
 from .cache import CacheEntry, TableCache
 from .metrics import ServiceMetrics
 from .pool import HashRing, PooledParseService, PreparedBatch
-from .service import ParseOutcome, ParseService, ServiceClosed
+from .service import ForestOutcome, ParseOutcome, ParseService, ServiceClosed
 from .sessions import ParseSession, SessionCheckpoint, SessionError, SessionManager
 from .store import TableStore
 from .transport import WorkerCrashed, WorkerError
@@ -57,6 +57,7 @@ from .transport import WorkerCrashed, WorkerError
 __all__ = [
     "ParseService",
     "ParseOutcome",
+    "ForestOutcome",
     "ServiceClosed",
     "TableCache",
     "CacheEntry",

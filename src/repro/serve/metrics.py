@@ -48,6 +48,10 @@ _COUNTERS = (
     "pool_dispatches",
     "pool_retries",
     "workers_respawned",
+    "enumerate_requests",
+    "sample_requests",
+    "trees_emitted",
+    "tree_budget_clamped",
 )
 
 #: Membership view of ``_COUNTERS`` for O(1) validation before the lock.

@@ -69,7 +69,7 @@ from bisect import bisect_right
 from collections import OrderedDict
 from concurrent.futures import Future
 from time import perf_counter_ns
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..compile.automaton import GrammarTable, as_root
 from ..compile.executor import CompiledParser
@@ -79,8 +79,9 @@ from ..obs.exposition import prometheus_exposition
 from ..obs.histogram import Histogram
 from ..obs.observer import Observer
 from ..obs.trace import stage
+from ..core.forest_query import RANKINGS, ranking_by_name
 from .metrics import ServiceMetrics
-from .service import ParseOutcome, ServiceClosed
+from .service import DEFAULT_TREE_BUDGET, ForestOutcome, ParseOutcome, ServiceClosed
 from .store import TableStore
 from .transport import (
     WIRE_PROTOCOL,
@@ -92,6 +93,14 @@ from .transport import (
 )
 
 __all__ = ["HashRing", "PooledParseService", "PreparedBatch"]
+
+#: Request-trace names per wire tag (see :mod:`repro.serve.transport`).
+_POOL_REQUEST_NAMES = {
+    "rec": "pool_recognize_many",
+    "par": "pool_parse_many",
+    "enu": "pool_enumerate_many",
+    "sam": "pool_sample_many",
+}
 
 
 class HashRing:
@@ -343,17 +352,96 @@ class PooledParseService:
         """
         return self._run_batch("par", grammar, streams)
 
+    def enumerate_many(
+        self,
+        grammar: Any,
+        streams: Union[Iterable[Sequence[Any]], PreparedBatch],
+        k: Optional[int] = None,
+        ranking: Any = "size",
+    ) -> List[ForestOutcome]:
+        """Top-``k`` trees per stream across the shard, best-first.
+
+        Same contract — and byte-identical outcomes — as
+        :meth:`ParseService.enumerate_many`: ranked extraction is
+        deterministic, so sharding the batch cannot change any answer.
+        The ranking crosses the pipe by its registered name (rankings are
+        code, not data), so it must come from
+        :data:`repro.core.forest_query.RANKINGS`; ``k`` is clamped to the
+        dispatcher's tree budget before dispatch.
+        """
+        ranking = ranking_by_name(ranking)
+        if ranking is None:
+            raise ValueError("enumerate_many requires a ranking")
+        if RANKINGS.get(ranking.name) is not ranking:
+            raise ValueError(
+                "pooled enumeration needs a ranking registered in "
+                "repro.core.forest_query.RANKINGS so workers can resolve it "
+                "by name; {!r} is not registered".format(ranking.name)
+            )
+        name = ranking.name
+        return self._run_batch(
+            "enu",
+            grammar,
+            streams,
+            extras=lambda lo, hi, k=k, name=name: (self._clamp_trees(k, hi - lo), name),
+        )
+
+    def sample_many(
+        self,
+        grammar: Any,
+        streams: Union[Iterable[Sequence[Any]], PreparedBatch],
+        n: int = 1,
+        seed: int = 0,
+    ) -> List[ForestOutcome]:
+        """``n`` uniform samples per stream across the shard.
+
+        Byte-identical to :meth:`ParseService.sample_many` with the same
+        ``seed``: each chunk ships ``seed + chunk_start``, so a worker's
+        local ``seed + i`` lands on the exact global ``seed +
+        stream_index`` the in-process service uses — chunking is invisible
+        in the draws.
+        """
+        return self._run_batch(
+            "sam",
+            grammar,
+            streams,
+            extras=lambda lo, hi, n=n, seed=seed: (
+                self._clamp_trees(n, hi - lo),
+                seed + lo,
+            ),
+        )
+
+    def _clamp_trees(self, requested: Optional[int], requests: int) -> int:
+        """Clamp a tree ask to the dispatcher's budget (mirrors the service)."""
+        budget = DEFAULT_TREE_BUDGET
+        if requested is None or requested > budget:
+            self.metrics.inc("tree_budget_clamped", requests)
+            return budget
+        return requested
+
     def prepare(self, grammar: Any, streams: Iterable[Sequence[Any]]) -> PreparedBatch:
         """Wrap ``streams`` for repeated dispatch (see :class:`PreparedBatch`)."""
         self._require_open()
         fingerprint, _root = self._fingerprint(grammar)
         return PreparedBatch(fingerprint, list(streams))
 
-    def _run_batch(self, operation: str, grammar: Any, streams: Any) -> List[Any]:
-        """Shard, encode, fan out and reassemble one batch (both operations)."""
+    def _run_batch(
+        self,
+        operation: str,
+        grammar: Any,
+        streams: Any,
+        extras: Optional[Callable[[int, int], Tuple[Any, ...]]] = None,
+    ) -> List[Any]:
+        """Shard, encode, fan out and reassemble one batch (every operation).
+
+        ``extras(lo, hi)`` — when given — produces the operation-specific
+        arguments appended to each chunk's frame after the payload (the
+        ``k``/ranking of an enumeration, the ``n``/offset-seed of a
+        sampling run), called once per chunk with that chunk's bounds.
+        """
         self._require_open()
         started = perf_counter_ns()
-        name = "pool_recognize_many" if operation == "rec" else "pool_parse_many"
+        name = _POOL_REQUEST_NAMES[operation]
         with self.obs.tracer.request(name) as trace:
             with stage("fingerprint"):
                 fingerprint, root = self._fingerprint(grammar)
@@ -387,7 +475,10 @@ class PooledParseService:
                     ]
                 futures = [
                     self._handles[info.shard[chunk]].submit(
-                        operation, fingerprint, payload
+                        operation,
+                        fingerprint,
+                        payload,
+                        *(extras(*bounds[chunk]) if extras is not None else ()),
                     )
                     for chunk, payload in enumerate(payloads)
                 ]

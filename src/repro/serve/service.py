@@ -40,6 +40,7 @@ caller comes from the warm shared table and the amortized compile — see
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -48,7 +49,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..compile.automaton import as_root
 from ..compile.executor import CompiledParser
-from ..core.errors import ParseError, ReproError
+from ..core.errors import EmptyForestError, ParseError, ReproError
+from ..core.forest_query import ForestQuery, ranking_by_name
 from ..core.languages import clone_graph, structural_fingerprint
 from ..core.metrics import Metrics
 from ..core.parse import DerivativeParser
@@ -60,7 +62,11 @@ from .cache import CacheEntry, TableCache
 from .metrics import ServiceMetrics
 from .sessions import ParseSession, SessionCheckpoint, SessionManager
 
-__all__ = ["ParseOutcome", "ParseService", "ServiceClosed"]
+__all__ = ["ForestOutcome", "ParseOutcome", "ParseService", "ServiceClosed"]
+
+#: Default per-request tree budget for the forest endpoints: the most
+#: trees one enumerate/sample request may materialize service-side.
+DEFAULT_TREE_BUDGET = 64
 
 
 class ServiceClosed(ReproError):
@@ -93,6 +99,57 @@ class ParseOutcome:
         if self.ok:
             return "ParseOutcome(ok)"
         return "ParseOutcome(failed@{})".format(self.failure_position)
+
+
+class ForestOutcome:
+    """The result of one service-side forest query (top-k or samples).
+
+    ``ok`` with ``trees`` (the ranked prefix or the drawn samples) and the
+    forest's exact derivation ``count`` (an ``int``; ``math.inf`` for
+    cyclic forests) — or ``not ok`` with the diagnosed ``error``: a
+    :class:`~repro.core.errors.ParseError` for unrecognized input, an
+    :class:`~repro.core.errors.EmptyForestError` when sampling a treeless
+    forest, or a ``ValueError`` when the forest is cyclic (infinitely many
+    derivations cannot be ranked or sampled uniformly).
+    """
+
+    __slots__ = ("ok", "trees", "count", "error")
+
+    def __init__(
+        self,
+        ok: bool,
+        trees: Optional[List[Any]] = None,
+        count: Optional[Any] = None,
+        error: Optional[Exception] = None,
+    ) -> None:
+        self.ok = ok
+        self.trees = trees if trees is not None else []
+        self.count = count
+        self.error = error
+
+    @property
+    def failure_position(self) -> Optional[int]:
+        """The failing token index when the error carries one (else None)."""
+        return getattr(self.error, "position", None)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ForestOutcome):
+            return NotImplemented
+        return (
+            self.ok == other.ok
+            and self.trees == other.trees
+            and self.count == other.count
+            and type(self.error) is type(other.error)
+            and str(self.error) == str(other.error)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - outcomes are not set keys
+        return hash((self.ok, self.count))
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "ForestOutcome(ok, {} trees of {})".format(len(self.trees), self.count)
+        return "ForestOutcome(failed: {!r})".format(self.error)
 
 
 class ParseService:
@@ -129,10 +186,19 @@ class ParseService:
         session_idle_ttl: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
         observer: Optional[Observer] = None,
+        max_trees_per_request: int = DEFAULT_TREE_BUDGET,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1, got {}".format(workers))
+        if max_trees_per_request < 1:
+            raise ValueError(
+                "max_trees_per_request must be >= 1, got {}".format(max_trees_per_request)
+            )
         self.workers = workers
+        #: Per-request tree budget for the forest endpoints; requests asking
+        #: for more (or for everything) are clamped here and metered as
+        #: ``tree_budget_clamped`` — ambiguous forests can hold 10^21 trees.
+        self.max_trees_per_request = max_trees_per_request
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.obs = observer if observer is not None else Observer()
         self.tables = TableCache(table_cache_size, self.metrics, logger=self.obs.logger)
@@ -289,6 +355,91 @@ class ParseService:
         self.obs.record("batch_size", len(streams))
         return results
 
+    def enumerate_many(
+        self,
+        grammar: Any,
+        streams: Iterable[Sequence[Any]],
+        k: Optional[int] = None,
+        ranking: Any = "size",
+    ) -> List[ForestOutcome]:
+        """Top-``k`` trees per stream, best-first under ``ranking``.
+
+        One :class:`ForestOutcome` per stream, in order: the ranked tree
+        prefix plus the forest's exact derivation count.  ``k`` (and the
+        ``k=None`` "give me everything" case) is clamped to the service's
+        ``max_trees_per_request`` budget — extraction is lazy, so a stream
+        with 10^21 parses costs the same as one with 10.  ``ranking`` is a
+        :class:`~repro.core.forest_query.Ranking` or a registered name.
+        """
+        self._require_open()
+        ranking = ranking_by_name(ranking)
+        if ranking is None:
+            raise ValueError("enumerate_many requires a ranking")
+        started = perf_counter_ns()
+        with self.obs.tracer.request("enumerate_many") as trace:
+            entry = self.table_for(grammar)
+            streams = list(streams)
+            self.metrics.inc("batch_calls")
+            self.metrics.inc("enumerate_requests", len(streams))
+            effective_k = self._clamp_trees(k, requests=len(streams))
+
+            def run(stream: Sequence[Any]) -> ForestOutcome:
+                with activated(trace):
+                    return self._enumerate_one(entry, stream, effective_k, ranking)
+
+            results = list(self._executor.map(run, streams))
+        self.obs.record("request_latency_ns", perf_counter_ns() - started)
+        self.obs.record("batch_size", len(streams))
+        emitted = sum(len(outcome.trees) for outcome in results)
+        if emitted:
+            self.metrics.inc("trees_emitted", emitted)
+        return results
+
+    def sample_many(
+        self,
+        grammar: Any,
+        streams: Iterable[Sequence[Any]],
+        n: int = 1,
+        seed: int = 0,
+    ) -> List[ForestOutcome]:
+        """``n`` uniform samples per stream over each stream's parse forest.
+
+        Stream ``i`` samples from ``random.Random(seed + i)`` — explicit,
+        replayable seeds (the repo audits against global RNG use), and the
+        same arithmetic the pooled service applies per shard, so pooled and
+        in-process results are byte-identical.  ``n`` is clamped to the
+        service's ``max_trees_per_request`` budget.
+        """
+        self._require_open()
+        started = perf_counter_ns()
+        with self.obs.tracer.request("sample_many") as trace:
+            entry = self.table_for(grammar)
+            streams = list(streams)
+            self.metrics.inc("batch_calls")
+            self.metrics.inc("sample_requests", len(streams))
+            effective_n = self._clamp_trees(n, requests=len(streams))
+
+            def run(indexed: Tuple[int, Sequence[Any]]) -> ForestOutcome:
+                index, stream = indexed
+                with activated(trace):
+                    return self._sample_one(entry, stream, effective_n, seed + index)
+
+            results = list(self._executor.map(run, enumerate(streams)))
+        self.obs.record("request_latency_ns", perf_counter_ns() - started)
+        self.obs.record("batch_size", len(streams))
+        emitted = sum(len(outcome.trees) for outcome in results)
+        if emitted:
+            self.metrics.inc("trees_emitted", emitted)
+        return results
+
+    def _clamp_trees(self, requested: Optional[int], requests: int = 1) -> int:
+        """Clamp a per-request tree ask to the service budget (metered)."""
+        budget = self.max_trees_per_request
+        if requested is None or requested > budget:
+            self.metrics.inc("tree_budget_clamped", requests)
+            return budget
+        return requested
+
     # -------------------------------------------------------- worker parsers
     def _worker_parser(self, entry: CacheEntry) -> DerivativeParser:
         """This thread's private interpreted parser for ``entry``'s grammar.
@@ -348,6 +499,55 @@ class ParseService:
             )
         return outcome
 
+    def _enumerate_one(
+        self, entry: CacheEntry, stream: Sequence[Any], k: int, ranking: Any
+    ) -> ForestOutcome:
+        """Top-k one stream on this worker's thread-confined parser."""
+        parser = self._worker_parser(entry)
+        try:
+            try:
+                with stage("forest"):
+                    forest = parser.parse_forest(list(stream))
+            except ParseError as error:
+                return ForestOutcome(False, error=error)
+            with stage("rank"):
+                query = ForestQuery(forest, ranking)
+                count = query.count
+                if count == math.inf:
+                    return ForestOutcome(
+                        False,
+                        count=count,
+                        error=ValueError(
+                            "cannot rank a cyclic forest: infinitely many derivations"
+                        ),
+                    )
+                trees = [tree for _score, tree in query.iter_ranked(k)]
+            return ForestOutcome(True, trees=trees, count=count)
+        finally:
+            parser.reset()
+
+    def _sample_one(
+        self, entry: CacheEntry, stream: Sequence[Any], n: int, seed: int
+    ) -> ForestOutcome:
+        """Sample one stream on this worker's thread-confined parser."""
+        parser = self._worker_parser(entry)
+        try:
+            try:
+                with stage("forest"):
+                    forest = parser.parse_forest(list(stream))
+            except ParseError as error:
+                return ForestOutcome(False, error=error)
+            with stage("sample"):
+                query = ForestQuery(forest)
+                count = query.count
+                try:
+                    trees = query.sample_n(seed, n)
+                except (EmptyForestError, ValueError) as error:
+                    return ForestOutcome(False, count=count, error=error)
+            return ForestOutcome(True, trees=trees, count=count)
+        finally:
+            parser.reset()
+
     def _recognize_one(self, entry: CacheEntry, stream: Sequence[Any]) -> bool:
         """Recognize one stream on the shared compiled table (dense-metered)."""
         started = perf_counter_ns()
@@ -391,6 +591,56 @@ class ParseService:
             key,
             "recognize_requests",
             lambda: self._recognize_one(self.table_for(grammar), tokens),
+        )
+
+    async def enumerate(
+        self,
+        grammar: Any,
+        tokens: Sequence[Any],
+        k: Optional[int] = None,
+        ranking: Any = "size",
+    ) -> ForestOutcome:
+        """Top-k one stream from async code (coalesced like :meth:`parse`).
+
+        Identical in-flight requests — same grammar, tokens, ``k`` and
+        ranking — share one worker execution.
+        """
+        tokens = tuple(tokens)
+        ranking = ranking_by_name(ranking)
+        if ranking is None:
+            raise ValueError("enumerate requires a ranking")
+        key = (self._fingerprint(grammar), tokens, k, ranking.name)
+        return await self._coalesced(
+            "enumerate",
+            key,
+            "enumerate_requests",
+            lambda: self._enumerate_one(
+                self.table_for(grammar), tokens, self._clamp_trees(k), ranking
+            ),
+        )
+
+    async def sample(
+        self,
+        grammar: Any,
+        tokens: Sequence[Any],
+        n: int = 1,
+        seed: int = 0,
+    ) -> ForestOutcome:
+        """Uniformly sample one stream from async code (coalesced).
+
+        The seed is part of the coalescing key, so two concurrent requests
+        share a worker execution only when they would draw the exact same
+        trees anyway.
+        """
+        tokens = tuple(tokens)
+        key = (self._fingerprint(grammar), tokens, n, seed)
+        return await self._coalesced(
+            "sample",
+            key,
+            "sample_requests",
+            lambda: self._sample_one(
+                self.table_for(grammar), tokens, self._clamp_trees(n), seed
+            ),
         )
 
     async def edit(

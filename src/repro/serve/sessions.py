@@ -264,6 +264,45 @@ class ParseSession:
                 return self._doc.tree()
             return self._state.tree()
 
+    def trees(self, k: Optional[int] = None, ranking: Any = None) -> List[Any]:
+        """Parse trees of the consumed tokens (needs token retention).
+
+        With ``ranking`` set, trees come best-first under that ranking via
+        the forest-query layer; ``k`` bounds how many are materialized
+        either way.  Recognition-only sessions have no buffer to re-derive
+        a forest from and raise :class:`SessionError`.
+        """
+        with self._lock:
+            self._require_open()
+            self._touch()
+            if self._doc is None:
+                raise SessionError(
+                    "session {!r} was opened with keep_tokens=False and has "
+                    "no token buffer to enumerate trees from".format(
+                        self.session_id
+                    )
+                )
+            return self._doc.parse_trees(limit=k, ranking=ranking)
+
+    def sample(self, rng: Any, n: int = 1) -> List[Any]:
+        """Uniform samples from the session's parse forest (needs tokens).
+
+        ``rng`` is a :class:`random.Random` or an int seed; sampling is
+        exact and count-proportional (see
+        :func:`repro.core.forest_query.sample_trees`).
+        """
+        with self._lock:
+            self._require_open()
+            self._touch()
+            if self._doc is None:
+                raise SessionError(
+                    "session {!r} was opened with keep_tokens=False and has "
+                    "no token buffer to sample trees from".format(
+                        self.session_id
+                    )
+                )
+            return self._doc.sample_parses(rng, n)
+
     # ------------------------------------------------------------- lifecycle
     def checkpoint(self) -> SessionCheckpoint:
         """Snapshot the current progress for a later :meth:`SessionManager.restore`.

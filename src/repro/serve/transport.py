@@ -219,6 +219,24 @@ def _handle(
         _tag, _req_id, fingerprint, payload = message
         _enc, streams = pickle.loads(payload)
         return service.parse_many(_grammar(grammars, fingerprint), streams)
+    if tag == "enu":
+        # Ranked enumeration: the ranking crosses the wire by registered
+        # name (rankings are code, not data); ``k`` arrives pre-clamped by
+        # the dispatcher so this worker's own budget never re-clamps it.
+        _tag, _req_id, fingerprint, payload, k, ranking_name = message
+        _enc, streams = pickle.loads(payload)
+        return service.enumerate_many(
+            _grammar(grammars, fingerprint), streams, k=k, ranking=ranking_name
+        )
+    if tag == "sam":
+        # ``seed`` is already offset by the chunk's start index, so the
+        # worker's per-stream ``seed + i`` reproduces the exact global
+        # ``seed + stream_index`` arithmetic of the in-process service.
+        _tag, _req_id, fingerprint, payload, n, seed = message
+        _enc, streams = pickle.loads(payload)
+        return service.sample_many(
+            _grammar(grammars, fingerprint), streams, n=n, seed=seed
+        )
     if tag == "reg":
         _tag, _req_id, fingerprint, blob, table_path = message
         if fingerprint in grammars:

@@ -1,6 +1,8 @@
 """Workload generators: synthetic programs, token streams, corpus, edit scripts."""
 
 from .ambiguity import (
+    ASTRONOMICAL_LEAVES,
+    ASTRONOMICAL_QUICK_LEAVES,
     catalan_count,
     catalan_tokens,
     dangling_else_count,
@@ -48,6 +50,8 @@ __all__ = [
     "expression_tokens",
     "expression_source",
     "json_document_tokens",
+    "ASTRONOMICAL_LEAVES",
+    "ASTRONOMICAL_QUICK_LEAVES",
     "catalan_tokens",
     "catalan_count",
     "dangling_else_tokens",

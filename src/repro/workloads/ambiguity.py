@@ -26,11 +26,27 @@ from typing import List
 from ..lexer.tokens import Tok
 
 __all__ = [
+    "ASTRONOMICAL_LEAVES",
+    "ASTRONOMICAL_QUICK_LEAVES",
     "catalan_tokens",
     "catalan_count",
     "dangling_else_tokens",
     "dangling_else_count",
 ]
+
+
+#: Leaf count of the *astronomical* catalan workload: ``a^41`` has
+#: Catalan(40) = 2_622_127_042_276_492_108_820 parses — about 2.6 × 10²¹,
+#: far beyond 2⁵³ (the last float-exact integer), so any float creeping
+#: into the counting pass would corrupt the count.  The stream itself is
+#: 41 tokens: parsing it is milliseconds, only *enumerating* it is
+#: impossible — exactly the regime the forest-query layer is built for.
+ASTRONOMICAL_LEAVES = 41
+
+#: Quick-mode (CI) sibling: ``a^27`` has Catalan(26) ≈ 1.8 × 10¹³ parses —
+#: still past 10¹² and past exact float addition, at a fraction of the
+#: counting work.
+ASTRONOMICAL_QUICK_LEAVES = 27
 
 
 def catalan_tokens(leaves: int) -> List[Tok]:

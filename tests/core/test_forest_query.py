@@ -1,0 +1,458 @@
+"""Unit + property tests for the forest-query layer (count / rank / sample).
+
+The layer's contract, pinned here:
+
+* ``ForestQuery.count`` / ``count_trees`` / ``exact_count`` return an exact
+  Python ``int`` for every finite forest (``math.inf`` strictly for cyclic
+  ones), matching closed forms far past 2⁵³;
+* ranked extraction is lazy best-first: non-decreasing scores, top-k a
+  verbatim prefix of top-(k+m), the exhausted stream a permutation of
+  ``iter_trees`` (identical dedup semantics);
+* sampling is exact count-proportional descent: uniform over derivations,
+  same-seed replayable, no enumeration or rejection;
+* zero-tree forests raise :class:`EmptyForestError` (a ``ParseError`` *and*
+  a ``ValueError``) with the diagnostic the parse layer aligns with.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DerivativeParser
+from repro.core.errors import EmptyForestError, ParseError
+from repro.core.forest import (
+    FOREST_EMPTY,
+    ForestAmb,
+    ForestLeaf,
+    ForestMap,
+    ForestPair,
+    ForestRef,
+    count_trees,
+    first_tree,
+    iter_trees,
+    tree_fingerprint,
+)
+from repro.core.forest_query import (
+    RANKINGS,
+    ForestQuery,
+    Ranking,
+    TreeDepthRanking,
+    TreeSizeRanking,
+    _tree_size,
+    exact_count,
+    iter_trees_ranked,
+    ranking_by_name,
+    sample_trees,
+)
+from repro.grammars import catalan_grammar
+from repro.workloads import catalan_count, catalan_tokens
+
+
+def make_cycle():
+    """A forest whose every tree re-enters itself: infinitely many derivations."""
+    ref = ForestRef(None)
+    amb = ForestAmb([ForestLeaf(("x",)), ForestPair(ref, ForestLeaf(("y",)))])
+    ref.target = amb
+    return amb
+
+
+def catalan_forest(leaves):
+    parser = DerivativeParser(catalan_grammar().to_language())
+    return parser.parse_forest(catalan_tokens(leaves))
+
+
+# ---------------------------------------------------------------------------
+# exact counting
+# ---------------------------------------------------------------------------
+class TestExactCounts:
+    def test_primitive_counts(self):
+        assert exact_count(FOREST_EMPTY) == 0
+        assert exact_count(ForestLeaf(("a", "b", "c"))) == 3
+        assert exact_count(ForestPair(ForestLeaf(("a", "b")), ForestLeaf(("x",)))) == 2
+        assert exact_count(ForestAmb([ForestLeaf(("a",)), ForestLeaf(("b",))])) == 2
+        assert exact_count(ForestMap(str.upper, ForestLeaf(("a", "b")))) == 2
+        assert exact_count(ForestRef(ForestLeaf(("a",)))) == 1
+
+    def test_counts_are_exact_ints_not_floats(self):
+        for leaves in (2, 5, 9):
+            count = exact_count(catalan_forest(leaves))
+            assert type(count) is int
+            assert count == catalan_count(leaves)
+
+    def test_astronomical_count_is_exact_past_float_precision(self):
+        # Catalan(40) = 2_622_127_042_276_492_108_820 ≫ 2^53: any float in
+        # the pass would silently corrupt the low digits.
+        count = exact_count(catalan_forest(41))
+        assert type(count) is int
+        assert count == 2_622_127_042_276_492_108_820
+        assert count == catalan_count(41)
+        assert float(count) != count - 1  # the float neighbourhood is coarse
+
+    def test_cyclic_forest_counts_inf(self):
+        assert exact_count(make_cycle()) == math.inf
+        assert count_trees(make_cycle()) == math.inf
+
+    def test_count_trees_is_the_same_pass(self):
+        forest = catalan_forest(6)
+        assert count_trees(forest) == exact_count(forest) == catalan_count(6)
+
+    def test_zero_guarded_cycle_stays_finite(self):
+        # X first evaluates under its grey ancestor A and looks infinite,
+        # but its cyclic alternative multiplies against an empty forest:
+        # the true count is 2 derivations (both through leaf "a").  The
+        # pass must not cache X's provisional inf.
+        x = ForestRef(None)
+        a = ForestAmb([ForestLeaf(("a",)), ForestPair(x, FOREST_EMPTY)])
+        x.target = a
+        root = ForestAmb([a, x])
+        assert exact_count(root) == 2
+        assert type(exact_count(root)) is int
+        assert list(iter_trees(root)) == ["a"]
+
+    def test_count_at_recomputes_skipped_nodes(self):
+        right = ForestLeaf(("r1", "r2", "r3"))
+        pair = ForestPair(FOREST_EMPTY, right)  # left-zero short-circuits right
+        query = ForestQuery(pair)
+        assert query.count == 0
+        assert query.count_at(right) == 3
+
+
+# ---------------------------------------------------------------------------
+# rankings
+# ---------------------------------------------------------------------------
+class TestRankings:
+    def test_registry_names(self):
+        assert set(RANKINGS) == {"size", "depth"}
+        assert isinstance(RANKINGS["size"], TreeSizeRanking)
+        assert isinstance(RANKINGS["depth"], TreeDepthRanking)
+
+    def test_ranking_by_name_resolution(self):
+        assert ranking_by_name("size") is RANKINGS["size"]
+        assert ranking_by_name(None) is None
+        custom = TreeSizeRanking()
+        assert ranking_by_name(custom) is custom
+        with pytest.raises(ValueError, match="size"):
+            ranking_by_name("no-such-ranking")
+
+    def test_base_ranking_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Ranking().leaf("t")
+        with pytest.raises(NotImplementedError):
+            Ranking().pair(1, 2)
+
+
+# ---------------------------------------------------------------------------
+# ranked (top-k) extraction
+# ---------------------------------------------------------------------------
+class TestRankedExtraction:
+    def test_scores_are_non_decreasing(self):
+        query = ForestQuery(catalan_forest(7), "size")
+        scores = [score for score, _tree in query.iter_ranked()]
+        assert scores == sorted(scores)
+        assert len(scores) == catalan_count(7)
+
+    def test_top_k_is_a_prefix_of_top_more(self):
+        forest = catalan_forest(6)
+        top3 = list(ForestQuery(forest, "size").iter_ranked(3))
+        top10 = list(ForestQuery(forest, "size").iter_ranked(10))
+        assert top10[:3] == top3
+
+    def test_exhausted_stream_matches_iter_trees(self):
+        forest = catalan_forest(6)
+        ranked = [tree for _s, tree in ForestQuery(forest, "size").iter_ranked()]
+        plain = list(iter_trees(forest))
+        assert len(ranked) == len(plain)
+        assert {repr(t) for t in ranked} == {repr(t) for t in plain}
+
+    def test_dedup_matches_iter_trees_semantics(self):
+        # Two derivations of the same tree: count says 2, both ranked
+        # extraction and plain enumeration yield the tree once.
+        forest = ForestAmb([ForestLeaf(("a",)), ForestLeaf(("a",))])
+        assert exact_count(forest) == 2
+        assert list(iter_trees(forest)) == ["a"]
+        assert list(iter_trees_ranked(forest, "size")) == ["a"]
+
+    def test_depth_ranking_orders_by_depth(self):
+        forest = catalan_forest(5)
+        scores = [s for s, _t in ForestQuery(forest, "depth").iter_ranked()]
+        assert scores == sorted(scores)
+
+    def test_module_helper_yields_trees_only(self):
+        forest = catalan_forest(4)
+        trees = list(iter_trees_ranked(forest, "size", k=2))
+        assert len(trees) == 2
+        assert all(not isinstance(t, ForestLeaf) for t in trees)
+
+    def test_requires_a_ranking(self):
+        with pytest.raises(ValueError, match="ranking"):
+            ForestQuery(catalan_forest(3)).iter_ranked(1)
+
+    def test_cyclic_forest_refuses_ranking(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            ForestQuery(make_cycle(), "size").iter_ranked(1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ForestQuery(catalan_forest(3), "size").iter_ranked(-1)
+
+    def test_k_zero_yields_nothing(self):
+        assert list(ForestQuery(catalan_forest(3), "size").iter_ranked(0)) == []
+
+    def test_empty_forest_ranks_to_nothing(self):
+        assert list(ForestQuery(FOREST_EMPTY, "size").iter_ranked()) == []
+
+    def test_best_is_the_first_ranked_score(self):
+        forest = catalan_forest(6)
+        query = ForestQuery(forest, "size")
+        (top_score, _tree), = list(query.iter_ranked(1))
+        assert query.best == top_score
+
+    def test_best_requires_ranking_and_acyclicity(self):
+        with pytest.raises(ValueError, match="ranking"):
+            ForestQuery(catalan_forest(3)).best
+        with pytest.raises(ValueError, match="acyclic"):
+            ForestQuery(make_cycle(), "size").best
+
+    def test_astronomical_top_k_is_lazy(self):
+        # 2.6e21 derivations; asking for 5 must not enumerate anything.
+        query = ForestQuery(catalan_forest(41), "size")
+        ranked = list(query.iter_ranked(5))
+        assert len(ranked) == 5
+        scores = [s for s, _t in ranked]
+        assert scores == sorted(scores)
+
+
+# ---------------------------------------------------------------------------
+# exact uniform sampling
+# ---------------------------------------------------------------------------
+class TestSampling:
+    def test_samples_come_from_the_forest(self):
+        forest = catalan_forest(5)
+        trees = {repr(t) for t in iter_trees(forest)}
+        for tree in sample_trees(forest, rng=3, n=50):
+            assert repr(tree) in trees
+
+    def test_same_seed_replays_identically(self):
+        forest = catalan_forest(6)
+        assert sample_trees(forest, rng=11, n=20) == sample_trees(forest, rng=11, n=20)
+
+    def test_int_seed_equals_random_instance(self):
+        forest = catalan_forest(5)
+        assert sample_trees(forest, rng=7, n=10) == sample_trees(
+            forest, rng=random.Random(7), n=10
+        )
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(TypeError):
+            sample_trees(catalan_forest(3), rng=True, n=1)
+
+    def test_uniform_over_derivations(self):
+        # Catalan(4) = 14 equally likely bracketings; 2800 draws with a
+        # fixed seed (deterministic forever) land each within 5 sigma.
+        forest = catalan_forest(5)
+        draws = sample_trees(forest, rng=0, n=2800)
+        frequencies = {}
+        for tree in draws:
+            frequencies[repr(tree)] = frequencies.get(repr(tree), 0) + 1
+        assert len(frequencies) == 14
+        expected = 2800 / 14
+        tolerance = 5 * math.sqrt(expected)
+        for key, seen in frequencies.items():
+            assert abs(seen - expected) <= tolerance, (key, seen)
+
+    def test_empty_forest_raises_diagnostic(self):
+        with pytest.raises(EmptyForestError, match="no finite trees"):
+            ForestQuery(FOREST_EMPTY).sample(0)
+
+    def test_cyclic_forest_refuses_sampling(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            ForestQuery(make_cycle()).sample(0)
+
+    def test_astronomical_sampling_without_enumeration(self):
+        query = ForestQuery(catalan_forest(41))
+        draws = query.sample_n(5, 10)
+        assert len(draws) == 10
+        assert query.sample_n(5, 10) == draws
+
+    def test_sample_n_validates(self):
+        query = ForestQuery(catalan_forest(3))
+        with pytest.raises(ValueError):
+            query.sample_n(0, -1)
+        assert query.sample_n(0, 0) == []
+
+
+# ---------------------------------------------------------------------------
+# fingerprint-based amb dedup (the old quadratic scan's replacement)
+# ---------------------------------------------------------------------------
+class TestFingerprintDedup:
+    def test_fingerprint_stable_and_discriminating(self):
+        a = ("x", ("y", "z"))
+        assert tree_fingerprint(a) == tree_fingerprint(("x", ("y", "z")))
+        assert tree_fingerprint(a) != tree_fingerprint(("x", ("y", "w")))
+
+    def test_unhashable_trees_fingerprint_to_none(self):
+        assert tree_fingerprint(["mutable"]) is None
+
+    def test_dedup_results_unchanged_on_wide_amb(self):
+        # Same-results regression for the fingerprint-set rewrite: a wide
+        # ambiguity node with interleaved duplicates yields each distinct
+        # tree exactly once, in first-seen order.
+        leaves = [ForestLeaf(("t{}".format(i % 7),)) for i in range(100)]
+        forest = ForestAmb(leaves)
+        assert list(iter_trees(forest)) == ["t{}".format(i) for i in range(7)]
+        assert exact_count(forest) == 100
+
+    def test_dedup_handles_unhashable_trees(self):
+        # Unhashable trees (fingerprint None) share one bucket and fall
+        # back to structural equality — duplicates still collapse.
+        forest = ForestAmb(
+            [ForestLeaf((["u"],)), ForestLeaf((["u"],)), ForestLeaf((["v"],))]
+        )
+        assert list(iter_trees(forest)) == [["u"], ["v"]]
+
+    def test_shared_subtrees_memoized(self):
+        shared = ("s", "t")
+        tree = (shared, shared)
+        assert tree_fingerprint(tree) == tree_fingerprint((("s", "t"), ("s", "t")))
+
+
+# ---------------------------------------------------------------------------
+# empty-forest diagnostics (first_tree / parse alignment)
+# ---------------------------------------------------------------------------
+class TestEmptyForestDiagnostics:
+    def test_first_tree_raises_typed_diagnostic(self):
+        with pytest.raises(EmptyForestError) as excinfo:
+            first_tree(FOREST_EMPTY)
+        assert "no finite trees" in str(excinfo.value)
+        assert isinstance(excinfo.value, ParseError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_first_tree_still_catchable_as_value_error(self):
+        # Long-standing call sites catch ValueError; the typed error must
+        # keep satisfying them.
+        with pytest.raises(ValueError):
+            first_tree(FOREST_EMPTY)
+
+    def test_sample_and_first_tree_agree_on_the_message(self):
+        with pytest.raises(EmptyForestError) as from_first:
+            first_tree(FOREST_EMPTY)
+        with pytest.raises(EmptyForestError) as from_sample:
+            ForestQuery(FOREST_EMPTY).sample(0)
+        assert str(from_first.value) == str(from_sample.value)
+
+
+# ---------------------------------------------------------------------------
+# property tests: random forests vs enumeration
+# ---------------------------------------------------------------------------
+def _specs(with_map=True, with_empty=False):
+    """Strategy for small forest *specs* built into forests at test time."""
+    leaf = st.tuples(st.just("leaf"), st.integers(min_value=1, max_value=3))
+    base = [leaf]
+    if with_empty:
+        base.append(st.just(("empty",)))
+
+    def extend(children):
+        branches = [
+            st.tuples(st.just("pair"), children, children),
+            st.tuples(
+                st.just("amb"), st.lists(children, min_size=1, max_size=3)
+            ),
+        ]
+        if with_map:
+            branches.append(st.tuples(st.just("map"), children))
+        return st.one_of(*branches)
+
+    return st.recursive(st.one_of(*base), extend, max_leaves=8)
+
+
+def _build(spec, counter):
+    """Instantiate a spec with globally unique leaf labels (no dup trees)."""
+    kind = spec[0]
+    if kind == "empty":
+        return FOREST_EMPTY
+    if kind == "leaf":
+        trees = tuple("t{}".format(next(counter)) for _ in range(spec[1]))
+        return ForestLeaf(trees)
+    if kind == "pair":
+        return ForestPair(_build(spec[1], counter), _build(spec[2], counter))
+    if kind == "amb":
+        return ForestAmb([_build(child, counter) for child in spec[1]])
+    if kind == "map":
+        return ForestMap(lambda t: ("m", t), _build(spec[1], counter))
+    raise AssertionError(spec)
+
+
+def _built(spec):
+    import itertools
+
+    return _build(spec, itertools.count())
+
+
+@given(spec=_specs(with_empty=True))
+@settings(max_examples=60, deadline=None)
+def test_property_count_equals_enumeration(spec):
+    # Unique leaves + injective maps → every derivation is a distinct
+    # tree, so the derivation count equals the enumeration length exactly.
+    forest = _built(spec)
+    count = exact_count(forest)
+    assert type(count) is int
+    assert count == len(list(iter_trees(forest)))
+
+
+@given(spec=_specs(), k=st.integers(min_value=0, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_property_top_k_is_prefix_of_exhaustive(spec, k):
+    forest = _built(spec)
+    full = list(ForestQuery(forest, "size").iter_ranked())
+    top = list(ForestQuery(forest, "size").iter_ranked(k))
+    assert top == full[:k]
+    scores = [score for score, _tree in full]
+    assert scores == sorted(scores)
+
+
+@given(spec=_specs(with_map=False), k=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_property_top_k_agrees_with_sorted_enumeration(spec, k):
+    # Map-free forests: a derivation's size score IS its tree's size, so
+    # the ranked score stream must equal the sorted enumeration scores.
+    forest = _built(spec)
+    reference = sorted(_tree_size(tree) for tree in iter_trees(forest))
+    ranked = [score for score, _tree in ForestQuery(forest, "size").iter_ranked(k)]
+    assert ranked == reference[:k]
+
+
+@given(spec=_specs(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_sampling_membership_and_replay(spec, seed):
+    forest = _built(spec)
+    query = ForestQuery(forest)
+    trees = {repr(t) for t in iter_trees(forest)}
+    draws = query.sample_n(seed, 8)
+    assert query.sample_n(seed, 8) == draws
+    for tree in draws:
+        assert repr(tree) in trees
+
+
+@given(spec=_specs(with_map=False))
+@settings(max_examples=20, deadline=None)
+def test_property_sampling_matches_enumeration_frequencies(spec):
+    # Exact uniformity over derivations: with unique leaves every
+    # derivation is a distinct tree, so frequencies under a fixed seed
+    # (deterministic forever) must track 1/count within 5 sigma.
+    forest = _built(spec)
+    count = exact_count(forest)
+    trees = list(iter_trees(forest))
+    if count < 2 or count > 12:
+        return
+    n = 120 * count
+    draws = ForestQuery(forest).sample_n(0, n)
+    frequencies = {}
+    for tree in draws:
+        frequencies[repr(tree)] = frequencies.get(repr(tree), 0) + 1
+    expected = n / count
+    tolerance = 5 * math.sqrt(expected) + 1
+    assert set(frequencies) <= {repr(t) for t in trees}
+    for key in (repr(t) for t in trees):
+        assert abs(frequencies.get(key, 0) - expected) <= tolerance, key

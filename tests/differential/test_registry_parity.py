@@ -10,6 +10,8 @@ a grammar to the zoo automatically buys it:
 * identical parse trees across the tree-capable engines (``trees`` gate),
 * closed-form forest counts, cross-checked between ``count_trees`` and
   ``iter_trees`` enumeration (``ambiguity`` gate),
+* forest-query agreement — exact integer counts, ranked extraction
+  matching plain enumeration, replayable sampling (``forest`` gate),
 * serialization round-trips (``serialization``), dense-core agreement
   (``dense``), incremental-edit convergence (``incremental``) and worker
   pool parity (``pooled``).
@@ -32,6 +34,10 @@ from repro.incremental import IncrementalDocument
 from repro.lexer.tokens import Tok
 
 _CELL_ID = lambda cell: cell.id  # noqa: E731 - stable pytest test IDs
+
+#: Enumeration-based cross-checks only run below this forest size; bigger
+#: forests (the astronomical cell) are checked by count/rank/sample alone.
+_ENUMERABLE = 10_000
 
 
 def _quick_streams(cell, max_streams=2):
@@ -140,11 +146,20 @@ def test_registry_ambiguity_counts(cell):
             forest = parser.parse_forest(tokens)
             expected = cell.grammar.forest_count(tokens)
             counted = count_trees(forest)
+            assert type(counted) is int, (
+                "cell {!r} size {}: count must be an exact int, got {}".format(
+                    cell.id, size, type(counted).__name__
+                )
+            )
             assert counted == expected, (
                 "cell {!r} size {}: count_trees says {}, closed form {}".format(
                     cell.id, size, counted, expected
                 )
             )
+            if expected > _ENUMERABLE:
+                # Astronomically ambiguous streams cannot be enumerated;
+                # the forest gate checks them without materialization.
+                continue
             # Enumeration agrees with counting: exactly `expected` distinct
             # trees come out, and asking for one more finds nothing extra.
             enumerated = list(iter_trees(forest, limit=expected + 1))
@@ -153,6 +168,35 @@ def test_registry_ambiguity_counts(cell):
                     cell.id, size, len(enumerated), expected
                 )
             )
+
+
+# ---------------------------------------------------------------------------
+# forest: the forest-query layer vs plain enumeration on every gated cell
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("cell", cells_for_gate("forest"), ids=_CELL_ID)
+def test_registry_forest_queries(cell):
+    from repro.core.forest_query import ForestQuery
+
+    grammar = cell.grammar.factory()
+    parser = DerivativeParser(grammar.to_language())
+    for size, seed, tokens in cell.workload.streams(quick=True):
+        forest = parser.parse_forest(tokens)
+        expected = cell.grammar.forest_count(tokens)
+        query = ForestQuery(forest, "size")
+        context = "cell {!r} size {}".format(cell.id, size)
+        assert type(query.count) is int and query.count == expected, context
+        ranked = list(query.iter_ranked(5))
+        scores = [score for score, _tree in ranked]
+        assert scores == sorted(scores), context
+        assert query.sample_n(seed, 4) == query.sample_n(seed, 4), context
+        if expected > _ENUMERABLE:
+            continue
+        # On enumerable forests the ranked stream, run to exhaustion, is a
+        # permutation of plain enumeration (dedup semantics included).
+        full = [tree for _score, tree in ForestQuery(forest, "size").iter_ranked()]
+        plain = list(iter_trees(forest))
+        assert len(full) == len(plain), context
+        assert {repr(t) for t in full} == {repr(t) for t in plain}, context
 
 
 def test_catalan_known_answer_pinned():
@@ -272,4 +316,20 @@ def test_every_ambiguous_grammar_has_a_count_gate():
             )
             assert "trees" not in cell.gates, (
                 "ambiguous cell {!r} must not claim exact tree parity".format(cell.id)
+            )
+
+
+def test_every_ambiguous_cell_has_a_forest_gate():
+    """Ambiguous cells must run the forest-query gate too.
+
+    The ambiguity gate pins the count; the forest gate pins ranked
+    extraction and sampling on the same forests — an ambiguous cell
+    without it would leave count-independent extraction uncovered.
+    """
+    for cell in CELLS:
+        if cell.grammar.ambiguous:
+            assert "forest" in cell.gates, (
+                "ambiguous cell {!r} lacks the forest gate — add it so the "
+                "forest-query layer (count/rank/sample) is exercised on "
+                "this cell's forests".format(cell.id)
             )
